@@ -1,0 +1,117 @@
+// Non-geometric construction rules -- the paper's list: (1) a net must
+// have at least two devices; (2) power and ground must not be shorted;
+// (3) a bus may not connect to power or ground; (4) a depletion device
+// may not connect to ground. Hit/miss matrix on constructed netlists.
+#include "bench_util.hpp"
+#include "erc/erc.hpp"
+#include "workload/generator.hpp"
+#include "workload/inject.hpp"
+
+namespace {
+
+using namespace dic;
+using geom::makeRect;
+
+void printErc() {
+  dic::bench::title("Non-geometric construction rules (ERC)");
+  const tech::Technology t = tech::nmos();
+  const geom::Coord L = t.lambda();
+  const int nm = *t.layerByName("metal");
+  const int nd = *t.layerByName("diff");
+  const int np = *t.layerByName("poly");
+
+  std::printf("%-34s %-28s %s\n", "scenario", "rules fired", "expected");
+  auto printRow = [&](const char* name, layout::Library& lib,
+                      layout::CellId root, const char* expectRule) {
+    const auto nl = netlist::extract(lib, root, t);
+    const auto rep = erc::check(nl, t);
+    std::string fired;
+    for (const auto& v : rep.violations()) {
+      if (fired.find(v.rule) != std::string::npos) continue;
+      if (!fired.empty()) fired += " ";
+      fired += v.rule;
+    }
+    if (fired.empty()) fired = "-";
+    std::printf("%-34s %-28s %s\n", name, fired.c_str(), expectRule);
+  };
+
+  {  // rule 1: dangling net.
+    layout::Library lib;
+    layout::Cell top;
+    top.name = "top";
+    top.elements.push_back(
+        layout::makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "orphan"));
+    const auto root = lib.addCell(std::move(top));
+    printRow("net with no devices", lib, root, "ERC.DANGLING");
+  }
+  {  // rule 2: VDD-GND short.
+    layout::Library lib;
+    layout::Cell top;
+    top.name = "top";
+    top.elements.push_back(
+        layout::makeBox(nm, makeRect(0, 0, 20 * L, 3 * L), "VDD"));
+    top.elements.push_back(
+        layout::makeBox(nm, makeRect(0, 0, 3 * L, 20 * L), "GND"));
+    const auto root = lib.addCell(std::move(top));
+    printRow("power shorted to ground", lib, root, "ERC.PGSHORT");
+  }
+  {  // rule 3: bus tied to power.
+    layout::Library lib;
+    layout::Cell top;
+    top.name = "top";
+    top.elements.push_back(
+        layout::makeBox(nm, makeRect(0, 0, 20 * L, 3 * L), "BUS7"));
+    top.elements.push_back(
+        layout::makeBox(nm, makeRect(10 * L, 0, 30 * L, 3 * L), "VDD"));
+    const auto root = lib.addCell(std::move(top));
+    printRow("bus connects to power", lib, root, "ERC.BUS_PG");
+  }
+  {  // rule 4: depletion device to ground.
+    layout::Library lib;
+    const workload::NmosCells cells = workload::installNmosCells(lib, t);
+    layout::Cell top;
+    top.name = "top";
+    top.instances.push_back(
+        {cells.dtran, {geom::Orient::kR0, {0, 0}}, "d"});
+    top.elements.push_back(
+        layout::makeWire(nd, {{0, -3 * L}, {0, -20 * L}}, 2 * L, "GND"));
+    top.elements.push_back(
+        layout::makeWire(nd, {{0, 3 * L}, {0, 20 * L}}, 2 * L, "x"));
+    top.elements.push_back(
+        layout::makeWire(np, {{-3 * L, 0}, {-20 * L, 0}}, 2 * L, "y"));
+    const auto root = lib.addCell(std::move(top));
+    printRow("depletion device to ground", lib, root, "ERC.DEPL_GND");
+  }
+  {  // control: clean chip.
+    workload::GeneratedChip chip =
+        workload::generateChip(t, {1, 1, 2, 2, true});
+    printRow("clean generated chip", chip.lib, chip.top, "- (clean)");
+  }
+  dic::bench::note(
+      "\nExpected shape: one distinct rule per scenario, nothing on the "
+      "clean chip. \"Net list\ngeneration and non-geometric design "
+      "verification ... should appropriately be handled by a\nsingle "
+      "program.\"");
+}
+
+void BM_ErcOnChip(benchmark::State& state) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip =
+      workload::generateChip(t, {2, 2, 2, 4, true});
+  const auto nl = netlist::extract(chip.lib, chip.top, t);
+  for (auto _ : state) benchmark::DoNotOptimize(erc::check(nl, t));
+}
+BENCHMARK(BM_ErcOnChip);
+
+void BM_NetlistExtraction(benchmark::State& state) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip =
+      workload::generateChip(t, {2, 2, 2, 4, true});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netlist::extract(chip.lib, chip.top, t));
+}
+BENCHMARK(BM_NetlistExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DIC_BENCH_MAIN(printErc)

@@ -1,0 +1,82 @@
+// Fig. 4 -- Width & spacing pathologies: the Euclidean
+// shrink-expand-compare width check yields errors at every (convex)
+// corner; the expand-check-overlap spacing check disagrees between the
+// metrics on corner-to-corner configurations.
+#include "bench_util.hpp"
+#include "geom/spacing.hpp"
+#include "geom/width.hpp"
+
+namespace {
+
+using namespace dic;
+using geom::makeRect;
+using geom::Metric;
+using geom::Region;
+
+void printFig4() {
+  dic::bench::title("Fig. 4 (left): width-check corner pathologies");
+  std::printf("%-22s %8s %12s %12s %12s\n", "shape", "corners",
+              "orthFlags", "euclFlags", "edgeFlags");
+
+  auto shapeRow = [&](const char* name, const Region& r) {
+    int convex = 0;
+    for (const geom::Corner& c : geom::regionCorners(r))
+      if (c.convex) ++convex;
+    const auto orth = geom::checkWidthShrinkExpand(r, 20, Metric::kOrthogonal);
+    const auto eucl = geom::checkWidthShrinkExpand(r, 20, Metric::kEuclidean);
+    const auto edge = geom::checkWidthEdges(r, 20);
+    std::printf("%-22s %8d %12zu %12zu %12zu\n", name, convex, orth.size(),
+                eucl.size(), edge.size());
+  };
+
+  shapeRow("legal square", Region(makeRect(0, 0, 100, 100)));
+  shapeRow("legal L",
+           unite(Region(makeRect(0, 0, 200, 100)),
+                 Region(makeRect(0, 0, 100, 200))));
+  Region stair = Region(makeRect(0, 0, 60, 60));
+  stair = unite(stair, Region(makeRect(60, 60, 120, 120)));
+  stair = unite(stair, Region(makeRect(120, 120, 180, 180)));
+  shapeRow("3-step staircase", stair);
+  shapeRow("genuinely narrow", Region(makeRect(0, 0, 10, 100)));
+
+  dic::bench::title("Fig. 4 (right): spacing metric disagreement band");
+  std::printf("%-10s %12s %12s %12s %s\n", "diag t", "euclDist",
+              "orthFlag(40)", "euclFlag(40)", "note");
+  const Region a(makeRect(0, 0, 100, 100));
+  for (geom::Coord off : {10, 20, 28, 29, 32, 36, 39, 40, 45}) {
+    const Region b(makeRect(100 + off, 100 + off, 200 + off, 200 + off));
+    const bool orth = !geom::checkSpacing(a, b, 40, Metric::kOrthogonal).empty();
+    const bool eucl = !geom::checkSpacing(a, b, 40, Metric::kEuclidean).empty();
+    const double d = std::hypot(double(off), double(off));
+    std::printf("%-10lld %12.1f %12s %12s %s\n",
+                static_cast<long long>(off), d, orth ? "FLAG" : "pass",
+                eucl ? "FLAG" : "pass",
+                (orth && !eucl) ? "<- disagreement (false error band)" : "");
+  }
+  dic::bench::note(
+      "\nExpected shape: Euclidean shrink-expand flags exactly one error "
+      "per convex corner on legal\nshapes (orthogonal flags none); in the "
+      "diagonal band s/sqrt(2) < t < s the orthogonal\nexpand-check-overlap "
+      "flags configurations the Euclidean metric accepts.");
+}
+
+void BM_WidthShrinkExpandOrth(benchmark::State& state) {
+  Region stair = Region(makeRect(0, 0, 600, 600));
+  stair = unite(stair, Region(makeRect(600, 600, 1200, 1200)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        geom::checkWidthShrinkExpand(stair, 20, Metric::kOrthogonal));
+}
+BENCHMARK(BM_WidthShrinkExpandOrth);
+
+void BM_WidthEdgeBased(benchmark::State& state) {
+  Region stair = Region(makeRect(0, 0, 600, 600));
+  stair = unite(stair, Region(makeRect(600, 600, 1200, 1200)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(geom::checkWidthEdges(stair, 20));
+}
+BENCHMARK(BM_WidthEdgeBased);
+
+}  // namespace
+
+DIC_BENCH_MAIN(printFig4)

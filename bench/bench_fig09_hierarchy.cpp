@@ -1,0 +1,55 @@
+// Fig. 9 -- Chip structure: functional blocks & interconnect, subblocks &
+// interconnect, devices & interconnect, geometry. Measures how much data
+// the hierarchical description saves over the fully instantiated form --
+// the premise of hierarchical checking.
+#include "bench_util.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace dic;
+
+void printFig9() {
+  dic::bench::title("Fig. 9: chip structure -- hierarchical vs instantiated");
+  std::printf("%-16s %8s %6s %10s %10s %10s %8s\n", "chip", "invs", "cells",
+              "hierElems", "flatElems", "flatDevs", "ratio");
+  const tech::Technology t = tech::nmos();
+  const workload::ChipParams cases[] = {
+      {1, 1, 2, 2, false}, {1, 2, 2, 4, false}, {2, 2, 4, 4, false},
+      {2, 4, 4, 8, false}, {4, 4, 8, 8, false},
+  };
+  for (const auto& p : cases) {
+    workload::GeneratedChip chip = workload::generateChip(t, p);
+    const layout::Library::SizeStats s = chip.lib.sizeStats(chip.top);
+    char name[64];
+    std::snprintf(name, sizeof name, "%dx%d blk %dx%d inv", p.blockRows,
+                  p.blockCols, p.invRows, p.invCols);
+    std::printf("%-16s %8zu %6zu %10zu %10zu %10zu %7.1fx\n", name,
+                chip.inverterCount(), s.cells, s.hierarchicalElements,
+                s.flatElements, s.deviceInstancesFlat,
+                static_cast<double>(s.flatElements) /
+                    static_cast<double>(s.hierarchicalElements));
+  }
+  dic::bench::note(
+      "\nExpected shape: the hierarchical element count stays nearly "
+      "constant (one definition per\ncell) while the instantiated count "
+      "grows with the array sizes -- the regularity a\nhierarchical "
+      "checker exploits.");
+}
+
+void BM_Flatten(benchmark::State& state) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {static_cast<int>(state.range(0)), 2, 4, 4, false});
+  for (auto _ : state) {
+    std::vector<layout::FlatElement> fe;
+    std::vector<layout::FlatDevice> fd;
+    chip.lib.flatten(chip.top, fe, fd, true);
+    benchmark::DoNotOptimize(fe);
+  }
+}
+BENCHMARK(BM_Flatten)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DIC_BENCH_MAIN(printFig9)

@@ -1,0 +1,78 @@
+// Fig. 14 -- Relational rule: the poly overlap of the gate must grow as
+// the poly narrows, because narrow wire ends "retreat". Regenerates the
+// retreat-vs-width curve and the pass/fail table of the relational
+// gate-overlap check.
+#include "bench_util.hpp"
+#include "process/relational.hpp"
+
+namespace {
+
+using namespace dic;
+
+void printFig14() {
+  dic::bench::title("Fig. 14: end retreat vs wire width (sigma 10, thr 0.5)");
+  std::printf("%-10s %12s\n", "width", "retreat");
+  const process::ExposureModel m(10.0);
+  double prev = -1;
+  bool monotone = true;
+  for (geom::Coord w : {12, 14, 16, 20, 24, 30, 40, 60, 100, 200}) {
+    const double r = process::endRetreat(m, w, 400, 0.5);
+    std::printf("%-10lld %12.2f\n", static_cast<long long>(w), r);
+    if (prev >= 0 && r > prev) monotone = false;
+    prev = r;
+  }
+  std::printf("retreat decreases with width: %s\n",
+              monotone ? "yes" : "NO (unexpected)");
+
+  dic::bench::title(
+      "Fig. 14: relational gate-overlap check (drawn overlap 50, need 35)");
+  std::printf("%-10s %10s %16s %8s\n", "polyWidth", "retreat",
+              "effectiveOverlap", "verdict");
+  for (geom::Coord w : {12, 14, 16, 20, 30, 60, 100}) {
+    const process::RelationalCheck c =
+        process::checkGateOverlapRelational(m, w, 50, 35, 0.5);
+    std::printf("%-10lld %10.2f %16.2f %8s\n", static_cast<long long>(w),
+                c.retreat, c.effectiveOverlap, c.pass ? "pass" : "FAIL");
+  }
+  dic::bench::note(
+      "\nExpected shape: a fixed drawn overlap passes for wide poly and "
+      "fails as the width\napproaches the process sigma -- the rule is "
+      "relational, not a constant.");
+
+  dic::bench::title("Line-of-closest-approach spacing with misalignment");
+  std::printf("%-8s %-12s %12s %8s\n", "gap", "misalign", "gapDip",
+              "verdict");
+  const geom::Region a(geom::makeRect(0, 0, 100, 100));
+  for (geom::Coord gap : {10, 20, 35, 50}) {
+    for (geom::Coord mis : {0, 15, 30}) {
+      const geom::Region b(geom::makeRect(100 + gap, 0, 200 + gap, 100));
+      const process::LcaSpacing r = process::checkSpacingLca(m, a, b, 0.5, mis);
+      std::printf("%-8lld %-12lld %12.4f %8s\n", static_cast<long long>(gap),
+                  static_cast<long long>(mis), r.maxExposure,
+                  r.fails ? "FAIL" : "pass");
+    }
+  }
+  dic::bench::note(
+      "\nExpected shape: misalignment tightens every verdict (different-"
+      "layer rules must model\nbias + translation, same-layer only bias).");
+}
+
+void BM_EndRetreat(benchmark::State& state) {
+  const process::ExposureModel m(10.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(process::endRetreat(m, 20, 400, 0.5));
+}
+BENCHMARK(BM_EndRetreat);
+
+void BM_LcaSpacing(benchmark::State& state) {
+  const process::ExposureModel m(10.0);
+  const geom::Region a(geom::makeRect(0, 0, 100, 100));
+  const geom::Region b(geom::makeRect(130, 0, 230, 100));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(process::checkSpacingLca(m, a, b, 0.5, 20));
+}
+BENCHMARK(BM_LcaSpacing);
+
+}  // namespace
+
+DIC_BENCH_MAIN(printFig14)

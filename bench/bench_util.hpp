@@ -1,0 +1,32 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the figure-reproduction benches: aligned table
+/// printing plus the standard main() that first prints the reproduction
+/// table(s) and then runs the google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dic::bench {
+
+inline void title(const std::string& s) {
+  std::printf("\n=== %s ===\n", s.c_str());
+}
+
+inline void note(const std::string& s) { std::printf("%s\n", s.c_str()); }
+
+/// DIC_BENCH_MAIN(print_fn): emit the reproduction tables, then run the
+/// registered google-benchmark timings.
+#define DIC_BENCH_MAIN(print_fn)                          \
+  int main(int argc, char** argv) {                       \
+    print_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+}  // namespace dic::bench

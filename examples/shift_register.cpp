@@ -1,0 +1,118 @@
+// A hierarchical NMOS shift-register-style buffer chain, verified end to
+// end: DRC pipeline, electrical rules, netlist extraction, and comparison
+// against a golden device list ("check the net list against an input net
+// list for consistency").
+//
+//   $ ./examples/shift_register [stages] [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "drc/checker.hpp"
+#include "erc/erc.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/technology.hpp"
+#include "workload/nmos_cells.hpp"
+
+namespace {
+
+using namespace dic;
+
+/// One buffer stage: two inverters with a metal->poly hop between them.
+layout::CellId makeStage(layout::Library& lib, const workload::NmosCells& c,
+                         const tech::Technology& t) {
+  const geom::Coord L = t.lambda();
+  layout::Cell stage;
+  stage.name = "stage";
+  stage.instances.push_back(
+      {c.inverter, {geom::Orient::kR0, {0, 0}}, "m"});
+  stage.instances.push_back(
+      {c.inverter, {geom::Orient::kR0, {26 * L, 0}}, "s"});
+  // Metal from m.OUT onto a metal-poly contact, then poly down and into
+  // s.IN. (The inverter's OUT stub already reaches (22L, 18L).)
+  stage.instances.push_back(
+      {c.contactMP, {geom::Orient::kR0, {24 * L, 18 * L}}, "hop"});
+  const int np = *t.layerByName("poly");
+  stage.elements.push_back(layout::makeWire(
+      np, {{24 * L, 18 * L}, {24 * L, 12 * L}, {26 * L, 12 * L}}, 2 * L));
+  return lib.addCell(std::move(stage));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int stages = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int rows = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  const tech::Technology t = tech::nmos();
+  const geom::Coord L = t.lambda();
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  const layout::CellId stage = makeStage(lib, cells, t);
+
+  layout::Cell top;
+  top.name = "shiftreg";
+  const int nm = *t.layerByName("metal");
+  for (int r = 0; r < rows; ++r) {
+    const geom::Coord y = r * 44 * L;
+    for (int s = 0; s < stages; ++s) {
+      top.instances.push_back(
+          {stage,
+           {geom::Orient::kR0, {s * 52 * L, y}},
+           "r" + std::to_string(r) + "_s" + std::to_string(s)});
+    }
+    // Shared rails across the row.
+    const geom::Coord w = stages * 52 * L - 2 * L;
+    top.elements.push_back(
+        layout::makeBox(nm, {{0, y}, {w, y + 3 * L}}, "GND"));
+    top.elements.push_back(
+        layout::makeBox(nm, {{0, y + 37 * L}, {w, y + 40 * L}}, "VDD"));
+  }
+  const layout::CellId root = lib.addCell(std::move(top));
+
+  const layout::Library::SizeStats st = lib.sizeStats(root);
+  std::printf(
+      "shift register: %d rows x %d stages; %zu cells, %zu hierarchical "
+      "elements,\n%zu instantiated elements, %zu devices, depth %d\n",
+      rows, stages, st.cells, st.hierarchicalElements, st.flatElements,
+      st.deviceInstancesFlat, st.maxDepth);
+
+  // DRC + ERC.
+  drc::Checker checker(lib, root, t, {});
+  report::Report rep = checker.run();
+  const netlist::Netlist nl = checker.generateNetlist();
+  rep.merge(erc::check(nl, t));
+  std::printf("\nDRC+ERC: %zu violation(s)\n%s", rep.count(),
+              rep.text().c_str());
+
+  // Golden comparison for one stage's worth of devices, repeated.
+  std::vector<netlist::GoldenDevice> golden;
+  for (int r = 0; r < rows; ++r) {
+    for (int s = 0; s < stages; ++s) {
+      const std::string p = "r" + std::to_string(r) + "_s" +
+                            std::to_string(s) + ".";
+      for (const char* half : {"m", "s"}) {
+        const std::string q = p + half;
+        golden.push_back({"TRAN",
+                          {{"G", q + ".in"}, {"S", "GND"}, {"D", q + ".out"}}});
+        golden.push_back({"DTRAN",
+                          {{"G", q + ".out"},
+                           {"S", q + ".out"},
+                           {"D", "VDD"}}});
+        golden.push_back({"CON_MD", {{"A", q + ".out"}}});
+        golden.push_back({"CON_MD", {{"A", "GND"}}});
+        golden.push_back({"CON_MD", {{"A", "VDD"}}});
+        golden.push_back({"CON_MP", {{"A", q + ".out"}}});
+      }
+      golden.push_back({"CON_MP", {}});  // the inter-inverter hop
+    }
+  }
+  const auto issues = netlist::compareAgainstGolden(nl, golden);
+  if (issues.empty()) {
+    std::printf("\nnetlist matches the golden device list (%zu devices)\n",
+                golden.size());
+  } else {
+    std::printf("\nnetlist mismatches:\n");
+    for (const auto& s : issues) std::printf("  %s\n", s.c_str());
+  }
+  return rep.empty() && issues.empty() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+#pragma once
+/// \file ast.hpp
+/// Abstract syntax for CIF 2.0 (Sproull, Lyon & Trimberger [8]) with the
+/// paper's two extensions:
+///   * `4N <name>;` attaches a net identifier to the next primitive element
+///   * `4D <type>;` attaches a device type to the enclosing symbol
+/// Standard user-extension command `9 <name>;` names a symbol.
+///
+/// Geometry units are centimicrons, per CIF convention.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/transform.hpp"
+#include "geom/types.hpp"
+
+namespace dic::cif {
+
+/// One primitive geometry element with layer and optional net id.
+struct CifElement {
+  enum class Kind { kBox, kWire, kPolygon, kFlash };
+
+  Kind kind{Kind::kBox};
+  std::string layer;  ///< CIF layer name, e.g. "NM"
+  std::string net;    ///< from `4N`; empty if anonymous
+
+  // kBox: length (x extent), width (y extent), center. Direction is
+  // restricted to the four axis directions and already folded in.
+  geom::Coord length{0};
+  geom::Coord width{0};
+  geom::Point center{};
+
+  // kWire / kPolygon: the path (wire also uses `width`).
+  std::vector<geom::Point> path;
+
+  // kFlash: `width` holds the diameter, `center` the position.
+};
+
+/// A call (instance) of a symbol with its composed transform.
+struct CifCall {
+  int symbolId{0};
+  geom::Transform transform{};
+};
+
+/// A device port declaration (the `4P` extension):
+/// `4P <name> <layer> <x1> <y1> <x2> <y2> <group>;`
+struct CifPort {
+  std::string name;
+  std::string layer;
+  geom::Point lo{};
+  geom::Point hi{};
+  int internalGroup{-1};
+};
+
+/// A symbol definition (DS ... DF), or the implicit top level.
+struct CifSymbol {
+  int id{0};
+  std::string name;        ///< from `9`
+  std::string deviceType;  ///< from `4D`; empty for non-device symbols
+  bool prechecked{false};  ///< from `4C`: device marked checked
+  int scaleNum{1};
+  int scaleDen{1};
+  std::vector<CifElement> elements;
+  std::vector<CifCall> calls;
+  std::vector<CifPort> ports;  ///< from `4P`
+};
+
+/// A parsed CIF file: symbol table plus top-level elements/calls.
+struct CifFile {
+  std::map<int, CifSymbol> symbols;
+  CifSymbol top;  ///< id 0, commands outside any DS/DF
+};
+
+}  // namespace dic::cif

@@ -1,0 +1,350 @@
+#include "cif/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <utility>
+
+namespace dic::cif {
+
+namespace {
+
+/// Character-level cursor with CIF's lexical conventions: parenthesised
+/// comments nest; anything that is not a digit, an upper-case letter, '-',
+/// '(' or ';' is a separator.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  std::size_t offset() const { return pos_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CifError(what, pos_);
+  }
+
+  void skipBlanks() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '(') {
+        skipComment();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == ';' || std::isupper(static_cast<unsigned char>(c))) {
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  bool atEnd() {
+    skipBlanks();
+    return pos_ >= text_.size();
+  }
+
+  /// Peek the next significant character (0 at end).
+  char peek() {
+    skipBlanks();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    skipBlanks();
+    if (pos_ >= text_.size()) fail("unexpected end of CIF text");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    const char got = take();
+    if (got != c)
+      fail(std::string("expected '") + c + "', got '" + got + "'");
+  }
+
+  /// A (possibly signed) integer.
+  geom::Coord integer() {
+    skipBlanks();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+      // CIF allows separators between '-' and digits; we do not.
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("expected integer");
+    geom::Coord v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return neg ? -v : v;
+  }
+
+  std::optional<geom::Coord> maybeInteger() {
+    skipBlanks();
+    if (pos_ < text_.size() &&
+        (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '-'))
+      return integer();
+    return std::nullopt;
+  }
+
+  /// A name: letters and digits (starts with a letter). Used by L/9/4N/4D;
+  /// lower-case letters are accepted in names for readability.
+  std::string name() {
+    skipBlanksInName();
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) fail("expected name");
+    return out;
+  }
+
+  /// Everything up to the terminating semicolon, trimmed -- raw payload of
+  /// unknown user extensions.
+  std::string restOfCommand() {
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != ';') out.push_back(text_[pos_++]);
+    while (!out.empty() && std::isspace(static_cast<unsigned char>(out.back())))
+      out.pop_back();
+    std::size_t b = 0;
+    while (b < out.size() && std::isspace(static_cast<unsigned char>(out[b])))
+      ++b;
+    return out.substr(b);
+  }
+
+ private:
+  void skipComment() {
+    int depth = 0;
+    do {
+      if (pos_ >= text_.size()) fail("unterminated comment");
+      if (text_[pos_] == '(') ++depth;
+      if (text_[pos_] == ')') --depth;
+      ++pos_;
+    } while (depth > 0);
+  }
+
+  void skipBlanksInName() {
+    // For names, only whitespace separates; stop at anything printable.
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+/// Direction vector -> orientation; only the four axis directions are
+/// supported (the DIC data model is Manhattan).
+geom::Orient rotationFor(geom::Coord a, geom::Coord b, Cursor& cur) {
+  if (a > 0 && b == 0) return geom::Orient::kR0;
+  if (a == 0 && b > 0) return geom::Orient::kR90;
+  if (a < 0 && b == 0) return geom::Orient::kR180;
+  if (a == 0 && b < 0) return geom::Orient::kR270;
+  cur.fail("only axis-aligned rotations are supported");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : cur_(text) {}
+
+  CifFile run() {
+    CifFile file;
+    CifSymbol* scope = &file.top;
+    std::string pendingNet;
+    std::string layer;
+
+    for (;;) {
+      if (cur_.atEnd()) cur_.fail("missing final E command");
+      const char c = cur_.take();
+      switch (c) {
+        case 'E':
+          if (scope != &file.top) cur_.fail("E inside symbol definition");
+          return file;
+        case 'D': {
+          const char k = cur_.take();
+          if (k == 'S') {
+            if (scope != &file.top)
+              cur_.fail("nested symbol definitions are not allowed");
+            CifSymbol sym;
+            sym.id = static_cast<int>(cur_.integer());
+            if (auto a = cur_.maybeInteger()) {
+              sym.scaleNum = static_cast<int>(*a);
+              sym.scaleDen = static_cast<int>(cur_.integer());
+              if (sym.scaleNum <= 0 || sym.scaleDen <= 0)
+                cur_.fail("invalid DS scale");
+            }
+            if (file.symbols.count(sym.id))
+              cur_.fail("duplicate symbol id " + std::to_string(sym.id));
+            auto [it, ok] = file.symbols.emplace(sym.id, std::move(sym));
+            (void)ok;
+            scope = &it->second;
+            layer.clear();
+            pendingNet.clear();
+          } else if (k == 'F') {
+            if (scope == &file.top) cur_.fail("DF without DS");
+            scope = &file.top;
+            layer.clear();
+            pendingNet.clear();
+          } else if (k == 'D') {
+            cur_.integer();  // DD n: delete definitions -- accepted, ignored
+          } else {
+            cur_.fail("unknown D command");
+          }
+          break;
+        }
+        case 'L':
+          layer = cur_.name();
+          break;
+        case 'B': {
+          CifElement e;
+          e.kind = CifElement::Kind::kBox;
+          e.layer = requireLayer(layer);
+          e.length = cur_.integer();
+          e.width = cur_.integer();
+          e.center = {cur_.integer(), cur_.integer()};
+          if (auto dx = cur_.maybeInteger()) {
+            const geom::Coord dy = cur_.integer();
+            const geom::Orient o = rotationFor(*dx, dy, cur_);
+            if (o == geom::Orient::kR90 || o == geom::Orient::kR270)
+              std::swap(e.length, e.width);
+          }
+          if (e.length <= 0 || e.width <= 0) cur_.fail("non-positive box");
+          e.net = std::exchange(pendingNet, {});
+          scope->elements.push_back(std::move(e));
+          break;
+        }
+        case 'W': {
+          CifElement e;
+          e.kind = CifElement::Kind::kWire;
+          e.layer = requireLayer(layer);
+          e.width = cur_.integer();
+          if (e.width <= 0) cur_.fail("non-positive wire width");
+          while (auto x = cur_.maybeInteger())
+            e.path.push_back({*x, cur_.integer()});
+          if (e.path.empty()) cur_.fail("wire with no points");
+          e.net = std::exchange(pendingNet, {});
+          scope->elements.push_back(std::move(e));
+          break;
+        }
+        case 'P': {
+          CifElement e;
+          e.kind = CifElement::Kind::kPolygon;
+          e.layer = requireLayer(layer);
+          while (auto x = cur_.maybeInteger())
+            e.path.push_back({*x, cur_.integer()});
+          if (e.path.size() < 3) cur_.fail("polygon needs >= 3 points");
+          e.net = std::exchange(pendingNet, {});
+          scope->elements.push_back(std::move(e));
+          break;
+        }
+        case 'R': {
+          CifElement e;
+          e.kind = CifElement::Kind::kFlash;
+          e.layer = requireLayer(layer);
+          e.width = cur_.integer();  // diameter
+          e.center = {cur_.integer(), cur_.integer()};
+          if (e.width <= 0) cur_.fail("non-positive flash");
+          e.net = std::exchange(pendingNet, {});
+          scope->elements.push_back(std::move(e));
+          break;
+        }
+        case 'C': {
+          CifCall call;
+          call.symbolId = static_cast<int>(cur_.integer());
+          geom::Transform t;  // identity
+          for (;;) {
+            const char k = cur_.peek();
+            if (k == 'T') {
+              cur_.take();
+              const geom::Coord x = cur_.integer();
+              const geom::Coord y = cur_.integer();
+              t = geom::compose(t, geom::translate({x, y}));
+            } else if (k == 'M') {
+              cur_.take();
+              const char axis = cur_.take();
+              if (axis == 'X')
+                t = geom::compose(t, {geom::Orient::kMX, {}});
+              else if (axis == 'Y')
+                t = geom::compose(t, {geom::Orient::kMY, {}});
+              else
+                cur_.fail("M must be MX or MY");
+            } else if (k == 'R') {
+              cur_.take();
+              const geom::Coord a = cur_.integer();
+              const geom::Coord b = cur_.integer();
+              t = geom::compose(t, {rotationFor(a, b, cur_), {}});
+            } else {
+              break;
+            }
+          }
+          call.transform = t;
+          scope->calls.push_back(call);
+          break;
+        }
+        case '9':
+          scope->name = cur_.restOfCommand();
+          break;
+        case '4': {
+          const char k = cur_.take();
+          if (k == 'N') {
+            pendingNet = cur_.name();
+          } else if (k == 'D') {
+            scope->deviceType = cur_.name();
+          } else if (k == 'C') {
+            scope->prechecked = true;
+          } else if (k == 'P') {
+            CifPort p;
+            p.name = cur_.name();
+            p.layer = cur_.name();
+            p.lo = {cur_.integer(), cur_.integer()};
+            p.hi = {cur_.integer(), cur_.integer()};
+            p.internalGroup = static_cast<int>(cur_.integer());
+            scope->ports.push_back(std::move(p));
+          } else {
+            cur_.restOfCommand();  // other 4x extensions: ignored
+          }
+          break;
+        }
+        case '0':
+        case '1':
+        case '2':
+        case '3':
+        case '5':
+        case '6':
+        case '7':
+        case '8':
+          cur_.restOfCommand();  // unknown user extensions: ignored
+          break;
+        case ';':
+          continue;  // empty command
+        default:
+          cur_.fail(std::string("unknown command '") + c + "'");
+      }
+      cur_.expect(';');
+    }
+  }
+
+ private:
+  std::string requireLayer(const std::string& layer) {
+    if (layer.empty()) cur_.fail("geometry before any L command");
+    return layer;
+  }
+
+  Cursor cur_;
+};
+
+}  // namespace
+
+CifFile parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace dic::cif

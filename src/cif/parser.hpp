@@ -1,0 +1,31 @@
+#pragma once
+/// \file parser.hpp
+/// Recursive-descent parser for CIF 2.0 plus the DIC extensions.
+///
+/// Errors are reported by throwing CifError with a character offset and a
+/// human-readable message; the parser does not attempt recovery (a layout
+/// database with holes is worse than no database).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "cif/ast.hpp"
+
+namespace dic::cif {
+
+/// Parse failure, with 0-based character offset into the input.
+class CifError : public std::runtime_error {
+ public:
+  CifError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse a complete CIF text (must contain the final `E` command).
+CifFile parse(std::string_view text);
+
+}  // namespace dic::cif

@@ -1,0 +1,88 @@
+#include "cif/writer.hpp"
+
+#include <sstream>
+
+namespace dic::cif {
+
+namespace {
+
+void writeTransform(std::ostringstream& os, const geom::Transform& t) {
+  // Decompose as orientation commands followed by a translation; the
+  // parser composes left-to-right so emit mirror/rotation first.
+  switch (t.orient) {
+    case geom::Orient::kR0: break;
+    case geom::Orient::kR90: os << " R 0 1"; break;
+    case geom::Orient::kR180: os << " R -1 0"; break;
+    case geom::Orient::kR270: os << " R 0 -1"; break;
+    case geom::Orient::kMX: os << " M X"; break;
+    case geom::Orient::kMY: os << " M Y"; break;
+    case geom::Orient::kMX90: os << " M X R 0 1"; break;
+    case geom::Orient::kMY90: os << " M Y R 0 1"; break;
+  }
+  if (t.t.x != 0 || t.t.y != 0) os << " T " << t.t.x << " " << t.t.y;
+}
+
+void writeBody(std::ostringstream& os, const CifSymbol& sym) {
+  if (!sym.name.empty()) os << "9 " << sym.name << ";\n";
+  if (!sym.deviceType.empty()) os << "4D " << sym.deviceType << ";\n";
+  if (sym.prechecked) os << "4C;\n";
+  for (const CifPort& p : sym.ports) {
+    os << "4P " << p.name << " " << p.layer << " " << p.lo.x << " "
+       << p.lo.y << " " << p.hi.x << " " << p.hi.y << " "
+       << p.internalGroup << ";\n";
+  }
+  std::string layer;
+  for (const CifElement& e : sym.elements) {
+    if (e.layer != layer) {
+      layer = e.layer;
+      os << "L " << layer << ";\n";
+    }
+    if (!e.net.empty()) os << "4N " << e.net << ";\n";
+    switch (e.kind) {
+      case CifElement::Kind::kBox:
+        os << "B " << e.length << " " << e.width << " " << e.center.x << " "
+           << e.center.y << ";\n";
+        break;
+      case CifElement::Kind::kWire: {
+        os << "W " << e.width;
+        for (const geom::Point& p : e.path) os << " " << p.x << " " << p.y;
+        os << ";\n";
+        break;
+      }
+      case CifElement::Kind::kPolygon: {
+        os << "P";
+        for (const geom::Point& p : e.path) os << " " << p.x << " " << p.y;
+        os << ";\n";
+        break;
+      }
+      case CifElement::Kind::kFlash:
+        os << "R " << e.width << " " << e.center.x << " " << e.center.y
+           << ";\n";
+        break;
+    }
+  }
+  for (const CifCall& c : sym.calls) {
+    os << "C " << c.symbolId;
+    writeTransform(os, c.transform);
+    os << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string write(const CifFile& file) {
+  std::ostringstream os;
+  for (const auto& [id, sym] : file.symbols) {
+    os << "DS " << id;
+    if (sym.scaleNum != 1 || sym.scaleDen != 1)
+      os << " " << sym.scaleNum << " " << sym.scaleDen;
+    os << ";\n";
+    writeBody(os, sym);
+    os << "DF;\n";
+  }
+  writeBody(os, file.top);
+  os << "E\n";
+  return os.str();
+}
+
+}  // namespace dic::cif

@@ -1,0 +1,15 @@
+#pragma once
+/// \file writer.hpp
+/// Serializes a CifFile back to CIF text (round-trips with parser.hpp,
+/// including the 4N/4D DIC extensions).
+
+#include <string>
+
+#include "cif/ast.hpp"
+
+namespace dic::cif {
+
+/// Emit CIF text for the file, symbols in id order, ending with `E`.
+std::string write(const CifFile& file);
+
+}  // namespace dic::cif

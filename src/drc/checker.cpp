@@ -1,0 +1,148 @@
+#include "drc/checker.hpp"
+
+#include <chrono>
+
+#include "drc/stages.hpp"
+
+namespace dic::drc {
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Checker::Checker(const layout::Library& lib, layout::CellId root,
+                 const tech::Technology& tech, Options options)
+    : lib_(lib), root_(root), tech_(tech), opt_(options) {}
+
+void Checker::collectPlacements() {
+  if (placementsReady_) return;
+  std::function<void(layout::CellId, const geom::Transform&,
+                     const std::string&)>
+      rec = [&](layout::CellId id, const geom::Transform& t,
+                const std::string& path) {
+        placements_[id].push_back({t, path});
+        int childNo = 0;
+        for (const layout::Instance& inst : lib_.cell(id).instances) {
+          std::string childName =
+              inst.name.empty() ? lib_.cell(inst.cell).name + "_" +
+                                      std::to_string(childNo)
+                                : inst.name;
+          ++childNo;
+          rec(inst.cell, geom::compose(inst.transform, t),
+              path.empty() ? childName : path + "." + childName);
+        }
+      };
+  rec(root_, geom::identityTransform(), "");
+  placementsReady_ = true;
+}
+
+const std::vector<Checker::Placement>& Checker::placements(
+    layout::CellId id) {
+  collectPlacements();
+  static const std::vector<Placement> kNone;
+  auto it = placements_.find(id);
+  return it == placements_.end() ? kNone : it->second;
+}
+
+void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
+                               report::Violation v) {
+  if (!opt_.instantiateViolations) {
+    rep.add(std::move(v));
+    return;
+  }
+  for (const Placement& p : placements(cell)) {
+    report::Violation inst = v;
+    inst.where = p.transform.apply(v.where);
+    if (!p.path.empty()) inst.cell = p.path + " (" + v.cell + ")";
+    rep.add(std::move(inst));
+  }
+}
+
+report::Report Checker::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  report::Report rep = checkElements();
+  const auto t1 = std::chrono::steady_clock::now();
+  rep.merge(checkPrimitiveSymbols());
+  const auto t2 = std::chrono::steady_clock::now();
+  rep.merge(checkConnections());
+  const auto t3 = std::chrono::steady_clock::now();
+  const netlist::Netlist nl = generateNetlist();
+  const auto t4 = std::chrono::steady_clock::now();
+  rep.merge(checkInteractions(nl));
+  const auto t5 = std::chrono::steady_clock::now();
+  times_.elements = seconds(t0, t1);
+  times_.symbols = seconds(t1, t2);
+  times_.connections = seconds(t2, t3);
+  times_.netlist = seconds(t3, t4);
+  times_.interactions = seconds(t4, t5);
+  return rep;
+}
+
+report::Report Checker::checkElements() {
+  report::Report rep;
+  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+    const layout::Cell& c = lib_.cell(id);
+    if (c.isDevice()) return;  // device geometry is stage 2's business
+    for (const layout::Element& e : c.elements) {
+      for (report::Violation v : checkElementWidth(e, tech_)) {
+        v.cell = c.name;
+        emitInstantiated(rep, id, std::move(v));
+      }
+    }
+  });
+  return rep;
+}
+
+report::Report Checker::checkPrimitiveSymbols() {
+  report::Report rep;
+  if (!opt_.checkDevices) return rep;
+  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+    const layout::Cell& c = lib_.cell(id);
+    if (!c.isDevice() || c.prechecked) return;
+    for (report::Violation v : checkDeviceCell(c, tech_)) {
+      v.cell = c.name;
+      emitInstantiated(rep, id, std::move(v));
+    }
+  });
+  return rep;
+}
+
+report::Report Checker::checkConnections() {
+  report::Report rep;
+  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+    const layout::Cell& c = lib_.cell(id);
+    if (c.isDevice()) return;
+    for (report::Violation v : checkCellConnections(c, tech_)) {
+      v.cell = c.name;
+      emitInstantiated(rep, id, std::move(v));
+    }
+  });
+  return rep;
+}
+
+netlist::Netlist Checker::generateNetlist() {
+  return netlist::extract(lib_, root_, tech_);
+}
+
+report::Report Checker::checkInteractions(const netlist::Netlist& nl) {
+  collectPlacements();
+  InteractionContext ctx{lib_,        root_,   tech_,
+                         nl,          opt_.metric, istats_,
+                         opt_.useNetInformation};
+  if (opt_.hierarchicalInteractions) {
+    std::map<layout::CellId, std::vector<InteractionContext::Placement>> pl;
+    for (const auto& [cell, ps] : placements_) {
+      auto& v = pl[cell];
+      for (const Placement& p : ps) v.push_back({p.transform, p.path});
+    }
+    return checkInteractionsHierarchical(ctx, pl);
+  }
+  return checkInteractionsFlat(ctx);
+}
+
+}  // namespace dic::drc

@@ -1,0 +1,108 @@
+#pragma once
+/// \file checker.hpp
+/// The DIC pipeline (Fig. 10 of the paper):
+///
+///   PARSE CIF -> CHECK ELEMENTS -> CHECK PRIMITIVE SYMBOLS ->
+///   CHECK LEGAL CONNECTIONS -> GENERATE HIERARCHICAL NET LIST ->
+///   CHECK INTERACTIONS
+///
+/// Every stage works on the *hierarchical* database: element and device
+/// checks run once per symbol definition (not once per instance) and
+/// violations are then instantiated at each placement; interaction checks
+/// descend into instance-overlap windows only.
+
+#include <map>
+#include <vector>
+
+#include "layout/library.hpp"
+#include "netlist/netlist.hpp"
+#include "report/violation.hpp"
+#include "tech/technology.hpp"
+
+namespace dic::drc {
+
+/// Checking options.
+struct Options {
+  geom::Metric metric{geom::Metric::kEuclidean};
+  /// Check primitive device symbols (the paper gives this stage low
+  /// priority -- "primitive symbols are assumed to be prechecked" -- but
+  /// implements it; cells with Cell::prechecked set are skipped).
+  bool checkDevices{true};
+  /// Use the hierarchical interaction algorithm (per-cell-once plus
+  /// overlap windows). false: flatten everything (exact reference mode).
+  bool hierarchicalInteractions{true};
+  /// Ablation: discard net information during interaction checking, as a
+  /// mask-level checker must. Every pair then uses the worst-case rule
+  /// (NetRelation::kUnknown) -- reintroducing the paper's false errors.
+  bool useNetInformation{true};
+  /// Report each per-cell violation at every instance placement.
+  bool instantiateViolations{true};
+};
+
+/// Wall-clock per stage, seconds (Fig. 10 breakdown bench).
+struct StageTimes {
+  double elements{0};
+  double symbols{0};
+  double connections{0};
+  double netlist{0};
+  double interactions{0};
+  double total() const {
+    return elements + symbols + connections + netlist + interactions;
+  }
+};
+
+/// Statistics of the interaction stage (Fig. 12 bench): how many candidate
+/// pairs fell into each sub-case and how many were pruned.
+struct InteractionStats {
+  std::size_t candidatePairs{0};
+  std::size_t sameNetSkipped{0};
+  std::size_t relatedSkipped{0};
+  std::size_t noRulePairs{0};
+  std::size_t distanceChecks{0};
+  std::size_t connectionChecks{0};
+  /// Checks per (layerA, layerB) matrix cell, layerA <= layerB.
+  std::map<std::pair<int, int>, std::size_t> perLayerPair;
+};
+
+class Checker {
+ public:
+  Checker(const layout::Library& lib, layout::CellId root,
+          const tech::Technology& tech, Options options = {});
+
+  /// Run the complete pipeline; returns all violations.
+  report::Report run();
+
+  // Individual stages (callable independently; run() calls them in order).
+  report::Report checkElements();
+  report::Report checkPrimitiveSymbols();
+  report::Report checkConnections();
+  netlist::Netlist generateNetlist();
+  report::Report checkInteractions(const netlist::Netlist& nl);
+
+  const StageTimes& stageTimes() const { return times_; }
+  const InteractionStats& interactionStats() const { return istats_; }
+
+ private:
+  struct Placement {
+    geom::Transform transform;
+    std::string path;
+  };
+  /// All placements of each cell under root (computed lazily, cached).
+  const std::vector<Placement>& placements(layout::CellId id);
+  void collectPlacements();
+
+  /// Emit a per-cell violation at every placement of `cell`.
+  void emitInstantiated(report::Report& rep, layout::CellId cell,
+                        report::Violation v);
+
+  const layout::Library& lib_;
+  layout::CellId root_;
+  const tech::Technology& tech_;
+  Options opt_;
+  StageTimes times_;
+  InteractionStats istats_;
+  std::map<layout::CellId, std::vector<Placement>> placements_;
+  bool placementsReady_{false};
+};
+
+}  // namespace dic::drc

@@ -1,0 +1,245 @@
+#include "drc/stages.hpp"
+
+#include "geom/width.hpp"
+
+namespace dic::drc {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Region;
+
+/// Union of all element regions of `cell` on the named layer (empty if the
+/// technology has no such layer).
+Region layerRegion(const layout::Cell& cell, const tech::Technology& tech,
+                   const std::string& layerName) {
+  Region out;
+  const auto idx = tech.layerByName(layerName);
+  if (!idx) return out;
+  for (const layout::Element& e : cell.elements)
+    if (e.layer == *idx) out = unite(out, e.region());
+  return out;
+}
+
+enum Dir { kEast = 0, kWest, kNorth, kSouth };
+
+/// Strip of depth d adjacent to rect g in direction dir, spanning g's
+/// cross extent.
+Rect strip(const Rect& g, Dir dir, Coord d) {
+  switch (dir) {
+    case kEast: return {{g.hi.x, g.lo.y}, {g.hi.x + d, g.hi.y}};
+    case kWest: return {{g.lo.x - d, g.lo.y}, {g.lo.x, g.hi.y}};
+    case kNorth: return {{g.lo.x, g.hi.y}, {g.hi.x, g.hi.y + d}};
+    case kSouth: return {{g.lo.x, g.lo.y - d}, {g.hi.x, g.lo.y}};
+  }
+  return {};
+}
+
+report::Violation deviceViolation(report::Category cat, std::string rule,
+                                  const Rect& where, std::string message) {
+  report::Violation v;
+  v.category = cat;
+  v.rule = std::move(rule);
+  v.where = where;
+  v.message = std::move(message);
+  return v;
+}
+
+void checkFet(const layout::Cell& cell, const tech::Technology& tech,
+              const tech::DeviceRules& rules,
+              std::vector<report::Violation>& out) {
+  const Region poly = layerRegion(cell, tech, "poly");
+  const Region diff = layerRegion(cell, tech, "diff");
+  const Region gate = intersect(poly, diff);
+  if (gate.empty()) {
+    out.push_back(deviceViolation(report::Category::kDevice, "DEV.NOGATE",
+                                  geom::bound(poly.bbox(), diff.bbox()),
+                                  "transistor has no poly/diff crossing"));
+    return;
+  }
+  const Rect g = gate.bbox();
+
+  // Which directions does poly leave the gate in? ("The overlap of poly
+  // beyond the active gate ... is to insure that the source and the drain
+  // never short together.")
+  bool polyDir[4];
+  for (int d = 0; d < 4; ++d)
+    polyDir[d] = poly.overlaps(Region(strip(g, static_cast<Dir>(d), 1)));
+  const bool polyAxisX = polyDir[kEast] || polyDir[kWest];
+  const bool polyAxisY = polyDir[kNorth] || polyDir[kSouth];
+  if (polyAxisX == polyAxisY) {
+    out.push_back(deviceViolation(
+        report::Category::kDevice, "DEV.GATE_SHAPE", g,
+        "cannot determine channel direction (poly must cross diff)"));
+    return;
+  }
+  const Dir polyDirs[2] = {polyAxisX ? kEast : kNorth,
+                           polyAxisX ? kWest : kSouth};
+  const Dir diffDirs[2] = {polyAxisX ? kNorth : kEast,
+                           polyAxisX ? kSouth : kWest};
+
+  for (const Dir d : polyDirs) {
+    if (!poly.covers(strip(g, d, rules.gateOverlap))) {
+      out.push_back(deviceViolation(
+          report::Category::kDevice, "DEV.GATE_OVERLAP", strip(g, d, 1),
+          "poly overlap of gate < " + std::to_string(rules.gateOverlap) +
+              " (source and drain may short)"));
+    }
+  }
+  for (const Dir d : diffDirs) {
+    if (!diff.covers(strip(g, d, rules.diffOverlap))) {
+      out.push_back(deviceViolation(
+          report::Category::kDevice, "DEV.DIFF_OVERLAP", strip(g, d, 1),
+          "diffusion overlap of gate < " +
+              std::to_string(rules.diffOverlap)));
+    }
+  }
+
+  if (rules.cls == tech::DeviceClass::kDepletionFet) {
+    const Region implant = layerRegion(cell, tech, "implant");
+    if (!implant.covers(g.inflated(rules.implantOverlap))) {
+      out.push_back(deviceViolation(
+          report::Category::kDevice, "DEV.IMPLANT", g,
+          "implant must enclose gate by " +
+              std::to_string(rules.implantOverlap)));
+    }
+  }
+
+  // Fig. 7: "a contact is not allowed over the active gate".
+  const Region cut = layerRegion(cell, tech, "contact");
+  if (!rules.contactOverGateAllowed && cut.overlaps(gate)) {
+    out.push_back(deviceViolation(report::Category::kContactOverGate,
+                                  "DEV.CONTACT_OVER_GATE", g,
+                                  "contact over active gate"));
+  }
+}
+
+void checkContact(const layout::Cell& cell, const tech::Technology& tech,
+                  const tech::DeviceRules& rules,
+                  std::vector<report::Violation>& out) {
+  const Region cut = layerRegion(cell, tech, "contact");
+  if (cut.empty()) {
+    out.push_back(deviceViolation(report::Category::kDevice, "DEV.NOCUT",
+                                  Rect{}, "contact device without a cut"));
+    return;
+  }
+  const Region metal = layerRegion(cell, tech, "metal");
+  const Region poly = layerRegion(cell, tech, "poly");
+  const Region diff = layerRegion(cell, tech, "diff");
+  for (const Rect& c : cut.rects()) {
+    const Rect need = c.inflated(rules.contactEnclosure);
+    if (!metal.empty() && !metal.covers(need))
+      out.push_back(deviceViolation(report::Category::kDevice, "DEV.CON_MET",
+                                    c, "metal does not enclose contact cut"));
+    // The landing material: poly, diff, or (butting contact) their union.
+    const Region landing = unite(poly, diff);
+    if (!landing.covers(need))
+      out.push_back(deviceViolation(
+          report::Category::kDevice, "DEV.CON_LAND", c,
+          "poly/diff does not enclose contact cut"));
+  }
+  if (rules.cls == tech::DeviceClass::kButtingContact) {
+    // The butting contact exists to join poly and diff: both must be
+    // present and must meet under the cut (Fig. 7 right).
+    if (poly.empty() || diff.empty() ||
+        !geom::closedTouch(poly.bbox(), diff.bbox()))
+      out.push_back(deviceViolation(report::Category::kDevice, "DEV.BUTT",
+                                    cut.bbox(),
+                                    "butting contact needs abutting poly "
+                                    "and diff under the cut"));
+  }
+}
+
+void checkBipolar(const layout::Cell& cell, const tech::Technology& tech,
+                  const tech::DeviceRules& rules,
+                  std::vector<report::Violation>& out) {
+  const Region base = layerRegion(cell, tech, "base");
+  const Region iso = layerRegion(cell, tech, "iso");
+  if (base.empty()) return;
+  // Fig. 6: base shorted to isolation destroys a transistor (error) but is
+  // the standard way to ground a base resistor (legal).
+  bool touches = false;
+  for (const Rect& rb : base.rects()) {
+    for (const Rect& ri : iso.rects())
+      if (geom::closedTouch(rb, ri)) {
+        touches = true;
+        break;
+      }
+    if (touches) break;
+  }
+  if (touches && !rules.isolationContactAllowed) {
+    out.push_back(deviceViolation(
+        report::Category::kDevice, "DEV.BASE_ISO", base.bbox(),
+        "base region shorted to isolation (device integrity destroyed)"));
+  }
+}
+
+void checkResistor(const layout::Cell& cell, const tech::Technology& tech,
+                   std::vector<report::Violation>& out) {
+  // The body must be of legal width (it is not interconnect, so stage 1
+  // did not see it).
+  for (const layout::Element& e : cell.elements) {
+    for (const geom::WidthViolation& wv : geom::checkWidthEdges(
+             e.region(), tech.layer(e.layer).minWidth)) {
+      out.push_back(deviceViolation(report::Category::kWidth, "DEV.RES_BODY",
+                                    wv.where, "resistor body too narrow"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<report::Violation> checkDeviceCell(const layout::Cell& cell,
+                                               const tech::Technology& tech) {
+  std::vector<report::Violation> out;
+  const tech::DeviceRules* rules = tech.deviceRules(cell.deviceType);
+  if (!rules) {
+    out.push_back(deviceViolation(report::Category::kDevice, "DEV.UNKNOWN",
+                                  Rect{},
+                                  "unknown device type " + cell.deviceType));
+    return out;
+  }
+
+  switch (rules->cls) {
+    case tech::DeviceClass::kEnhancementFet:
+    case tech::DeviceClass::kDepletionFet:
+      checkFet(cell, tech, *rules, out);
+      break;
+    case tech::DeviceClass::kContact:
+    case tech::DeviceClass::kButtingContact:
+    case tech::DeviceClass::kBuriedContact:
+      checkContact(cell, tech, *rules, out);
+      break;
+    case tech::DeviceClass::kBipolarNpn:
+    case tech::DeviceClass::kBipolarResistor:
+      checkBipolar(cell, tech, *rules, out);
+      break;
+    case tech::DeviceClass::kResistor:
+      checkResistor(cell, tech, out);
+      break;
+    case tech::DeviceClass::kPad:
+      break;  // pads carry no geometric rules in this technology
+  }
+
+  // Ports must land on device geometry of their layer.
+  for (const layout::Port& p : cell.ports) {
+    Region lr;
+    for (const layout::Element& e : cell.elements)
+      if (e.layer == p.layer) lr = unite(lr, e.region());
+    bool lands = false;
+    for (const Rect& r : lr.rects())
+      if (geom::closedTouch(r, p.at)) {
+        lands = true;
+        break;
+      }
+    if (!lands)
+      out.push_back(deviceViolation(report::Category::kDevice, "DEV.PORT",
+                                    p.at,
+                                    "port " + p.name +
+                                        " does not land on device geometry"));
+  }
+  return out;
+}
+
+}  // namespace dic::drc

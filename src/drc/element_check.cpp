@@ -1,0 +1,125 @@
+#include "drc/stages.hpp"
+
+#include "geom/width.hpp"
+
+namespace dic::drc {
+
+namespace {
+
+bool isManhattanWire(const std::vector<geom::Point>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const geom::Point d = path[i + 1] - path[i];
+    if (d.x != 0 && d.y != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<report::Violation> checkElementWidth(
+    const layout::Element& e, const tech::Technology& tech) {
+  std::vector<report::Violation> out;
+  const geom::Coord minW = tech.layer(e.layer).minWidth;
+  const std::string& layerName = tech.layer(e.layer).name;
+
+  auto violation = [&](const geom::Rect& where, geom::Coord measured) {
+    report::Violation v;
+    v.category = report::Category::kWidth;
+    v.rule = "W." + layerName;
+    v.where = where;
+    v.layerA = e.layer;
+    v.message = "width " + std::to_string(measured) + " < " +
+                std::to_string(minW);
+    out.push_back(std::move(v));
+  };
+
+  switch (e.kind) {
+    case layout::ElementKind::kBox: {
+      const geom::Coord w = std::min(e.box.width(), e.box.height());
+      if (w < minW) violation(e.box, w);
+      break;
+    }
+    case layout::ElementKind::kWire: {
+      if (!isManhattanWire(e.path)) {
+        report::Violation v;
+        v.category = report::Category::kOther;
+        v.rule = "GEOM.MANHATTAN";
+        v.where = e.bbox();
+        v.layerA = e.layer;
+        v.message = "non-Manhattan wire";
+        out.push_back(std::move(v));
+        break;
+      }
+      if (e.wireWidth < minW) violation(e.bbox(), e.wireWidth);
+      break;
+    }
+    case layout::ElementKind::kPolygon: {
+      const geom::Polygon poly(e.path);
+      if (!poly.isManhattan()) {
+        report::Violation v;
+        v.category = report::Category::kOther;
+        v.rule = "GEOM.MANHATTAN";
+        v.where = poly.bbox();
+        v.layerA = e.layer;
+        v.message = "non-Manhattan polygon";
+        out.push_back(std::move(v));
+        break;
+      }
+      // "polygons require a more general purpose polygon width routine":
+      // the edge-based check on the exact region.
+      for (const geom::WidthViolation& wv :
+           geom::checkWidthEdges(poly.toRegion(), minW))
+        violation(wv.where, wv.measured);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<report::Violation> checkCellConnections(
+    const layout::Cell& cell, const tech::Technology& tech) {
+  std::vector<report::Violation> out;
+  const std::size_t n = cell.elements.size();
+  std::vector<geom::Rect> bboxes(n);
+  std::vector<geom::Skeleton> skels(n);
+  std::vector<geom::Region> regions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const layout::Element& e = cell.elements[i];
+    bboxes[i] = e.bbox();
+    skels[i] = e.skeleton(tech.layer(e.layer).minWidth);
+    regions[i] = e.region();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const layout::Element& a = cell.elements[i];
+      const layout::Element& b = cell.elements[j];
+      if (a.layer != b.layer) continue;
+      if (!geom::closedTouch(bboxes[i], bboxes[j])) continue;
+      // Regions must actually touch (closed): check rect pairs.
+      bool touch = false;
+      for (const geom::Rect& ra : regions[i].rects()) {
+        for (const geom::Rect& rb : regions[j].rects())
+          if (geom::closedTouch(ra, rb)) {
+            touch = true;
+            break;
+          }
+        if (touch) break;
+      }
+      if (!touch) continue;
+      if (geom::skeletonsConnected(skels[i], skels[j])) continue;
+      report::Violation v;
+      v.category = report::Category::kConnection;
+      v.rule = "CONN." + tech.layer(a.layer).name;
+      v.where = geom::intersect(bboxes[i].inflated(1), bboxes[j].inflated(1));
+      v.layerA = a.layer;
+      v.layerB = b.layer;
+      v.message =
+          "elements touch but are not skeletally connected (union may be "
+          "pinched)";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace dic::drc

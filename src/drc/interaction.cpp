@@ -1,0 +1,459 @@
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "drc/stages.hpp"
+#include "geom/spacing.hpp"
+#include "geom/spatial.hpp"
+
+namespace dic::drc {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Region;
+
+/// Device info used for the "related" sub-case of Fig. 12.
+struct DevInfo {
+  std::vector<int> nets;
+  bool alwaysCheck{false};  ///< resistors: Fig. 5b -- spacing matters even
+                            ///< for electrically equivalent geometry
+};
+
+std::string joinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "." + b;
+}
+
+std::string key(const std::string& path, layout::CellId cell,
+                std::size_t idx) {
+  return path + "#" + std::to_string(cell) + "#" + std::to_string(idx);
+}
+
+/// A shape prepared for pair checking: geometry plus identity.
+struct Shape {
+  layout::Element elem;
+  Rect bbox;
+  Region region;
+  geom::Skeleton skel;
+  bool deviceInternal{false};
+  layout::CellId srcCell{0};
+  std::size_t srcIdx{0};
+  std::string localPath;  ///< path relative to the cell being processed
+};
+
+Shape makeShape(layout::Element e, const tech::Technology& tech,
+                bool deviceInternal, layout::CellId srcCell,
+                std::size_t srcIdx, std::string localPath) {
+  Shape s;
+  s.bbox = e.bbox();
+  s.region = e.region();
+  s.skel = e.skeleton(tech.layer(e.layer).minWidth);
+  s.elem = std::move(e);
+  s.deviceInternal = deviceInternal;
+  s.srcCell = srcCell;
+  s.srcIdx = srcIdx;
+  s.localPath = std::move(localPath);
+  return s;
+}
+
+/// Placement-independent geometric facts about a candidate pair.
+struct PairGeometry {
+  bool sameLayer{false};
+  bool touching{false};
+  bool skeletallyConnected{false};
+  std::optional<double> distance;  ///< below the max applicable rule
+  Coord maxRule{0};
+};
+
+}  // namespace
+
+void InteractionContext::buildMaps() {
+  if (ready_) return;
+  ready_ = true;
+  std::vector<layout::FlatElement> elements;
+  std::vector<layout::FlatDevice> devices;
+  lib.flatten(root, elements, devices, /*includeDeviceGeometry=*/false);
+  for (std::size_t i = 0; i < elements.size() && i < nl.elementNet.size();
+       ++i) {
+    netByKey_[key(elements[i].path, elements[i].sourceCell,
+                  elements[i].sourceIndex)] = nl.elementNet[i];
+  }
+  for (const netlist::ExtractedDevice& d : nl.devices) {
+    std::vector<int> nets;
+    for (const auto& [port, net] : d.portNets) nets.push_back(net);
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    netsByDevice_[d.path] = std::move(nets);
+    if (d.cls == tech::DeviceClass::kResistor ||
+        d.cls == tech::DeviceClass::kBipolarResistor)
+      resistorDevices_.insert(d.path);
+  }
+}
+
+int InteractionContext::elementNet(const std::string& path,
+                                   layout::CellId cell,
+                                   std::size_t index) const {
+  auto it = netByKey_.find(key(path, cell, index));
+  return it == netByKey_.end() ? -1 : it->second;
+}
+
+const std::vector<int>* InteractionContext::deviceNets(
+    const std::string& path) const {
+  auto it = netsByDevice_.find(path);
+  return it == netsByDevice_.end() ? nullptr : &it->second;
+}
+
+bool InteractionContext::isResistor(const std::string& path) const {
+  return resistorDevices_.count(path) > 0;
+}
+
+namespace {
+
+/// Net relation of a shape pair in a specific placement context
+/// (placementPath prefixes both shapes' local paths). Returns nullopt for
+/// intra-device pairs (stage 2's business).
+std::optional<tech::NetRelation> relationOf(const InteractionContext& ctx,
+                                            const Shape& a, const Shape& b,
+                                            const std::string& placementPath) {
+  const std::string pa = joinPath(placementPath, a.localPath);
+  const std::string pb = joinPath(placementPath, b.localPath);
+  if (a.deviceInternal && b.deviceInternal) {
+    if (pa == pb) return std::nullopt;  // same device instance
+    const auto* na = ctx.deviceNets(pa);
+    const auto* nb = ctx.deviceNets(pb);
+    if (na && nb) {
+      const bool share = std::find_first_of(na->begin(), na->end(),
+                                            nb->begin(), nb->end()) !=
+                         na->end();
+      if (share)
+        return (ctx.isResistor(pa) || ctx.isResistor(pb))
+                   ? tech::NetRelation::kDiffNet
+                   : tech::NetRelation::kRelated;
+    }
+    return tech::NetRelation::kDiffNet;
+  }
+  if (a.deviceInternal || b.deviceInternal) {
+    const Shape& dev = a.deviceInternal ? a : b;
+    const Shape& ic = a.deviceInternal ? b : a;
+    const std::string& dp = a.deviceInternal ? pa : pb;
+    const std::string& ip = a.deviceInternal ? pb : pa;
+    const auto* nets = ctx.deviceNets(dp);
+    const int net = ctx.elementNet(ip, ic.srcCell, ic.srcIdx);
+    (void)dev;
+    if (nets && net >= 0 &&
+        std::find(nets->begin(), nets->end(), net) != nets->end())
+      return ctx.isResistor(dp) ? tech::NetRelation::kDiffNet
+                                : tech::NetRelation::kRelated;
+    return tech::NetRelation::kDiffNet;
+  }
+  const int na = ctx.elementNet(pa, a.srcCell, a.srcIdx);
+  const int nb = ctx.elementNet(pb, b.srcCell, b.srcIdx);
+  if (na >= 0 && na == nb) return tech::NetRelation::kSameNet;
+  return tech::NetRelation::kDiffNet;
+}
+
+/// Placement-independent geometry of a candidate pair.
+PairGeometry pairGeometry(const InteractionContext& ctx, const Shape& a,
+                          const Shape& b) {
+  PairGeometry g;
+  g.sameLayer = a.elem.layer == b.elem.layer;
+  const tech::SpacingRule& rule = ctx.tech.spacing(a.elem.layer, b.elem.layer);
+  g.maxRule = std::max({rule.sameNet, rule.diffNet, rule.related});
+  if (g.sameLayer || g.maxRule > 0) {
+    bool touch = false;
+    for (const Rect& ra : a.region.rects()) {
+      for (const Rect& rb : b.region.rects())
+        if (geom::closedTouch(ra, rb)) {
+          touch = true;
+          break;
+        }
+      if (touch) break;
+    }
+    g.touching = touch;
+    if (g.sameLayer && touch)
+      g.skeletallyConnected = geom::skeletonsConnected(a.skel, b.skel);
+    if (!touch && g.maxRule > 0)
+      g.distance =
+          geom::distanceBelow(a.region, b.region, g.maxRule, ctx.metric);
+    else if (touch)
+      g.distance = 0.0;
+  }
+  return g;
+}
+
+/// Evaluate one candidate pair in one placement and emit violations.
+void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
+                  const PairGeometry& g, const std::string& placementPath,
+                  const geom::Transform& placement, report::Report& rep,
+                  bool skipConnectionCheck) {
+  // Early-outs that need no net information: a legal connection, or a
+  // pair farther apart than every applicable rule. These make the
+  // per-placement evaluation of hierarchical checking cheap.
+  if (g.sameLayer && g.touching && g.skeletallyConnected) return;
+  if (!(g.sameLayer && g.touching) && !g.distance) {
+    if (!ctx.tech.spacing(a.elem.layer, b.elem.layer).any())
+      ++ctx.stats.noRulePairs;
+    return;
+  }
+
+  const auto rel = ctx.useNets
+                       ? relationOf(ctx, a, b, placementPath)
+                       : std::optional<tech::NetRelation>(
+                             tech::NetRelation::kUnknown);
+  if (!rel) return;  // intra-device
+
+  if (g.sameLayer && g.touching) {
+    ++ctx.stats.connectionChecks;
+    const bool portLanding =
+        (a.deviceInternal != b.deviceInternal) &&
+        *rel == tech::NetRelation::kRelated;
+    if (!g.skeletallyConnected && !portLanding && !skipConnectionCheck) {
+      report::Violation v;
+      v.category = report::Category::kConnection;
+      v.rule = "CONN." + ctx.tech.layer(a.elem.layer).name;
+      v.where = placement.apply(
+          geom::intersect(a.bbox.inflated(1), b.bbox.inflated(1)));
+      v.layerA = a.elem.layer;
+      v.layerB = b.elem.layer;
+      v.cell = joinPath(placementPath, a.localPath);
+      v.message = "touching elements are not skeletally connected";
+      rep.add(std::move(v));
+    }
+    if (g.skeletallyConnected) return;  // a legal connection, not spacing
+  }
+
+  const tech::SpacingRule& rule = ctx.tech.spacing(a.elem.layer, b.elem.layer);
+  if (!rule.any()) {
+    ++ctx.stats.noRulePairs;
+    return;
+  }
+  const Coord s = rule.forRelation(*rel);
+  if (s == 0) {
+    if (*rel == tech::NetRelation::kSameNet)
+      ++ctx.stats.sameNetSkipped;
+    else if (*rel == tech::NetRelation::kRelated)
+      ++ctx.stats.relatedSkipped;
+    return;
+  }
+  ++ctx.stats.distanceChecks;
+  const int la = std::min(a.elem.layer, b.elem.layer);
+  const int lb = std::max(a.elem.layer, b.elem.layer);
+  ++ctx.stats.perLayerPair[{la, lb}];
+  if (!g.distance || *g.distance >= static_cast<double>(s)) return;
+
+  report::Violation v;
+  v.category = report::Category::kSpacing;
+  v.rule = "S." + ctx.tech.layer(la).name + "." + ctx.tech.layer(lb).name +
+           (*rel == tech::NetRelation::kSameNet
+                ? ".SAMENET"
+                : *rel == tech::NetRelation::kRelated ? ".RELATED"
+                                                      : ".DIFFNET");
+  const Coord pad = static_cast<Coord>(std::ceil(*g.distance)) + 1;
+  v.where = placement.apply(
+      geom::intersect(a.bbox.inflated(pad), b.bbox.inflated(pad)));
+  v.layerA = a.elem.layer;
+  v.layerB = b.elem.layer;
+  v.cell = joinPath(placementPath, a.localPath);
+  v.message = "spacing " + std::to_string(*g.distance) + " < " +
+              std::to_string(s);
+  rep.add(std::move(v));
+}
+
+/// Collect shapes of a subtree restricted to `window` (in the coordinates
+/// of the cell owning the traversal). Device internals are included with
+/// deviceInternal=true; paths are relative to that cell.
+void collectWindowShapes(const InteractionContext& ctx, layout::CellId id,
+                         const geom::Transform& t, const Rect& window,
+                         const std::string& relPath, bool insideDevice,
+                         std::vector<Shape>& out) {
+  const layout::Cell& c = ctx.lib.cell(id);
+  const bool deviceHere = insideDevice || c.isDevice();
+  for (std::size_t i = 0; i < c.elements.size(); ++i) {
+    const Rect b = t.apply(c.elements[i].bbox());
+    if (!geom::closedTouch(b, window)) continue;
+    out.push_back(makeShape(c.elements[i].transformed(t), ctx.tech,
+                            deviceHere, id, i, relPath));
+  }
+  int childNo = 0;
+  for (const layout::Instance& inst : c.instances) {
+    const geom::Transform ct = geom::compose(inst.transform, t);
+    const Rect cb = ct.apply(ctx.lib.cellBBox(inst.cell));
+    std::string childName =
+        inst.name.empty()
+            ? ctx.lib.cell(inst.cell).name + "_" + std::to_string(childNo)
+            : inst.name;
+    ++childNo;
+    if (!geom::closedTouch(cb, window)) continue;
+    collectWindowShapes(ctx, inst.cell, ct, window,
+                        joinPath(relPath, childName), deviceHere, out);
+  }
+}
+
+}  // namespace
+
+report::Report checkInteractionsFlat(InteractionContext& ctx) {
+  ctx.buildMaps();
+  report::Report rep;
+  const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
+
+  // Every element in the design, device internals included, with full
+  // paths as local paths (placementPath = "").
+  std::vector<Shape> shapes;
+  {
+    std::vector<layout::FlatElement> fe;
+    std::vector<layout::FlatDevice> fd;
+    ctx.lib.flatten(ctx.root, fe, fd, /*includeDeviceGeometry=*/true);
+    shapes.reserve(fe.size());
+    for (layout::FlatElement& e : fe) {
+      const bool dev = ctx.lib.cell(e.sourceCell).isDevice();
+      shapes.push_back(makeShape(std::move(e.element), ctx.tech, dev,
+                                 e.sourceCell, e.sourceIndex, e.path));
+    }
+  }
+
+  geom::GridIndex grid(dmax * 16);
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    grid.insert(i, shapes[i].bbox);
+  const geom::Transform id = geom::identityTransform();
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    for (std::size_t j : grid.query(shapes[i].bbox.inflated(dmax))) {
+      if (j <= i) continue;
+      if (geom::rectDistance(shapes[i].bbox, shapes[j].bbox,
+                             geom::Metric::kOrthogonal) >
+          static_cast<double>(dmax))
+        continue;
+      ++ctx.stats.candidatePairs;
+      const PairGeometry g = pairGeometry(ctx, shapes[i], shapes[j]);
+      // Same-cell-instance pairs had their connection legality checked in
+      // stage 3; do not duplicate those reports.
+      const bool sameCellInstance =
+          shapes[i].localPath == shapes[j].localPath &&
+          shapes[i].srcCell == shapes[j].srcCell;
+      evaluatePair(ctx, shapes[i], shapes[j], g, "", id, rep,
+                   sameCellInstance);
+    }
+  }
+  return rep;
+}
+
+report::Report checkInteractionsHierarchical(
+    InteractionContext& ctx,
+    const std::map<layout::CellId,
+                   std::vector<InteractionContext::Placement>>& placements) {
+  ctx.buildMaps();
+  report::Report rep;
+  const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
+
+  ctx.lib.forEachCellOnce(ctx.root, [&](layout::CellId cid) {
+    const layout::Cell& c = ctx.lib.cell(cid);
+    if (c.isDevice()) return;  // internals handled by stage 2 + windows
+    auto plIt = placements.find(cid);
+    if (plIt == placements.end() || plIt->second.empty()) return;
+    const auto& places = plIt->second;
+
+    // Local shapes of this cell.
+    std::vector<Shape> local;
+    local.reserve(c.elements.size());
+    for (std::size_t i = 0; i < c.elements.size(); ++i)
+      local.push_back(
+          makeShape(c.elements[i], ctx.tech, false, cid, i, ""));
+
+    // (a) Intra-cell pairs: geometry once, relation per placement.
+    geom::GridIndex grid(dmax * 16);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      grid.insert(i, local[i].bbox);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      for (std::size_t j : grid.query(local[i].bbox.inflated(dmax))) {
+        if (j <= i) continue;
+        if (geom::rectDistance(local[i].bbox, local[j].bbox,
+                               geom::Metric::kOrthogonal) >
+            static_cast<double>(dmax))
+          continue;
+        ++ctx.stats.candidatePairs;
+        const PairGeometry g = pairGeometry(ctx, local[i], local[j]);
+        for (const auto& p : places)
+          evaluatePair(ctx, local[i], local[j], g, p.path, p.transform, rep,
+                       /*skipConnectionCheck=*/true);
+      }
+    }
+
+    // Child instance bboxes in this cell's coordinates.
+    struct Child {
+      std::size_t idx;
+      Rect bbox;
+      geom::Transform transform;
+      std::string name;
+    };
+    std::vector<Child> children;
+    int childNo = 0;
+    for (std::size_t k = 0; k < c.instances.size(); ++k) {
+      const layout::Instance& inst = c.instances[k];
+      std::string childName =
+          inst.name.empty()
+              ? ctx.lib.cell(inst.cell).name + "_" + std::to_string(childNo)
+              : inst.name;
+      ++childNo;
+      children.push_back({k, inst.transform.apply(ctx.lib.cellBBox(inst.cell)),
+                          inst.transform, std::move(childName)});
+    }
+
+    // (b) Local element vs child instance windows.
+    for (const Shape& e : local) {
+      for (const Child& ch : children) {
+        if (geom::rectDistance(e.bbox, ch.bbox, geom::Metric::kOrthogonal) >
+            static_cast<double>(dmax))
+          continue;
+        const Rect window = geom::intersect(e.bbox.inflated(dmax),
+                                            ch.bbox.inflated(dmax));
+        std::vector<Shape> inner;
+        collectWindowShapes(ctx, c.instances[ch.idx].cell, ch.transform,
+                            window, ch.name, false, inner);
+        for (const Shape& x : inner) {
+          if (geom::rectDistance(e.bbox, x.bbox, geom::Metric::kOrthogonal) >
+              static_cast<double>(dmax))
+            continue;
+          ++ctx.stats.candidatePairs;
+          const PairGeometry g = pairGeometry(ctx, e, x);
+          for (const auto& p : places)
+            evaluatePair(ctx, e, x, g, p.path, p.transform, rep, false);
+        }
+      }
+    }
+
+    // (c) Child instance pair windows.
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      for (std::size_t j = i + 1; j < children.size(); ++j) {
+        const Child& ci = children[i];
+        const Child& cj = children[j];
+        if (geom::rectDistance(ci.bbox, cj.bbox, geom::Metric::kOrthogonal) >
+            static_cast<double>(dmax))
+          continue;
+        const Rect window = geom::intersect(ci.bbox.inflated(dmax),
+                                            cj.bbox.inflated(dmax));
+        std::vector<Shape> si, sj;
+        collectWindowShapes(ctx, c.instances[ci.idx].cell, ci.transform,
+                            window, ci.name, false, si);
+        collectWindowShapes(ctx, c.instances[cj.idx].cell, cj.transform,
+                            window, cj.name, false, sj);
+        for (const Shape& a : si) {
+          for (const Shape& b : sj) {
+            if (geom::rectDistance(a.bbox, b.bbox,
+                                   geom::Metric::kOrthogonal) >
+                static_cast<double>(dmax))
+              continue;
+            ++ctx.stats.candidatePairs;
+            const PairGeometry g = pairGeometry(ctx, a, b);
+            for (const auto& p : places)
+              evaluatePair(ctx, a, b, g, p.path, p.transform, rep, false);
+          }
+        }
+      }
+    }
+  });
+  return rep;
+}
+
+}  // namespace dic::drc

@@ -1,0 +1,82 @@
+#pragma once
+/// \file stages.hpp
+/// Internal stage implementations of the DIC pipeline. Public interface is
+/// drc/checker.hpp; these are exposed for unit testing of each stage.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "drc/checker.hpp"
+
+namespace dic::drc {
+
+/// Stage 1: width (and Manhattan validity) of a single interconnect
+/// element. "Boxes and wires are trivial to check, polygons require a
+/// more general purpose polygon width routine."
+std::vector<report::Violation> checkElementWidth(const layout::Element& e,
+                                                 const tech::Technology& tech);
+
+/// Stage 2: the rules of one primitive device symbol (enclosures,
+/// overlaps, contact-over-gate, device-dependent isolation rules).
+std::vector<report::Violation> checkDeviceCell(const layout::Cell& cell,
+                                               const tech::Technology& tech);
+
+/// Stage 3: legal connections between elements of one cell: touching
+/// same-layer elements must be skeletally connected (Fig. 11), otherwise
+/// the union may be pinched below minimum width.
+std::vector<report::Violation> checkCellConnections(
+    const layout::Cell& cell, const tech::Technology& tech);
+
+/// Shared context of the interaction stage (stage 5).
+struct InteractionContext {
+  struct Placement {
+    geom::Transform transform;
+    std::string path;
+  };
+
+  InteractionContext(const layout::Library& lib_, layout::CellId root_,
+                     const tech::Technology& tech_,
+                     const netlist::Netlist& nl_, geom::Metric metric_,
+                     InteractionStats& stats_, bool useNets_ = true)
+      : lib(lib_), root(root_), tech(tech_), nl(nl_), metric(metric_),
+        stats(stats_), useNets(useNets_) {}
+
+  const layout::Library& lib;
+  layout::CellId root;
+  const tech::Technology& tech;
+  const netlist::Netlist& nl;
+  geom::Metric metric;
+  InteractionStats& stats;
+  bool useNets{true};
+
+  /// Flat net id of an interconnect element, -1 if unknown/none.
+  int elementNet(const std::string& path, layout::CellId cell,
+                 std::size_t index) const;
+  /// Terminal nets of a device instance path (empty if not a device).
+  const std::vector<int>* deviceNets(const std::string& path) const;
+  /// Resistor devices always get spacing checks (Fig. 5b).
+  bool isResistor(const std::string& path) const;
+
+  void buildMaps();
+
+ private:
+  std::map<std::string, int> netByKey_;
+  std::map<std::string, std::vector<int>> netsByDevice_;
+  std::set<std::string> resistorDevices_;
+  bool ready_{false};
+};
+
+/// Stage 5, exact reference: flatten everything and check all candidate
+/// pairs with the Fig. 12 matrix.
+report::Report checkInteractionsFlat(InteractionContext& ctx);
+
+/// Stage 5, hierarchical: per-cell-once intra-cell pairs plus
+/// parent-element/instance and instance/instance overlap windows.
+report::Report checkInteractionsHierarchical(
+    InteractionContext& ctx,
+    const std::map<layout::CellId,
+                   std::vector<InteractionContext::Placement>>& placements);
+
+}  // namespace dic::drc

@@ -1,0 +1,46 @@
+#pragma once
+/// \file edge.hpp
+/// Boundary edges of a Manhattan region, annotated with the side on which
+/// the region interior lies. Edge-based checking is the paper's preferred
+/// alternative to figure-based checking (see "Geometrical" pathologies,
+/// Fig. 2): it operates on the true region boundary, not on input figures.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace dic::geom {
+
+/// Which side of the edge the region interior is on.
+enum class InteriorSide : std::uint8_t {
+  kLeft,   ///< vertical edge, interior at x < edge.x
+  kRight,  ///< vertical edge, interior at x > edge.x
+  kBelow,  ///< horizontal edge, interior at y < edge.y
+  kAbove,  ///< horizontal edge, interior at y > edge.y
+};
+
+/// An axis-aligned boundary edge. Vertical edges store x in `pos` and
+/// [lo,hi) in y; horizontal edges store y in `pos` and [lo,hi) in x.
+struct Edge {
+  Coord pos{0};
+  Coord lo{0};
+  Coord hi{0};
+  InteriorSide interior{InteriorSide::kLeft};
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+
+  constexpr bool vertical() const {
+    return interior == InteriorSide::kLeft ||
+           interior == InteriorSide::kRight;
+  }
+  constexpr Coord length() const { return hi - lo; }
+
+  /// The edge as a degenerate rect (for distance computations).
+  constexpr Rect asRect() const {
+    return vertical() ? Rect{{pos, lo}, {pos, hi}}
+                      : Rect{{lo, pos}, {hi, pos}};
+  }
+};
+
+}  // namespace dic::geom

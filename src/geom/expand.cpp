@@ -1,0 +1,134 @@
+#include "geom/expand.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dic::geom {
+
+std::vector<Corner> regionCorners(const Region& r) {
+  // A corner exists wherever a vertical and a horizontal boundary edge
+  // share an endpoint. Convexity: interior occupies exactly one quadrant.
+  std::vector<Corner> out;
+  const std::vector<Edge> es = r.edges();
+  std::vector<std::pair<Point, const Edge*>> vEnds, hEnds;
+  for (const Edge& e : es) {
+    if (e.vertical()) {
+      vEnds.push_back({{e.pos, e.lo}, &e});
+      vEnds.push_back({{e.pos, e.hi}, &e});
+    } else {
+      hEnds.push_back({{e.lo, e.pos}, &e});
+      hEnds.push_back({{e.hi, e.pos}, &e});
+    }
+  }
+  for (const auto& [vp, ve] : vEnds) {
+    for (const auto& [hp, he] : hEnds) {
+      if (vp != hp) continue;
+      // Interior x side from the vertical edge, y side from horizontal.
+      const int ix = ve->interior == InteriorSide::kRight ? 1 : -1;
+      const int iy = he->interior == InteriorSide::kAbove ? 1 : -1;
+      // Convex if the corner is at the "outer" end of both edges: the
+      // interior quadrant is (ix, iy) and the edges extend away from it.
+      const bool vOuter = (iy > 0) ? (vp.y == ve->lo) : (vp.y == ve->hi);
+      const bool hOuter = (ix > 0) ? (hp.x == he->lo) : (hp.x == he->hi);
+      out.push_back({vp, {ix, iy}, vOuter && hOuter});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Append a circular arc around c from angle a0 to a1 (radians, CCW).
+void appendArc(std::vector<Point>& v, Point c, Coord radius, double a0,
+               double a1, int segments) {
+  for (int i = 0; i <= segments; ++i) {
+    const double a = a0 + (a1 - a0) * i / segments;
+    v.push_back({c.x + static_cast<Coord>(std::llround(radius * std::cos(a))),
+                 c.y + static_cast<Coord>(std::llround(radius * std::sin(a)))});
+  }
+}
+
+}  // namespace
+
+Polygon euclideanExpand(const Rect& r, Coord d, int arcSegments) {
+  using std::numbers::pi;
+  std::vector<Point> v;
+  appendArc(v, {r.hi.x, r.hi.y}, d, 0, pi / 2, arcSegments);
+  appendArc(v, {r.lo.x, r.hi.y}, d, pi / 2, pi, arcSegments);
+  appendArc(v, {r.lo.x, r.lo.y}, d, pi, 3 * pi / 2, arcSegments);
+  appendArc(v, {r.hi.x, r.lo.y}, d, 3 * pi / 2, 2 * pi, arcSegments);
+  return Polygon(std::move(v));
+}
+
+Polygon euclideanExpand(const Polygon& p, Coord d, int arcSegments) {
+  using std::numbers::pi;
+  if (p.empty()) return {};
+  // Offset each edge outward (CCW polygon: outward normal is right of the
+  // direction of travel rotated -90) and join with arcs at convex corners.
+  const auto& v = p.vertices();
+  const std::size_t n = v.size();
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point a = v[i];
+    const Point b = v[(i + 1) % n];
+    const Point dir = b - a;
+    const double len = length(dir);
+    if (len == 0) continue;
+    const double nx = static_cast<double>(dir.y) / len;
+    const double ny = -static_cast<double>(dir.x) / len;
+    const Point off{static_cast<Coord>(std::llround(nx * d)),
+                    static_cast<Coord>(std::llround(ny * d))};
+    // Arc from previous edge's offset around vertex a.
+    const Point prev = v[(i + n - 1) % n];
+    const Point pdir = a - prev;
+    const double plen = length(pdir);
+    if (plen > 0 && cross(pdir, dir) > 0) {  // convex vertex (CCW turn left)
+      const double a0 = std::atan2(-static_cast<double>(pdir.x) / plen,
+                                   static_cast<double>(pdir.y) / plen);
+      // normals: n_prev = (pdir.y, -pdir.x)/plen -> angle atan2(-pdir.x, pdir.y)
+      const double a1 = std::atan2(ny, nx);
+      // For CCW polygons convex corners sweep CCW from n_prev to n_cur.
+      double sweep = a1 - a0;
+      while (sweep < 0) sweep += 2 * pi;
+      const int segs = std::max(1, static_cast<int>(arcSegments * sweep /
+                                                    (pi / 2)));
+      appendArc(out, a, d, a0, a0 + sweep, segs);
+    }
+    out.push_back(a + off);
+    out.push_back(b + off);
+  }
+  return Polygon(std::move(out));
+}
+
+double euclideanExpandArea(const Region& r, Coord d) {
+  using std::numbers::pi;
+  // Steiner formula for Manhattan regions whose features exceed d:
+  //   area(A (+) disc_d) = A + P*d + n_convex*(pi*d^2/4) - n_reflex*d^2
+  // Each convex corner grows a quarter disc; at each reflex corner the two
+  // edge strips overlap in exactly a dxd square. A rect (4 convex corners)
+  // gives the familiar A + P*d + pi*d^2. Validated in tests; features
+  // narrower than 2d are out of scope.
+  double perim = 0;
+  for (const Edge& e : r.edges()) perim += static_cast<double>(e.length());
+  int convex = 0, reflex = 0;
+  for (const Corner& c : regionCorners(r)) (c.convex ? convex : reflex)++;
+  const double dd = static_cast<double>(d);
+  return static_cast<double>(r.area()) + perim * dd +
+         convex * (pi * dd * dd / 4.0) - reflex * (dd * dd);
+}
+
+std::vector<Rect> openingCornerDefects(const Region& r, Coord d) {
+  std::vector<Rect> out;
+  for (const Corner& c : regionCorners(r)) {
+    if (!c.convex) continue;
+    // The defect sits in the dxd square just inside the corner.
+    const Point in = c.inward;
+    const Rect defect = makeRect(c.at, {c.at.x + in.x * d, c.at.y + in.y * d});
+    // Only a real defect if the region actually covers that square
+    // (very thin features already fail width outright).
+    if (r.covers(defect)) out.push_back(defect);
+  }
+  return out;
+}
+
+}  // namespace dic::geom

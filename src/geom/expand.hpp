@@ -1,0 +1,54 @@
+#pragma once
+/// \file expand.hpp
+/// Euclidean (disc) vs Orthogonal (square) expand and shrink -- Fig. 3 of
+/// the paper -- plus the corner-defect analysis of the Euclidean
+/// shrink-expand-compare width check (Fig. 4 left).
+///
+/// Orthogonal morphology on Manhattan regions is exact (see Region).
+/// Euclidean dilation of a Manhattan region is not Manhattan (corners
+/// become arcs), so it is returned as a sampled Polygon for single convex
+/// inputs, and characterized analytically where DRC needs it:
+///   * Euclidean *erosion* of a Manhattan region equals orthogonal erosion
+///     wherever the boundary is locally straight or convex; at reflex
+///     (concave) corners the disc cuts an arc. For the width-check
+///     pathology analysis only convex corners matter.
+///   * The *opening* (erode then dilate, the shrink-expand width check)
+///     with a disc removes a corner defect at every convex corner: the
+///     region between the square corner and the inscribed radius-d arc.
+///     openingCornerDefects() enumerates those defect rects -- exactly the
+///     per-corner false errors of Fig. 4.
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/region.hpp"
+
+namespace dic::geom {
+
+/// A convex corner of a Manhattan region boundary.
+struct Corner {
+  Point at;        ///< corner vertex
+  Point inward;    ///< unit diagonal pointing into the region, e.g. (1,1)
+  bool convex;     ///< true: interior occupies one quadrant; false: three
+};
+
+/// All corners of the region boundary, classified convex/reflex.
+std::vector<Corner> regionCorners(const Region& r);
+
+/// Euclidean dilation of a convex Manhattan polygon (or rect) by d,
+/// sampled with `arcSegments` segments per 90-degree arc.
+Polygon euclideanExpand(const Rect& r, Coord d, int arcSegments = 8);
+Polygon euclideanExpand(const Polygon& p, Coord d, int arcSegments = 8);
+
+/// Area of the Euclidean dilation of an arbitrary Manhattan region by d
+/// (exact up to the circular-arc area): area + perimeter*d + k*pi*d^2/4
+/// contributions per corner sign.
+double euclideanExpandArea(const Region& r, Coord d);
+
+/// Defect rects of the disc opening (Euclidean shrink d then expand d):
+/// one per convex corner, the dxd square at the corner whose outer part
+/// the disc cannot reach. These are the false width errors the paper's
+/// Fig. 4 (left) predicts "at every corner".
+std::vector<Rect> openingCornerDefects(const Region& r, Coord d);
+
+}  // namespace dic::geom

@@ -1,0 +1,205 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dic::geom {
+
+namespace {
+
+Coord twiceSignedArea(const std::vector<Point>& v) {
+  Coord a = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Point& p = v[i];
+    const Point& q = v[(i + 1) % v.size()];
+    a += cross(p, q);
+  }
+  return a;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Point> vertices) : v_(std::move(vertices)) {
+  if (v_.size() < 3) {
+    v_.clear();
+    return;
+  }
+  // Enforce CCW orientation.
+  if (twiceSignedArea(v_) < 0) std::reverse(v_.begin(), v_.end());
+  // Drop consecutive duplicates and collinear runs.
+  std::vector<Point> clean;
+  clean.reserve(v_.size());
+  for (const Point& p : v_) {
+    if (!clean.empty() && clean.back() == p) continue;
+    clean.push_back(p);
+  }
+  while (clean.size() >= 2 && clean.front() == clean.back()) clean.pop_back();
+  std::vector<Point> out;
+  const std::size_t n = clean.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& prev = clean[(i + n - 1) % n];
+    const Point& cur = clean[i];
+    const Point& next = clean[(i + 1) % n];
+    if (cross(cur - prev, next - cur) != 0 ||
+        dot(cur - prev, next - cur) < 0) {
+      out.push_back(cur);  // keep true corners and U-turn spikes
+    }
+  }
+  v_ = std::move(out);
+  if (v_.size() < 3) v_.clear();
+}
+
+Coord Polygon::twiceArea() const {
+  const Coord a = twiceSignedArea(v_);
+  return a < 0 ? -a : a;
+}
+
+Rect Polygon::bbox() const {
+  if (empty()) return {{0, 0}, {0, 0}};
+  Rect b{v_[0], v_[0]};
+  for (const Point& p : v_) {
+    b.lo.x = std::min(b.lo.x, p.x);
+    b.lo.y = std::min(b.lo.y, p.y);
+    b.hi.x = std::max(b.hi.x, p.x);
+    b.hi.y = std::max(b.hi.y, p.y);
+  }
+  return b;
+}
+
+bool Polygon::isManhattan() const {
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    const Point d = v_[(i + 1) % v_.size()] - v_[i];
+    if (d.x != 0 && d.y != 0) return false;
+  }
+  return !empty();
+}
+
+bool Polygon::contains(Point p) const {
+  if (empty()) return false;
+  bool in = false;
+  const std::size_t n = v_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point a = v_[i];
+    const Point b = v_[(i + 1) % n];
+    // On-boundary test.
+    if (cross(b - a, p - a) == 0 && dot(p - a, p - b) <= 0) return true;
+    // Ray cast to +x.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      // x coordinate of edge at height p.y, compared exactly:
+      // p.x < a.x + (b.x-a.x)*(p.y-a.y)/(b.y-a.y)
+      const Coord num = (b.x - a.x) * (p.y - a.y);
+      const Coord den = b.y - a.y;
+      const Coord lhs = (p.x - a.x) * den;
+      if ((den > 0) ? (lhs < num) : (lhs > num)) in = !in;
+    }
+  }
+  return in;
+}
+
+Region Polygon::toRegion() const {
+  assert(isManhattan());
+  if (empty()) return {};
+  // Gather vertical edges; slab the plane at every distinct vertex y.
+  struct VEdge {
+    Coord x, y1, y2;
+  };
+  std::vector<VEdge> ve;
+  std::vector<Coord> ys;
+  const std::size_t n = v_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point a = v_[i];
+    const Point b = v_[(i + 1) % n];
+    ys.push_back(a.y);
+    if (a.x == b.x && a.y != b.y)
+      ve.push_back({a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Rect> rects;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const Coord y0 = ys[s], y1 = ys[s + 1];
+    std::vector<Coord> xs;
+    for (const VEdge& e : ve)
+      if (e.y1 <= y0 && e.y2 >= y1) xs.push_back(e.x);
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2)
+      rects.push_back({{xs[i], y0}, {xs[i + 1], y1}});
+  }
+  return Region::fromRects(rects);
+}
+
+Polygon Polygon::translated(Point t) const {
+  std::vector<Point> v = v_;
+  for (Point& p : v) p += t;
+  Polygon r;
+  r.v_ = std::move(v);
+  return r;
+}
+
+Polygon Polygon::transformed(const Transform& t) const {
+  std::vector<Point> v;
+  v.reserve(v_.size());
+  for (const Point& p : v_) v.push_back(t.apply(p));
+  return Polygon(std::move(v));  // renormalize orientation
+}
+
+double pointSegmentDistance(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const Coord ab2 = length2(ab);
+  if (ab2 == 0) return length(p - a);
+  const double t = std::clamp(
+      static_cast<double>(dot(p - a, ab)) / static_cast<double>(ab2), 0.0,
+      1.0);
+  const double dx = static_cast<double>(p.x) -
+                    (static_cast<double>(a.x) + t * static_cast<double>(ab.x));
+  const double dy = static_cast<double>(p.y) -
+                    (static_cast<double>(a.y) + t * static_cast<double>(ab.y));
+  return std::hypot(dx, dy);
+}
+
+namespace {
+
+bool segmentsIntersect(Point a1, Point a2, Point b1, Point b2) {
+  auto sgn = [](Coord v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); };
+  const int d1 = sgn(cross(a2 - a1, b1 - a1));
+  const int d2 = sgn(cross(a2 - a1, b2 - a1));
+  const int d3 = sgn(cross(b2 - b1, a1 - b1));
+  const int d4 = sgn(cross(b2 - b1, a2 - b1));
+  if (d1 * d2 < 0 && d3 * d4 < 0) return true;
+  auto onSeg = [](Point p, Point a, Point b) {
+    return cross(b - a, p - a) == 0 && dot(p - a, p - b) <= 0;
+  };
+  return onSeg(b1, a1, a2) || onSeg(b2, a1, a2) || onSeg(a1, b1, b2) ||
+         onSeg(a2, b1, b2);
+}
+
+}  // namespace
+
+double segmentDistance(Point a1, Point a2, Point b1, Point b2) {
+  if (segmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min(std::min(pointSegmentDistance(a1, b1, b2),
+                           pointSegmentDistance(a2, b1, b2)),
+                  std::min(pointSegmentDistance(b1, a1, a2),
+                           pointSegmentDistance(b2, a1, a2)));
+}
+
+double polygonDistance(const Polygon& a, const Polygon& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  if (a.contains(b.vertices()[0]) || b.contains(a.vertices()[0])) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  const auto& va = a.vertices();
+  const auto& vb = b.vertices();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    for (std::size_t j = 0; j < vb.size(); ++j) {
+      best = std::min(best, segmentDistance(va[i], va[(i + 1) % va.size()],
+                                            vb[j], vb[(j + 1) % vb.size()]));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace dic::geom

@@ -1,0 +1,62 @@
+#pragma once
+/// \file polygon.hpp
+/// Simple polygons. Manhattan polygons convert exactly to Region; general
+/// polygons support the "more general purpose polygon routines" the paper
+/// mentions (area, containment, pairwise distance, width checking).
+
+#include <vector>
+
+#include "geom/region.hpp"
+#include "geom/types.hpp"
+
+namespace dic::geom {
+
+/// A simple (non-self-intersecting) polygon. Vertices are stored in
+/// counter-clockwise order after normalize(); consecutive duplicate and
+/// collinear vertices are removed.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return v_; }
+  bool empty() const { return v_.size() < 3; }
+  std::size_t size() const { return v_.size(); }
+
+  /// Twice the signed area (positive for CCW input before normalization;
+  /// always positive after construction).
+  Coord twiceArea() const;
+
+  /// Area as double (halves twiceArea; may be .5 for diagonal polygons).
+  double area() const { return static_cast<double>(twiceArea()) / 2.0; }
+
+  Rect bbox() const;
+
+  /// True if every edge is axis-parallel.
+  bool isManhattan() const;
+
+  /// Point containment (boundary counts as inside).
+  bool contains(Point p) const;
+
+  /// Exact conversion of a Manhattan polygon to a Region (even-odd fill).
+  /// Precondition: isManhattan().
+  Region toRegion() const;
+
+  Polygon translated(Point t) const;
+  Polygon transformed(const Transform& t) const;
+
+ private:
+  std::vector<Point> v_;
+};
+
+/// Minimum Euclidean distance between two polygon boundaries (0 if they
+/// intersect or one contains the other).
+double polygonDistance(const Polygon& a, const Polygon& b);
+
+/// Minimum distance between two segments [a1,a2], [b1,b2].
+double segmentDistance(Point a1, Point a2, Point b1, Point b2);
+
+/// Distance from point p to segment [a,b].
+double pointSegmentDistance(Point p, Point a, Point b);
+
+}  // namespace dic::geom

@@ -1,0 +1,147 @@
+#pragma once
+/// \file rect.hpp
+/// Axis-aligned rectangles.
+///
+/// A Rect stores its lower-left (`lo`) and upper-right (`hi`) corners.
+/// Two interpretations are used in the kernel and every function documents
+/// which one it applies:
+///   * *half-open* [lo, hi): the interpretation used by Region booleans,
+///     areas, and coverage tests. A rect with lo.x >= hi.x or
+///     lo.y >= hi.y is empty.
+///   * *closed* [lo, hi]: used by skeleton touch tests (Fig. 11 of the
+///     paper), where degenerate rects (zero width and/or height) are
+///     meaningful geometry (the skeleton of a minimum-width element).
+
+#include <algorithm>
+#include <string>
+
+#include "geom/types.hpp"
+
+namespace dic::geom {
+
+/// Axis-aligned rectangle; see file comment for half-open vs closed use.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  /// True if empty under half-open semantics.
+  constexpr bool empty() const { return lo.x >= hi.x || lo.y >= hi.y; }
+
+  /// True if degenerate-but-valid under closed semantics (a point or a
+  /// zero-thickness line is still *closed*-valid).
+  constexpr bool closedValid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+
+  constexpr Coord width() const { return hi.x - lo.x; }
+  constexpr Coord height() const { return hi.y - lo.y; }
+
+  /// Area under half-open semantics (0 if empty).
+  constexpr Coord area() const {
+    return empty() ? 0 : width() * height();
+  }
+
+  /// Geometric center, rounded toward lo.
+  constexpr Point center() const {
+    return {lo.x + width() / 2, lo.y + height() / 2};
+  }
+
+  /// Half-open containment of a point.
+  constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y;
+  }
+
+  /// Closed containment of a point.
+  constexpr bool containsClosed(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Half-open containment of another rect (empty rect is contained).
+  constexpr bool containsRect(const Rect& r) const {
+    return r.empty() || (r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y &&
+                         r.hi.y <= hi.y);
+  }
+
+  /// Rect grown by d on every side (d may be negative to deflate).
+  constexpr Rect inflated(Coord d) const {
+    return {{lo.x - d, lo.y - d}, {hi.x + d, hi.y + d}};
+  }
+
+  /// Rect translated by v.
+  constexpr Rect translated(Point v) const { return {lo + v, hi + v}; }
+};
+
+/// Rect from any two opposite corners.
+constexpr Rect makeRect(Point a, Point b) {
+  return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+          {std::max(a.x, b.x), std::max(a.y, b.y)}};
+}
+
+/// Rect from coordinates (x1,y1)-(x2,y2) in any order.
+constexpr Rect makeRect(Coord x1, Coord y1, Coord x2, Coord y2) {
+  return makeRect(Point{x1, y1}, Point{x2, y2});
+}
+
+/// Half-open intersection (may be empty).
+constexpr Rect intersect(const Rect& a, const Rect& b) {
+  return {{std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y)},
+          {std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y)}};
+}
+
+/// Smallest rect containing both (bounding-box union).
+constexpr Rect bound(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return {{std::min(a.lo.x, b.lo.x), std::min(a.lo.y, b.lo.y)},
+          {std::max(a.hi.x, b.hi.x), std::max(a.hi.y, b.hi.y)}};
+}
+
+/// True if the half-open interiors overlap (positive-area intersection).
+constexpr bool overlaps(const Rect& a, const Rect& b) {
+  return a.lo.x < b.hi.x && b.lo.x < a.hi.x && a.lo.y < b.hi.y &&
+         b.lo.y < a.hi.y;
+}
+
+/// True if the *closed* rects intersect -- they overlap, abut edge-to-edge,
+/// or touch corner-to-corner. This is the skeleton "touch" criterion and is
+/// well defined for degenerate rects.
+constexpr bool closedTouch(const Rect& a, const Rect& b) {
+  return a.lo.x <= b.hi.x && b.lo.x <= a.hi.x && a.lo.y <= b.hi.y &&
+         b.lo.y <= a.hi.y;
+}
+
+/// Axis gap between closed intervals [a1,a2] and [b1,b2]; 0 if they meet.
+constexpr Coord axisGap(Coord a1, Coord a2, Coord b1, Coord b2) {
+  if (b1 > a2) return b1 - a2;
+  if (a1 > b2) return a1 - b2;
+  return 0;
+}
+
+/// Separation vector between two closed rects: component-wise gap
+/// (0,0) when they touch or overlap.
+constexpr Point rectGap(const Rect& a, const Rect& b) {
+  return {axisGap(a.lo.x, a.hi.x, b.lo.x, b.hi.x),
+          axisGap(a.lo.y, a.hi.y, b.lo.y, b.hi.y)};
+}
+
+/// Distance between two closed rects under the given metric.
+inline double rectDistance(const Rect& a, const Rect& b, Metric m) {
+  const Point g = rectGap(a, b);
+  return m == Metric::kEuclidean
+             ? std::hypot(static_cast<double>(g.x), static_cast<double>(g.y))
+             : static_cast<double>(chebyshev(g));
+}
+
+/// Squared Euclidean distance between closed rects (exact integer).
+constexpr Coord rectDistance2(const Rect& a, const Rect& b) {
+  const Point g = rectGap(a, b);
+  return g.x * g.x + g.y * g.y;
+}
+
+/// Printable form for diagnostics.
+inline std::string toString(const Rect& r) {
+  return "[" + toString(r.lo) + "-" + toString(r.hi) + "]";
+}
+
+}  // namespace dic::geom

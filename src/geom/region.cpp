@@ -1,0 +1,365 @@
+#include "geom/region.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace dic::geom {
+
+namespace {
+
+/// x-interval with [lo,hi).
+struct Iv {
+  Coord lo, hi;
+  friend bool operator==(const Iv&, const Iv&) = default;
+};
+
+/// One open vertical column being grown during the sweep.
+struct Column {
+  Coord x1, x2, y1;
+};
+
+bool evalOp(bool a, bool b, int op) {
+  switch (op) {
+    case 0: return a || b;   // Or
+    case 1: return a && b;   // And
+    case 2: return a && !b;  // Sub
+    default: return a != b;  // Xor
+  }
+}
+
+/// Core scanline boolean over two (possibly overlapping, unnormalized)
+/// rect sets. Returns the canonical maximal-column decomposition.
+std::vector<Rect> sweep(const std::vector<Rect>& ra,
+                        const std::vector<Rect>& rb, int op) {
+  // Collect slab boundaries.
+  std::vector<Coord> ys;
+  ys.reserve(2 * (ra.size() + rb.size()));
+  for (const Rect& r : ra) {
+    if (!r.empty()) {
+      ys.push_back(r.lo.y);
+      ys.push_back(r.hi.y);
+    }
+  }
+  for (const Rect& r : rb) {
+    if (!r.empty()) {
+      ys.push_back(r.lo.y);
+      ys.push_back(r.hi.y);
+    }
+  }
+  if (ys.empty()) return {};
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Rects sorted by lo.y for incremental activation.
+  auto byLoY = [](const Rect& a, const Rect& b) { return a.lo.y < b.lo.y; };
+  std::vector<Rect> sa, sb;
+  sa.reserve(ra.size());
+  sb.reserve(rb.size());
+  for (const Rect& r : ra)
+    if (!r.empty()) sa.push_back(r);
+  for (const Rect& r : rb)
+    if (!r.empty()) sb.push_back(r);
+  std::sort(sa.begin(), sa.end(), byLoY);
+  std::sort(sb.begin(), sb.end(), byLoY);
+
+  std::vector<Rect> active_a, active_b;
+  std::size_t ia = 0, ib = 0;
+
+  // x-event: +1/-1 on the A or B coverage count.
+  struct XEv {
+    Coord x;
+    int da, db;
+  };
+  std::vector<XEv> xev;
+  std::vector<Iv> cur, prev;
+  std::vector<Column> open, nextOpen;
+  std::vector<Rect> out;
+
+  Coord prevY = 0;
+  bool first = true;
+  for (std::size_t si = 0; si + 1 <= ys.size(); ++si) {
+    const Coord y0 = ys[si];
+    // Close columns if there is a discontinuity (cannot happen with
+    // contiguous slabs, but keep the invariant explicit).
+    if (!first && prevY != y0) {
+      for (const Column& c : open) out.push_back({{c.x1, c.y1}, {c.x2, prevY}});
+      open.clear();
+    }
+    first = false;
+    if (si + 1 == ys.size()) break;
+    const Coord y1 = ys[si + 1];
+
+    // Update active sets.
+    std::erase_if(active_a, [y0](const Rect& r) { return r.hi.y <= y0; });
+    std::erase_if(active_b, [y0](const Rect& r) { return r.hi.y <= y0; });
+    while (ia < sa.size() && sa[ia].lo.y <= y0) {
+      if (sa[ia].hi.y > y0) active_a.push_back(sa[ia]);
+      ++ia;
+    }
+    while (ib < sb.size() && sb[ib].lo.y <= y0) {
+      if (sb[ib].hi.y > y0) active_b.push_back(sb[ib]);
+      ++ib;
+    }
+
+    // 1-D sweep over x for this slab.
+    xev.clear();
+    for (const Rect& r : active_a) {
+      xev.push_back({r.lo.x, +1, 0});
+      xev.push_back({r.hi.x, -1, 0});
+    }
+    for (const Rect& r : active_b) {
+      xev.push_back({r.lo.x, 0, +1});
+      xev.push_back({r.hi.x, 0, -1});
+    }
+    std::sort(xev.begin(), xev.end(),
+              [](const XEv& a, const XEv& b) { return a.x < b.x; });
+
+    cur.clear();
+    int ca = 0, cb = 0;
+    bool inside = false;
+    Coord start = 0;
+    std::size_t k = 0;
+    while (k < xev.size()) {
+      const Coord x = xev[k].x;
+      while (k < xev.size() && xev[k].x == x) {
+        ca += xev[k].da;
+        cb += xev[k].db;
+        ++k;
+      }
+      const bool now = evalOp(ca > 0, cb > 0, op);
+      if (now && !inside) {
+        start = x;
+        inside = true;
+      } else if (!now && inside) {
+        if (x > start) cur.push_back({start, x});
+        inside = false;
+      }
+    }
+    assert(!inside && ca == 0 && cb == 0);
+
+    // Merge with open columns.
+    nextOpen.clear();
+    std::size_t oi = 0, ci = 0;
+    while (oi < open.size() || ci < cur.size()) {
+      if (oi < open.size() && ci < cur.size() && open[oi].x1 == cur[ci].lo &&
+          open[oi].x2 == cur[ci].hi) {
+        nextOpen.push_back(open[oi]);  // column continues
+        ++oi;
+        ++ci;
+      } else if (oi < open.size() &&
+                 (ci == cur.size() || open[oi].x1 < cur[ci].lo ||
+                  (open[oi].x1 == cur[ci].lo && open[oi].x2 != cur[ci].hi))) {
+        out.push_back({{open[oi].x1, open[oi].y1}, {open[oi].x2, y0}});
+        ++oi;
+      } else {
+        nextOpen.push_back({cur[ci].lo, cur[ci].hi, y0});
+        ++ci;
+      }
+    }
+    std::swap(open, nextOpen);
+    prevY = y1;
+  }
+  for (const Column& c : open) out.push_back({{c.x1, c.y1}, {c.x2, prevY}});
+
+  std::sort(out.begin(), out.end(), [](const Rect& a, const Rect& b) {
+    return a.lo.y != b.lo.y ? a.lo.y < b.lo.y : a.lo.x < b.lo.x;
+  });
+  return out;
+}
+
+}  // namespace
+
+Region::Region(const Rect& r) {
+  if (!r.empty()) rects_.push_back(r);
+}
+
+Region Region::fromRects(std::span<const Rect> rects) {
+  std::vector<Rect> raw(rects.begin(), rects.end());
+  return Region(sweep(raw, {}, 0));
+}
+
+Coord Region::area() const {
+  Coord a = 0;
+  for (const Rect& r : rects_) a += r.area();
+  return a;
+}
+
+Rect Region::bbox() const {
+  Rect b{{0, 0}, {0, 0}};
+  for (const Rect& r : rects_) b = bound(b, r);
+  return b;
+}
+
+bool Region::contains(Point p) const {
+  for (const Rect& r : rects_) {
+    if (r.contains(p)) return true;
+    if (r.lo.y > p.y) break;  // sorted by lo.y: no later rect can contain p
+  }
+  return false;
+}
+
+bool Region::covers(const Rect& q) const {
+  if (q.empty()) return true;
+  return subtract(Region(q), *this).empty();
+}
+
+bool Region::overlaps(const Region& o) const {
+  // Cheap bbox reject, then rect-pair scan (exact).
+  if (!geom::overlaps(bbox(), o.bbox())) return false;
+  for (const Rect& a : rects_)
+    for (const Rect& b : o.rects_)
+      if (geom::overlaps(a, b)) return true;
+  return false;
+}
+
+Region Region::boolop(const Region& a, const Region& b, Op op) {
+  return Region(sweep(a.rects_, b.rects_, static_cast<int>(op)));
+}
+
+Region unite(const Region& a, const Region& b) {
+  return Region::boolop(a, b, Region::Op::kOr);
+}
+Region intersect(const Region& a, const Region& b) {
+  return Region::boolop(a, b, Region::Op::kAnd);
+}
+Region subtract(const Region& a, const Region& b) {
+  return Region::boolop(a, b, Region::Op::kSub);
+}
+Region exclusiveOr(const Region& a, const Region& b) {
+  return Region::boolop(a, b, Region::Op::kXor);
+}
+
+Region Region::expanded(Coord d) const {
+  if (d == 0 || rects_.empty()) return *this;
+  assert(d > 0);
+  std::vector<Rect> infl;
+  infl.reserve(rects_.size());
+  for (const Rect& r : rects_) infl.push_back(r.inflated(d));
+  return fromRects(infl);
+}
+
+Region Region::shrunk(Coord d) const {
+  if (d == 0 || rects_.empty()) return *this;
+  assert(d > 0);
+  const Rect frame = bbox().inflated(2 * d + 2);
+  const Region comp = subtract(Region(frame), *this);
+  return subtract(Region(frame), comp.expanded(d));
+}
+
+Region Region::scaled(Coord k) const {
+  Region r;
+  r.rects_.reserve(rects_.size());
+  for (const Rect& q : rects_)
+    r.rects_.push_back({{q.lo.x * k, q.lo.y * k}, {q.hi.x * k, q.hi.y * k}});
+  return r;
+}
+
+Region Region::transformed(const Transform& t) const {
+  std::vector<Rect> moved;
+  moved.reserve(rects_.size());
+  for (const Rect& r : rects_) moved.push_back(t.apply(r));
+  // Orientation can reorder/mirror; renormalize to the canonical form.
+  return fromRects(moved);
+}
+
+Region Region::translated(Point v) const {
+  Region r;
+  r.rects_.reserve(rects_.size());
+  for (const Rect& q : rects_) r.rects_.push_back(q.translated(v));
+  return r;
+}
+
+namespace {
+
+/// Subtract sorted disjoint interval list b from a (1-D, half-open).
+std::vector<Iv> ivSubtract(const std::vector<Iv>& a, const std::vector<Iv>& b) {
+  std::vector<Iv> out;
+  std::size_t j = 0;
+  for (const Iv& iv : a) {
+    Coord lo = iv.lo;
+    while (j < b.size() && b[j].hi <= lo) ++j;
+    std::size_t k = j;
+    while (k < b.size() && b[k].lo < iv.hi) {
+      if (b[k].lo > lo) out.push_back({lo, b[k].lo});
+      lo = std::max(lo, b[k].hi);
+      if (lo >= iv.hi) break;
+      ++k;
+    }
+    if (lo < iv.hi) out.push_back({lo, iv.hi});
+  }
+  return out;
+}
+
+void appendSorted(std::vector<Iv>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const Iv& a, const Iv& b) { return a.lo < b.lo; });
+  // Merge abutting/overlapping (disjoint rects can abut within one line).
+  std::vector<Iv> m;
+  for (const Iv& iv : v) {
+    if (!m.empty() && iv.lo <= m.back().hi)
+      m.back().hi = std::max(m.back().hi, iv.hi);
+    else
+      m.push_back(iv);
+  }
+  v = std::move(m);
+}
+
+}  // namespace
+
+std::vector<Edge> Region::edges() const {
+  std::vector<Edge> out;
+  // Vertical boundaries: at each x, "starts" (lo.x, interior right) minus
+  // "ends" (hi.x, interior left); where they coincide the rects abut and
+  // there is no boundary.
+  {
+    std::map<Coord, std::pair<std::vector<Iv>, std::vector<Iv>>> at;
+    for (const Rect& r : rects_) {
+      at[r.lo.x].first.push_back({r.lo.y, r.hi.y});
+      at[r.hi.x].second.push_back({r.lo.y, r.hi.y});
+    }
+    for (auto& [x, se] : at) {
+      appendSorted(se.first);
+      appendSorted(se.second);
+      for (const Iv& iv : ivSubtract(se.first, se.second))
+        out.push_back({x, iv.lo, iv.hi, InteriorSide::kRight});
+      for (const Iv& iv : ivSubtract(se.second, se.first))
+        out.push_back({x, iv.lo, iv.hi, InteriorSide::kLeft});
+    }
+  }
+  // Horizontal boundaries.
+  {
+    std::map<Coord, std::pair<std::vector<Iv>, std::vector<Iv>>> at;
+    for (const Rect& r : rects_) {
+      at[r.lo.y].first.push_back({r.lo.x, r.hi.x});
+      at[r.hi.y].second.push_back({r.lo.x, r.hi.x});
+    }
+    for (auto& [y, se] : at) {
+      appendSorted(se.first);
+      appendSorted(se.second);
+      for (const Iv& iv : ivSubtract(se.first, se.second))
+        out.push_back({y, iv.lo, iv.hi, InteriorSide::kAbove});
+      for (const Iv& iv : ivSubtract(se.second, se.first))
+        out.push_back({y, iv.lo, iv.hi, InteriorSide::kBelow});
+    }
+  }
+  return out;
+}
+
+double regionDistance(const Region& a, const Region& b, Metric m) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (const Rect& ra : a.rects()) {
+    for (const Rect& rb : b.rects()) {
+      // Half-open rects: the closed point set is [lo, hi] shrunk by one ulp;
+      // for distance purposes use the closed hull minus nothing -- distances
+      // between half-open unions equal distances between their closures.
+      best = std::min(best, rectDistance(ra, rb, m));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace dic::geom

@@ -1,0 +1,100 @@
+#pragma once
+/// \file region.hpp
+/// Manhattan region: a canonical set of disjoint axis-aligned rectangles
+/// with scanline boolean operations and orthogonal morphology.
+///
+/// Semantics are *half-open*: a region is a union of [lo,hi) rectangles.
+/// The canonical form is the maximal-vertical-column decomposition: the
+/// plane is cut at every y where the slab interval structure changes, and
+/// columns with identical x-extent are merged vertically. Two equal point
+/// sets always produce the same rect vector, so operator== is set equality.
+
+#include <span>
+#include <vector>
+
+#include "geom/edge.hpp"
+#include "geom/rect.hpp"
+#include "geom/transform.hpp"
+
+namespace dic::geom {
+
+class Region {
+ public:
+  /// Empty region.
+  Region() = default;
+
+  /// Region of a single rectangle (empty rect -> empty region).
+  explicit Region(const Rect& r);
+
+  /// Region from arbitrary (possibly overlapping) rects.
+  static Region fromRects(std::span<const Rect> rects);
+
+  /// The canonical disjoint rectangles, sorted by (lo.y, lo.x).
+  const std::vector<Rect>& rects() const { return rects_; }
+
+  bool empty() const { return rects_.empty(); }
+
+  /// Total area (exact).
+  Coord area() const;
+
+  /// Bounding box (empty rect when empty).
+  Rect bbox() const;
+
+  /// Half-open membership test.
+  bool contains(Point p) const;
+
+  /// True if r is completely covered.
+  bool covers(const Rect& r) const;
+
+  /// True if the interiors intersect.
+  bool overlaps(const Region& o) const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+  /// Boolean operations (canonical results).
+  friend Region unite(const Region& a, const Region& b);
+  friend Region intersect(const Region& a, const Region& b);
+  friend Region subtract(const Region& a, const Region& b);
+  friend Region exclusiveOr(const Region& a, const Region& b);
+
+  /// Orthogonal (square structuring element, Chebyshev) dilation by d >= 0.
+  /// Distributes over the rect union: each rect is inflated then re-unioned.
+  Region expanded(Coord d) const;
+
+  /// Orthogonal erosion by d >= 0: points whose d-square is inside.
+  /// Exact: computed as the complement of the dilated complement.
+  Region shrunk(Coord d) const;
+
+  /// Region scaled by an integer factor (used by 2x skeleton space).
+  Region scaled(Coord k) const;
+
+  /// Transformed copy (orthogonal transforms map rects to rects).
+  Region transformed(const Transform& t) const;
+
+  /// Translated copy.
+  Region translated(Point v) const;
+
+  /// Boundary edges; see edge.hpp. Every point of the region boundary is
+  /// covered by exactly one edge, with its interior side annotated.
+  std::vector<Edge> edges() const;
+
+ private:
+  enum class Op { kOr, kAnd, kSub, kXor };
+  static Region boolop(const Region& a, const Region& b, Op op);
+  static std::vector<Rect> normalizeCounted(std::vector<Rect> raw);
+
+  explicit Region(std::vector<Rect> normalized) : rects_(std::move(normalized)) {}
+
+  std::vector<Rect> rects_;
+};
+
+Region unite(const Region& a, const Region& b);
+Region intersect(const Region& a, const Region& b);
+Region subtract(const Region& a, const Region& b);
+Region exclusiveOr(const Region& a, const Region& b);
+
+/// Euclidean distance between two regions (min over rect pairs; exact for
+/// unions of rects). Returns +inf if either is empty.
+double regionDistance(const Region& a, const Region& b, Metric m);
+
+}  // namespace dic::geom

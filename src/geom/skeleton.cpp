@@ -1,0 +1,97 @@
+#include "geom/skeleton.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dic::geom {
+
+Rect Skeleton::bbox() const {
+  if (parts.empty()) return {{0, 0}, {-1, -1}};  // closed-invalid
+  Rect b = parts[0];
+  for (const Rect& r : parts) {
+    b.lo.x = std::min(b.lo.x, r.lo.x);
+    b.lo.y = std::min(b.lo.y, r.lo.y);
+    b.hi.x = std::max(b.hi.x, r.hi.x);
+    b.hi.y = std::max(b.hi.y, r.hi.y);
+  }
+  return b;
+}
+
+Skeleton boxSkeleton(const Rect& box, Coord minWidth) {
+  Skeleton s;
+  if (box.empty()) return s;
+  // 2x space: half-min-width is exactly minWidth.
+  const Coord w2 = 2 * box.width();
+  const Coord h2 = 2 * box.height();
+  const Coord mx = std::min(minWidth, w2 / 2);
+  const Coord my = std::min(minWidth, h2 / 2);
+  s.thin = (w2 <= 2 * minWidth) || (h2 <= 2 * minWidth);
+  s.parts.push_back({{2 * box.lo.x + mx, 2 * box.lo.y + my},
+                     {2 * box.hi.x - mx, 2 * box.hi.y - my}});
+  return s;
+}
+
+Skeleton wireSkeleton(const std::vector<Point>& points, Coord width,
+                      Coord minWidth) {
+  Skeleton s;
+  if (points.empty() || width <= 0) return s;
+  // Residual half-width in 2x space after shrinking by minWidth/2.
+  const Coord r2 = std::max<Coord>(0, width - minWidth);
+  s.thin = width <= minWidth;
+  if (points.size() == 1) {
+    const Point p = points[0];
+    s.parts.push_back({{2 * p.x - r2, 2 * p.y - r2},
+                       {2 * p.x + r2, 2 * p.y + r2}});
+    return s;
+  }
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const Point a = points[i];
+    const Point b = points[i + 1];
+    assert((a.x == b.x || a.y == b.y) && "wires must be Manhattan");
+    Rect seg = makeRect(Point{2 * a.x, 2 * a.y}, Point{2 * b.x, 2 * b.y});
+    // Square caps: the wire region extends width/2 beyond segment ends and
+    // the skeleton correspondingly r2/2... in 2x space exactly r2.
+    s.parts.push_back(seg.inflated(r2));
+  }
+  return s;
+}
+
+Skeleton regionSkeleton(const Region& r, Coord minWidth) {
+  Skeleton s;
+  if (r.empty()) return s;
+  const Region r2 = r.scaled(2);
+  Region eroded = r2.shrunk(minWidth);  // half-open result in 2x space
+  if (eroded.empty()) {
+    // Minimum-width (degenerate skeleton) case: relax by one 2x unit and
+    // flag. Over-connects by at most half a database unit.
+    eroded = r2.shrunk(minWidth - 1);
+    s.thin = true;
+    if (eroded.empty()) return s;
+  }
+  // The true closed erosion is the closure of the half-open result (see
+  // region.cpp): closed-ify [lo,hi) -> [lo,hi].
+  for (const Rect& q : eroded.rects()) s.parts.push_back(q);
+  return s;
+}
+
+bool skeletonsConnected(const Skeleton& a, const Skeleton& b) {
+  if (a.empty() || b.empty()) return false;
+  if (!closedTouch(a.bbox(), b.bbox())) return false;
+  for (const Rect& ra : a.parts)
+    for (const Rect& rb : b.parts)
+      if (closedTouch(ra, rb)) return true;
+  return false;
+}
+
+double skeletonDistance(const Skeleton& a, const Skeleton& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (const Rect& ra : a.parts)
+    for (const Rect& rb : b.parts)
+      best = std::min(best, rectDistance(ra, rb, Metric::kEuclidean));
+  return best / 2.0;  // back to database units
+}
+
+}  // namespace dic::geom

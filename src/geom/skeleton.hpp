@@ -1,0 +1,61 @@
+#pragma once
+/// \file skeleton.hpp
+/// Skeletal connectivity (Fig. 11 of the paper).
+///
+/// "The skeleton of an element is the result of shrinking that element by
+/// half the minimum width on that layer. Two elements are connected if
+/// their skeletons touch, overlap, or if one is enclosed within the
+/// other." The key invariant (proved in the paper, property-tested here):
+/// if two elements are each of legal width and are skeletally connected,
+/// then their union is of legal width -- so no general polygon routine is
+/// needed to validate merged interconnect.
+///
+/// Skeletons live in *doubled* coordinates so that a minimum-width element
+/// has an exact degenerate (zero-thickness, closed) skeleton even when the
+/// minimum width is odd in database units. All rects here are CLOSED and
+/// may be degenerate.
+
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace dic::geom {
+
+/// A skeleton: closed (possibly degenerate) rects in 2x coordinates.
+struct Skeleton {
+  std::vector<Rect> parts;  ///< closed rects, coordinates doubled
+  bool thin{false};  ///< true if the element was at (or below) minimum width
+
+  bool empty() const { return parts.empty(); }
+
+  /// Bounding box in 2x coordinates (closed).
+  Rect bbox() const;
+};
+
+/// Skeleton of a box element. Each axis is deflated by min(minWidth,
+/// extent)/1 in 2x space; an exactly-minimum-width box yields a degenerate
+/// line, the paper's canonical case.
+Skeleton boxSkeleton(const Rect& box, Coord minWidth);
+
+/// Skeleton of a Manhattan wire: `points` is the centerline, `width` the
+/// drawn width; square end caps extend by width/2 (so the wire region is
+/// each segment's centerline inflated by width/2). The skeleton is the
+/// centerline dilated by (width - minWidth)/2 -- degenerate when width ==
+/// minWidth.
+Skeleton wireSkeleton(const std::vector<Point>& points, Coord width,
+                      Coord minWidth);
+
+/// Skeleton of an arbitrary Manhattan region (general polygons): exact
+/// erosion in 2x space; if the region is exactly minimum width somewhere
+/// the erosion drops it, so a 1-unit-relaxed erosion is used and `thin`
+/// is set (over-connects by at most half a database unit; documented).
+Skeleton regionSkeleton(const Region& r, Coord minWidth);
+
+/// The legal-connection criterion: skeletons touch, overlap, or enclose.
+bool skeletonsConnected(const Skeleton& a, const Skeleton& b);
+
+/// Distance between skeletons in database units (closed rects, 2x space
+/// halved back), Euclidean.
+double skeletonDistance(const Skeleton& a, const Skeleton& b);
+
+}  // namespace dic::geom

@@ -1,0 +1,44 @@
+#include "geom/spacing.hpp"
+
+#include <algorithm>
+
+namespace dic::geom {
+
+std::vector<SpacingViolation> checkSpacing(const Region& a, const Region& b,
+                                           Coord minSpacing, Metric m) {
+  std::vector<SpacingViolation> out;
+  if (a.empty() || b.empty()) return out;
+  const Rect bb = b.bbox().inflated(minSpacing);
+  for (const Rect& ra : a.rects()) {
+    if (!overlaps(ra.inflated(minSpacing), bb)) continue;
+    for (const Rect& rb : b.rects()) {
+      const Point g = rectGap(ra, rb);
+      if (g.x >= minSpacing || g.y >= minSpacing) continue;  // both metrics
+      const double d = m == Metric::kEuclidean
+                           ? std::hypot(static_cast<double>(g.x),
+                                        static_cast<double>(g.y))
+                           : static_cast<double>(chebyshev(g));
+      if (d < static_cast<double>(minSpacing)) out.push_back({ra, rb, d});
+    }
+  }
+  return out;
+}
+
+std::optional<double> distanceBelow(const Region& a, const Region& b,
+                                    Coord bound, Metric m) {
+  double best = static_cast<double>(bound);
+  bool found = false;
+  for (const Rect& ra : a.rects()) {
+    for (const Rect& rb : b.rects()) {
+      const double d = rectDistance(ra, rb, m);
+      if (d < best) {
+        best = d;
+        found = true;
+        if (best == 0) return 0.0;
+      }
+    }
+  }
+  return found ? std::optional<double>(best) : std::nullopt;
+}
+
+}  // namespace dic::geom

@@ -1,0 +1,41 @@
+#pragma once
+/// \file spacing.hpp
+/// Spacing checks between Manhattan regions under either metric.
+///
+/// The traditional technique is expand-by-half-spacing and check overlap;
+/// for unions of rects that is exactly equivalent to a rect-pair distance
+/// test, which is what we compute (no approximation):
+///   * kOrthogonal: overlap of square-expanded shapes <=> Chebyshev
+///     distance < s.
+///   * kEuclidean: overlap of disc-expanded shapes <=> Euclidean distance
+///     < s.
+/// Fig. 4 (right) pathology: the two metrics disagree on diagonal
+/// (corner-to-corner) configurations; checkSpacing reports the measured
+/// distance so callers can quantify the disagreement band.
+
+#include <optional>
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace dic::geom {
+
+/// A spacing violation between two shapes.
+struct SpacingViolation {
+  Rect a;             ///< offending rect from the first region
+  Rect b;             ///< offending rect from the second region
+  double measured{0}; ///< distance under the metric used
+};
+
+/// All rect pairs of a and b closer than `minSpacing` under metric m.
+/// Touching/overlapping pairs report distance 0 (callers decide whether
+/// touching is legal -- e.g. connected elements on the same net).
+std::vector<SpacingViolation> checkSpacing(const Region& a, const Region& b,
+                                           Coord minSpacing, Metric m);
+
+/// Minimum distance between regions under metric m with an early-out
+/// threshold: returns nullopt if provably >= `bound`.
+std::optional<double> distanceBelow(const Region& a, const Region& b,
+                                    Coord bound, Metric m);
+
+}  // namespace dic::geom

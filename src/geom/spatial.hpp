@@ -1,0 +1,63 @@
+#pragma once
+/// \file spatial.hpp
+/// A simple uniform-grid spatial index over rect-keyed items. Used by the
+/// interaction checker and the netlist extractor to find candidate pairs
+/// without quadratic scans.
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace dic::geom {
+
+class GridIndex {
+ public:
+  /// `cellSize` should be on the order of the largest interaction
+  /// distance times a few (e.g. 16 * max spacing).
+  explicit GridIndex(Coord cellSize) : cell_(cellSize > 0 ? cellSize : 1) {}
+
+  /// Insert an item with the given bounding box; `id` is caller-defined.
+  void insert(std::size_t id, const Rect& bbox) {
+    forEachCell(bbox, [&](std::int64_t key) { grid_[key].push_back(id); });
+    boxes_.push_back({id, bbox});
+  }
+
+  /// Collect ids whose grid cells intersect `query` (deduplicated;
+  /// candidates only -- caller re-tests exact geometry).
+  std::vector<std::size_t> query(const Rect& query) const {
+    std::vector<std::size_t> out;
+    forEachCell(query, [&](std::int64_t key) {
+      auto it = grid_.find(key);
+      if (it != grid_.end())
+        out.insert(out.end(), it->second.begin(), it->second.end());
+    });
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  std::size_t size() const { return boxes_.size(); }
+
+ private:
+  template <typename F>
+  void forEachCell(const Rect& r, F&& f) const {
+    const Coord x0 = floorDiv(r.lo.x), x1 = floorDiv(r.hi.x);
+    const Coord y0 = floorDiv(r.lo.y), y1 = floorDiv(r.hi.y);
+    for (Coord gy = y0; gy <= y1; ++gy)
+      for (Coord gx = x0; gx <= x1; ++gx)
+        f((gx << 24) ^ (gy & 0xffffff));
+  }
+
+  Coord floorDiv(Coord v) const {
+    return v >= 0 ? v / cell_ : -((-v + cell_ - 1) / cell_);
+  }
+
+  Coord cell_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> grid_;
+  std::vector<std::pair<std::size_t, Rect>> boxes_;
+};
+
+}  // namespace dic::geom

@@ -1,0 +1,43 @@
+#include "geom/transform.hpp"
+
+namespace dic::geom {
+
+Orient orientFromMatrix(const OrientMatrix& m) {
+  for (int i = 0; i < 8; ++i) {
+    const auto o = static_cast<Orient>(i);
+    const OrientMatrix c = orientMatrix(o);
+    if (c.a == m.a && c.b == m.b && c.c == m.c && c.d == m.d) return o;
+  }
+  return Orient::kR0;  // unreachable for valid inputs
+}
+
+Orient compose(Orient first, Orient second) {
+  const OrientMatrix f = orientMatrix(first);
+  const OrientMatrix s = orientMatrix(second);
+  // second * first (column vectors).
+  const OrientMatrix r{s.a * f.a + s.b * f.c, s.a * f.b + s.b * f.d,
+                       s.c * f.a + s.d * f.c, s.c * f.b + s.d * f.d};
+  return orientFromMatrix(r);
+}
+
+Transform compose(const Transform& first, const Transform& second) {
+  Transform r;
+  r.orient = compose(first.orient, second.orient);
+  // second(first(p)) = S*(F*p + tf) + ts = (S*F)p + (S*tf + ts)
+  const OrientMatrix s = orientMatrix(second.orient);
+  r.t = {s.a * first.t.x + s.b * first.t.y + second.t.x,
+         s.c * first.t.x + s.d * first.t.y + second.t.y};
+  return r;
+}
+
+Transform inverse(const Transform& t) {
+  const OrientMatrix m = orientMatrix(t.orient);
+  // Orthogonal matrices with integer entries: inverse == transpose.
+  const OrientMatrix inv{m.a, m.c, m.b, m.d};
+  Transform r;
+  r.orient = orientFromMatrix(inv);
+  r.t = {-(inv.a * t.t.x + inv.b * t.t.y), -(inv.c * t.t.x + inv.d * t.t.y)};
+  return r;
+}
+
+}  // namespace dic::geom

@@ -1,0 +1,86 @@
+#pragma once
+/// \file transform.hpp
+/// Orthogonal (90-degree / mirror) transforms with translation, the
+/// symmetry group used by CIF symbol calls.
+
+#include <array>
+#include <cstdint>
+
+#include "geom/rect.hpp"
+#include "geom/types.hpp"
+
+namespace dic::geom {
+
+/// The 8 orthogonal orientations. kR* are counter-clockwise rotations;
+/// kM* first mirror (about the named axis' perpendicular: kMX flips x),
+/// then rotate.
+enum class Orient : std::uint8_t {
+  kR0 = 0,
+  kR90,
+  kR180,
+  kR270,
+  kMX,     ///< x -> -x
+  kMX90,   ///< mirror x then rotate 90 CCW
+  kMY,     ///< y -> -y
+  kMY90,   ///< mirror y then rotate 90 CCW
+};
+
+/// 2x2 integer matrix with entries in {-1,0,1}; row-major (a b; c d).
+struct OrientMatrix {
+  int a, b, c, d;
+};
+
+/// Matrix of an orientation.
+constexpr OrientMatrix orientMatrix(Orient o) {
+  switch (o) {
+    case Orient::kR0: return {1, 0, 0, 1};
+    case Orient::kR90: return {0, -1, 1, 0};
+    case Orient::kR180: return {-1, 0, 0, -1};
+    case Orient::kR270: return {0, 1, -1, 0};
+    case Orient::kMX: return {-1, 0, 0, 1};
+    case Orient::kMX90: return {0, -1, -1, 0};
+    case Orient::kMY: return {1, 0, 0, -1};
+    case Orient::kMY90: return {0, 1, 1, 0};
+  }
+  return {1, 0, 0, 1};
+}
+
+/// Orientation whose matrix equals m (must be one of the 8).
+Orient orientFromMatrix(const OrientMatrix& m);
+
+/// Composition: apply `first`, then `second`.
+Orient compose(Orient first, Orient second);
+
+/// A rigid orthogonal transform: p -> M(orient) * p + t.
+struct Transform {
+  Orient orient{Orient::kR0};
+  Point t{};
+
+  friend constexpr bool operator==(const Transform&,
+                                   const Transform&) = default;
+
+  constexpr Point apply(Point p) const {
+    const OrientMatrix m = orientMatrix(orient);
+    return {m.a * p.x + m.b * p.y + t.x, m.c * p.x + m.d * p.y + t.y};
+  }
+
+  /// Transformed rect (axis-aligned in, axis-aligned out).
+  constexpr Rect apply(const Rect& r) const {
+    return makeRect(apply(r.lo), apply(r.hi));
+  }
+};
+
+/// Composition: apply `first`, then `second` (i.e. result(p) ==
+/// second.apply(first.apply(p))).
+Transform compose(const Transform& first, const Transform& second);
+
+/// Inverse transform: inverse(t).apply(t.apply(p)) == p.
+Transform inverse(const Transform& t);
+
+/// Pure translation.
+constexpr Transform translate(Point v) { return {Orient::kR0, v}; }
+
+/// Identity.
+constexpr Transform identityTransform() { return {}; }
+
+}  // namespace dic::geom

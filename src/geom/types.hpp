@@ -1,0 +1,86 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental coordinate types for the DIC geometry kernel.
+///
+/// All database coordinates are 64-bit integers. Following CIF convention
+/// the database unit is one centimicron (1/100 um); the Mead-Conway lambda
+/// used by the built-in NMOS technology is 250 units (2.5 um).
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dic::geom {
+
+/// Database coordinate. Signed 64-bit: layouts of 1e9 units square with
+/// exact 1e18 areas are representable without overflow.
+using Coord = std::int64_t;
+
+/// A point (or displacement vector) in database units.
+struct Point {
+  Coord x{0};
+  Coord y{0};
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(Coord k) const { return {x * k, y * k}; }
+  constexpr Point operator-() const { return {-x, -y}; }
+  constexpr Point& operator+=(Point o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Point& operator-=(Point o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+};
+
+/// Dot product.
+constexpr Coord dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Z component of the cross product; >0 when b is counter-clockwise from a.
+constexpr Coord cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Euclidean length as a double (exact up to ~2^53).
+inline double length(Point a) {
+  return std::hypot(static_cast<double>(a.x), static_cast<double>(a.y));
+}
+
+/// Squared Euclidean length (exact in integers while |a| < ~3e9).
+constexpr Coord length2(Point a) { return a.x * a.x + a.y * a.y; }
+
+/// Chebyshev (orthogonal-expand) length: max(|x|,|y|).
+constexpr Coord chebyshev(Point a) {
+  const Coord ax = a.x < 0 ? -a.x : a.x;
+  const Coord ay = a.y < 0 ? -a.y : a.y;
+  return ax > ay ? ax : ay;
+}
+
+/// Distance metric selector. The paper contrasts Euclidean expand/shrink
+/// (disc structuring element) with Orthogonal (square structuring element,
+/// i.e. the Chebyshev metric) -- see Fig. 3 and Fig. 4.
+enum class Metric : std::uint8_t {
+  kEuclidean,
+  kOrthogonal,
+};
+
+/// Distance between two points under the given metric, as a double.
+inline double pointDistance(Point a, Point b, Metric m) {
+  const Point d = b - a;
+  return m == Metric::kEuclidean ? length(d)
+                                 : static_cast<double>(chebyshev(d));
+}
+
+/// Printable form "(x,y)" for diagnostics.
+inline std::string toString(Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+}  // namespace dic::geom

@@ -1,0 +1,114 @@
+#include "layout/element.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dic::layout {
+
+geom::Region Element::region() const {
+  switch (kind) {
+    case ElementKind::kBox:
+      return geom::Region(box);
+    case ElementKind::kWire: {
+      const geom::Coord h = wireWidth / 2;
+      const geom::Coord h2 = wireWidth - h;  // odd widths: split h/h2
+      std::vector<geom::Rect> rects;
+      if (path.size() == 1) {
+        const geom::Point p = path[0];
+        rects.push_back({{p.x - h, p.y - h}, {p.x + h2, p.y + h2}});
+      }
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const geom::Rect seg = geom::makeRect(path[i], path[i + 1]);
+        // Square caps: extend by half the width in every direction (odd
+        // widths put the extra unit on the hi side).
+        rects.push_back({{seg.lo.x - h, seg.lo.y - h},
+                         {seg.hi.x + h2, seg.hi.y + h2}});
+      }
+      return geom::Region::fromRects(rects);
+    }
+    case ElementKind::kPolygon:
+      return geom::Polygon(path).toRegion();
+  }
+  return {};
+}
+
+geom::Rect Element::bbox() const {
+  switch (kind) {
+    case ElementKind::kBox:
+      return box;
+    case ElementKind::kWire: {
+      geom::Rect b{path[0], path[0]};
+      for (const geom::Point& p : path) {
+        b.lo.x = std::min(b.lo.x, p.x);
+        b.lo.y = std::min(b.lo.y, p.y);
+        b.hi.x = std::max(b.hi.x, p.x);
+        b.hi.y = std::max(b.hi.y, p.y);
+      }
+      const geom::Coord h = wireWidth / 2;
+      const geom::Coord h2 = wireWidth - h;
+      return {{b.lo.x - h, b.lo.y - h}, {b.hi.x + h2, b.hi.y + h2}};
+    }
+    case ElementKind::kPolygon:
+      return geom::Polygon(path).bbox();
+  }
+  return {};
+}
+
+geom::Skeleton Element::skeleton(geom::Coord minWidth) const {
+  switch (kind) {
+    case ElementKind::kBox:
+      return geom::boxSkeleton(box, minWidth);
+    case ElementKind::kWire:
+      return geom::wireSkeleton(path, wireWidth, minWidth);
+    case ElementKind::kPolygon:
+      return geom::regionSkeleton(region(), minWidth);
+  }
+  return {};
+}
+
+Element Element::transformed(const geom::Transform& t) const {
+  Element e = *this;
+  switch (kind) {
+    case ElementKind::kBox:
+      e.box = t.apply(box);
+      break;
+    case ElementKind::kWire:
+    case ElementKind::kPolygon:
+      for (geom::Point& p : e.path) p = t.apply(p);
+      break;
+  }
+  return e;
+}
+
+Element makeBox(int layer, const geom::Rect& r, std::string net) {
+  Element e;
+  e.kind = ElementKind::kBox;
+  e.layer = layer;
+  e.box = r;
+  e.net = std::move(net);
+  return e;
+}
+
+Element makeWire(int layer, std::vector<geom::Point> path, geom::Coord width,
+                 std::string net) {
+  assert(!path.empty());
+  Element e;
+  e.kind = ElementKind::kWire;
+  e.layer = layer;
+  e.path = std::move(path);
+  e.wireWidth = width;
+  e.net = std::move(net);
+  return e;
+}
+
+Element makePolygon(int layer, std::vector<geom::Point> outline,
+                    std::string net) {
+  Element e;
+  e.kind = ElementKind::kPolygon;
+  e.layer = layer;
+  e.path = std::move(outline);
+  e.net = std::move(net);
+  return e;
+}
+
+}  // namespace dic::layout

@@ -1,0 +1,53 @@
+#pragma once
+/// \file element.hpp
+/// Layout elements: the primitive geometry the checker operates on. An
+/// element keeps its identity (the paper's central tenet: "the chip is
+/// never fully instantiated; the information about what symbol the piece
+/// of geometry came from is never lost").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/region.hpp"
+#include "geom/skeleton.hpp"
+
+namespace dic::layout {
+
+enum class ElementKind : std::uint8_t { kBox, kWire, kPolygon };
+
+/// A primitive geometry element on one layer with an optional declared
+/// net identifier (the `4N` CIF extension).
+struct Element {
+  ElementKind kind{ElementKind::kBox};
+  int layer{0};      ///< index into the Technology layer table
+  std::string net;   ///< declared net label; empty = anonymous
+
+  geom::Rect box{};                 ///< kBox
+  std::vector<geom::Point> path;    ///< kWire centerline / kPolygon outline
+  geom::Coord wireWidth{0};         ///< kWire
+
+  /// The covered region. Wires have square end caps extending half the
+  /// width beyond the first/last centerline point (Manhattan wires only).
+  geom::Region region() const;
+
+  /// Bounding box of region().
+  geom::Rect bbox() const;
+
+  /// Skeleton for the legal-connection criterion, given the layer's
+  /// minimum width (Fig. 11).
+  geom::Skeleton skeleton(geom::Coord minWidth) const;
+
+  /// Transformed copy.
+  Element transformed(const geom::Transform& t) const;
+};
+
+/// Convenience constructors.
+Element makeBox(int layer, const geom::Rect& r, std::string net = {});
+Element makeWire(int layer, std::vector<geom::Point> path, geom::Coord width,
+                 std::string net = {});
+Element makePolygon(int layer, std::vector<geom::Point> outline,
+                    std::string net = {});
+
+}  // namespace dic::layout

@@ -1,0 +1,153 @@
+#include "layout/library.hpp"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace dic::layout {
+
+CellId Library::addCell(Cell cell) {
+  if (byName_.count(cell.name))
+    throw std::invalid_argument("duplicate cell name: " + cell.name);
+  const CellId id = static_cast<CellId>(cells_.size());
+  byName_[cell.name] = id;
+  cells_.push_back(std::move(cell));
+  invalidateCaches();
+  return id;
+}
+
+std::optional<CellId> Library::findCell(const std::string& name) const {
+  auto it = byName_.find(name);
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+geom::Rect Library::cellBBox(CellId id) const {
+  auto it = bboxCache_.find(id);
+  if (it != bboxCache_.end()) return it->second;
+  const Cell& c = cells_.at(id);
+  geom::Rect b{{0, 0}, {0, 0}};
+  for (const Element& e : c.elements) b = geom::bound(b, e.bbox());
+  for (const Instance& inst : c.instances)
+    b = geom::bound(b, inst.transform.apply(cellBBox(inst.cell)));
+  bboxCache_[id] = b;
+  return b;
+}
+
+void Library::forEachCellOnce(CellId root,
+                              const std::function<void(CellId)>& fn) const {
+  std::set<CellId> seen;
+  std::function<void(CellId)> rec = [&](CellId id) {
+    if (!seen.insert(id).second) return;
+    for (const Instance& inst : cells_.at(id).instances) rec(inst.cell);
+    fn(id);  // post-order: substrates before users
+  };
+  rec(root);
+}
+
+void Library::flatten(CellId root, std::vector<FlatElement>& elements,
+                      std::vector<FlatDevice>& devices,
+                      bool includeDeviceGeometry) const {
+  flattenRec(root, geom::identityTransform(), "", elements, &devices,
+             includeDeviceGeometry, false);
+}
+
+void Library::flattenRec(CellId id, const geom::Transform& t,
+                         std::string path, std::vector<FlatElement>& elements,
+                         std::vector<FlatDevice>* devices,
+                         bool includeDeviceGeometry, bool insideDevice) const {
+  const Cell& c = cells_.at(id);
+  if (c.isDevice() && !insideDevice) {
+    if (devices) {
+      FlatDevice d;
+      d.cell = id;
+      d.deviceType = c.deviceType;
+      d.path = path;
+      d.transform = t;
+      d.ports = c.ports;
+      for (Port& p : d.ports) p.at = t.apply(p.at);
+      d.bbox = t.apply(cellBBox(id));
+      devices->push_back(std::move(d));
+    }
+    if (!includeDeviceGeometry) return;
+    insideDevice = true;
+  }
+  for (std::size_t i = 0; i < c.elements.size(); ++i) {
+    FlatElement fe;
+    fe.element = c.elements[i].transformed(t);
+    fe.sourceCell = id;
+    fe.sourceIndex = i;
+    fe.path = path;
+    elements.push_back(std::move(fe));
+  }
+  int childNo = 0;
+  for (const Instance& inst : c.instances) {
+    std::string childName =
+        inst.name.empty() ? cells_.at(inst.cell).name + "_" +
+                                std::to_string(childNo)
+                          : inst.name;
+    ++childNo;
+    std::string childPath =
+        path.empty() ? childName : path + "." + childName;
+    flattenRec(inst.cell, geom::compose(inst.transform, t),
+               std::move(childPath), elements, devices, includeDeviceGeometry,
+               insideDevice);
+  }
+}
+
+void Library::flattenWindow(CellId root, const geom::Rect& window,
+                            std::vector<FlatElement>& out) const {
+  flattenWindowRec(root, geom::identityTransform(), window, "", out);
+}
+
+void Library::flattenWindowRec(CellId id, const geom::Transform& t,
+                               const geom::Rect& window, std::string path,
+                               std::vector<FlatElement>& out) const {
+  const Cell& c = cells_.at(id);
+  for (std::size_t i = 0; i < c.elements.size(); ++i) {
+    const geom::Rect b = t.apply(c.elements[i].bbox());
+    if (!geom::closedTouch(b, window)) continue;
+    FlatElement fe;
+    fe.element = c.elements[i].transformed(t);
+    fe.sourceCell = id;
+    fe.sourceIndex = i;
+    fe.path = path;
+    out.push_back(std::move(fe));
+  }
+  int childNo = 0;
+  for (const Instance& inst : c.instances) {
+    const geom::Transform ct = geom::compose(inst.transform, t);
+    const geom::Rect cb = ct.apply(cellBBox(inst.cell));
+    std::string childName =
+        inst.name.empty() ? cells_.at(inst.cell).name + "_" +
+                                std::to_string(childNo)
+                          : inst.name;
+    ++childNo;
+    if (!geom::closedTouch(cb, window)) continue;
+    flattenWindowRec(inst.cell, ct, window,
+                     path.empty() ? childName : path + "." + childName, out);
+  }
+}
+
+Library::SizeStats Library::sizeStats(CellId root) const {
+  SizeStats s;
+  forEachCellOnce(root, [&](CellId id) {
+    s.cells++;
+    s.hierarchicalElements += cells_.at(id).elements.size();
+  });
+  std::vector<FlatElement> fe;
+  std::vector<FlatDevice> fd;
+  flatten(root, fe, fd, /*includeDeviceGeometry=*/true);
+  s.flatElements = fe.size();
+  s.deviceInstancesFlat = fd.size();
+  std::function<int(CellId)> depth = [&](CellId id) {
+    int d = 1;
+    for (const Instance& inst : cells_.at(id).instances)
+      d = std::max(d, 1 + depth(inst.cell));
+    return d;
+  };
+  s.maxDepth = depth(root);
+  return s;
+}
+
+}  // namespace dic::layout

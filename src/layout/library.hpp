@@ -1,0 +1,129 @@
+#pragma once
+/// \file library.hpp
+/// The hierarchical layout database: cells, instances, and the library.
+/// Mirrors the paper's Fig. 9 structure -- functional blocks, subblocks,
+/// primitive device symbols, and interconnect at every level.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/element.hpp"
+
+namespace dic::layout {
+
+using CellId = int;
+
+/// An instance (CIF "call") of a cell under a transform.
+struct Instance {
+  CellId cell{0};
+  geom::Transform transform{};
+  std::string name;  ///< instance name for hierarchical net paths ("a.b")
+};
+
+/// A connection point exposed by a device cell: terminals like a
+/// transistor's gate/source/drain or a contact's two layer landings.
+struct Port {
+  std::string name;      ///< "G", "S", "D", "A", "B", ...
+  int layer{0};
+  geom::Rect at{};       ///< landing rect in cell coordinates
+  int internalGroup{-1}; ///< ports sharing a group are internally connected
+};
+
+/// A cell: either a composite (subblock / functional block / chip) or a
+/// primitive device symbol (deviceType non-empty; the only way devices are
+/// defined, per the paper's structured-design declaration rule).
+struct Cell {
+  std::string name;
+  std::string deviceType;  ///< e.g. "TRAN", "DTRAN", "CON_MD", "RES"; empty
+                           ///< for composite cells
+  bool prechecked{false};  ///< device marked checked by the designer
+  std::vector<Element> elements;
+  std::vector<Instance> instances;
+  std::vector<Port> ports;
+
+  bool isDevice() const { return !deviceType.empty(); }
+};
+
+/// A flattened element: geometry in chip coordinates plus full identity.
+struct FlatElement {
+  Element element;        ///< transformed into root coordinates
+  CellId sourceCell{0};   ///< the defining cell
+  std::size_t sourceIndex{0};  ///< index within that cell's elements
+  std::string path;       ///< dot-notation instance path ("blk0.inv3")
+};
+
+/// A flattened device instance with transformed ports.
+struct FlatDevice {
+  CellId cell{0};
+  std::string deviceType;
+  std::string path;  ///< dot-notation path of the device instance
+  geom::Transform transform{};
+  std::vector<Port> ports;  ///< rects in root coordinates
+  geom::Rect bbox{};
+};
+
+class Library {
+ public:
+  /// Create a cell; name must be unique.
+  CellId addCell(Cell cell);
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  Cell& cell(CellId id) { return cells_.at(id); }
+  std::size_t cellCount() const { return cells_.size(); }
+
+  std::optional<CellId> findCell(const std::string& name) const;
+
+  /// Recursive bounding box of a cell (cached; invalidated on addCell /
+  /// mutation via invalidateCaches()).
+  geom::Rect cellBBox(CellId id) const;
+
+  void invalidateCaches() const { bboxCache_.clear(); }
+
+  /// Depth-first visit of each cell reachable from root, once.
+  void forEachCellOnce(CellId root,
+                       const std::function<void(CellId)>& fn) const;
+
+  /// Flatten interconnect below `root`. Device cells are NOT descended
+  /// into (their identity is preserved and reported through `devices`);
+  /// pass includeDeviceGeometry=true to also emit device-internal
+  /// elements (used by the mask-level baseline checker, which by design
+  /// discards device knowledge).
+  void flatten(CellId root, std::vector<FlatElement>& elements,
+               std::vector<FlatDevice>& devices,
+               bool includeDeviceGeometry = false) const;
+
+  /// Windowed flattening: all elements (device internals included)
+  /// whose bbox intersects `window` (root coordinates), transformed.
+  void flattenWindow(CellId root, const geom::Rect& window,
+                     std::vector<FlatElement>& out) const;
+
+  /// Count of elements in the fully instantiated (flat) design vs the
+  /// hierarchical description -- the paper's complexity-management
+  /// argument in numbers.
+  struct SizeStats {
+    std::size_t cells{0};
+    std::size_t hierarchicalElements{0};
+    std::size_t flatElements{0};
+    std::size_t deviceInstancesFlat{0};
+    int maxDepth{0};
+  };
+  SizeStats sizeStats(CellId root) const;
+
+ private:
+  void flattenRec(CellId id, const geom::Transform& t, std::string path,
+                  std::vector<FlatElement>& elements,
+                  std::vector<FlatDevice>* devices,
+                  bool includeDeviceGeometry, bool insideDevice) const;
+  void flattenWindowRec(CellId id, const geom::Transform& t,
+                        const geom::Rect& window, std::string path,
+                        std::vector<FlatElement>& out) const;
+
+  std::vector<Cell> cells_;
+  std::map<std::string, CellId> byName_;
+  mutable std::map<CellId, geom::Rect> bboxCache_;
+};
+
+}  // namespace dic::layout

@@ -1,0 +1,226 @@
+#include <algorithm>
+#include <map>
+
+#include "geom/spatial.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/unionfind.hpp"
+
+namespace dic::netlist {
+
+namespace {
+
+/// True if the element's region (closed) touches the port rect.
+bool elementTouchesPort(const layout::Element& e, const geom::Rect& port) {
+  if (!geom::closedTouch(e.bbox(), port)) return false;
+  const geom::Region region = e.region();
+  for (const geom::Rect& r : region.rects())
+    if (geom::closedTouch(r, port)) return true;
+  return false;
+}
+
+}  // namespace
+
+Netlist extract(const layout::Library& lib, layout::CellId root,
+                const tech::Technology& tech, const ExtractOptions& opts) {
+  Netlist out;
+
+  std::vector<layout::FlatElement> elements;
+  std::vector<layout::FlatDevice> devices;
+  lib.flatten(root, elements, devices, /*includeDeviceGeometry=*/false);
+
+  // Node ids: elements first, then (device, port) pairs, then one node per
+  // distinct global label.
+  const std::size_t ne = elements.size();
+  std::vector<std::pair<std::size_t, std::size_t>> portNodes;  // (dev, port)
+  for (std::size_t d = 0; d < devices.size(); ++d)
+    for (std::size_t p = 0; p < devices[d].ports.size(); ++p)
+      portNodes.push_back({d, p});
+  std::map<std::string, std::size_t> labelNode;
+  if (opts.mergeByLabel) {
+    for (const auto& fe : elements)
+      if (!fe.element.net.empty() && opts.isGlobalLabel(fe.element.net) &&
+          !labelNode.count(fe.element.net))
+        labelNode.emplace(fe.element.net,
+                          ne + portNodes.size() + labelNode.size());
+  }
+  UnionFind uf(ne + portNodes.size() + labelNode.size());
+
+  // Precompute skeletons, regions and bboxes.
+  std::vector<geom::Skeleton> skels(ne);
+  std::vector<geom::Rect> bboxes(ne);
+  for (std::size_t i = 0; i < ne; ++i) {
+    const layout::Element& e = elements[i].element;
+    skels[i] = e.skeleton(tech.layer(e.layer).minWidth);
+    bboxes[i] = e.bbox();
+  }
+
+  // Element-element connections via the grid index.
+  const geom::Coord cell =
+      std::max<geom::Coord>(tech.lambda() * 40, 1);
+  geom::GridIndex grid(cell);
+  for (std::size_t i = 0; i < ne; ++i) grid.insert(i, bboxes[i]);
+  for (std::size_t i = 0; i < ne; ++i) {
+    for (std::size_t j : grid.query(bboxes[i])) {
+      if (j <= i) continue;
+      if (elements[i].element.layer != elements[j].element.layer) continue;
+      if (!geom::closedTouch(bboxes[i], bboxes[j])) continue;
+      if (geom::skeletonsConnected(skels[i], skels[j])) uf.unite(i, j);
+    }
+  }
+
+  // Element-port and port-port connections.
+  for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
+    const auto [d, p] = portNodes[pn];
+    const layout::Port& port = devices[d].ports[p];
+    const std::size_t node = ne + pn;
+    for (std::size_t i : grid.query(port.at)) {
+      if (elements[i].element.layer != port.layer) continue;
+      if (elementTouchesPort(elements[i].element, port.at)) uf.unite(node, i);
+    }
+    // Internal groups connect ports of the same device.
+    for (std::size_t qn = pn + 1; qn < portNodes.size(); ++qn) {
+      const auto [d2, p2] = portNodes[qn];
+      if (d2 != d) break;  // portNodes is grouped by device
+      const layout::Port& port2 = devices[d2].ports[p2];
+      if (port.internalGroup >= 0 && port.internalGroup == port2.internalGroup)
+        uf.unite(node, ne + qn);
+      // Abutting ports on the same layer short directly (butting devices).
+      if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
+        uf.unite(node, ne + qn);
+    }
+  }
+  // Port-port across devices (abutting device terminals).
+  {
+    geom::GridIndex pgrid(cell);
+    for (std::size_t pn = 0; pn < portNodes.size(); ++pn)
+      pgrid.insert(pn, devices[portNodes[pn].first].ports[portNodes[pn].second].at);
+    for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
+      const auto [d, p] = portNodes[pn];
+      const layout::Port& port = devices[d].ports[p];
+      for (std::size_t qn : pgrid.query(port.at.inflated(1))) {
+        if (qn <= pn) continue;
+        const auto [d2, p2] = portNodes[qn];
+        if (d2 == d) continue;
+        const layout::Port& port2 = devices[d2].ports[p2];
+        if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
+          uf.unite(ne + pn, ne + qn);
+      }
+    }
+  }
+
+  // Global label merging.
+  if (opts.mergeByLabel) {
+    for (std::size_t i = 0; i < ne; ++i) {
+      const std::string& label = elements[i].element.net;
+      if (!label.empty() && opts.isGlobalLabel(label))
+        uf.unite(i, labelNode.at(label));
+    }
+  }
+
+  // Build nets.
+  std::map<std::size_t, int> rootToNet;
+  auto netOf = [&](std::size_t node) {
+    const std::size_t r = uf.find(node);
+    auto it = rootToNet.find(r);
+    if (it != rootToNet.end()) return it->second;
+    const int id = static_cast<int>(out.nets.size());
+    Net n;
+    n.id = id;
+    out.nets.push_back(std::move(n));
+    rootToNet.emplace(r, id);
+    return id;
+  };
+
+  out.elementNet.resize(ne);
+  for (std::size_t i = 0; i < ne; ++i) {
+    const int id = netOf(i);
+    out.elementNet[i] = id;
+    out.nets[id].elementCount++;
+    out.nets[id].bbox = geom::bound(out.nets[id].bbox, bboxes[i]);
+    const std::string& label = elements[i].element.net;
+    if (!label.empty()) {
+      // Global labels keep their bare name; local labels are qualified
+      // with the dot-notation instance path ("a.b refers to element b in
+      // the instance a").
+      const std::string qualified =
+          elements[i].path.empty() || opts.isGlobalLabel(label)
+              ? label
+              : elements[i].path + "." + label;
+      if (!out.nets[id].hasName(qualified))
+        out.nets[id].names.push_back(qualified);
+    }
+  }
+
+  out.devices.reserve(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    ExtractedDevice ed;
+    ed.path = devices[d].path;
+    ed.type = devices[d].deviceType;
+    const tech::DeviceRules* rules = tech.deviceRules(ed.type);
+    if (rules) ed.cls = rules->cls;
+    ed.cell = devices[d].cell;
+    ed.bbox = devices[d].bbox;
+    out.devices.push_back(std::move(ed));
+  }
+  for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
+    const auto [d, p] = portNodes[pn];
+    const int id = netOf(ne + pn);
+    const std::string& portName = devices[d].ports[p].name;
+    out.devices[d].portNets[portName] = id;
+    out.nets[id].terminals.push_back({d, portName, id});
+  }
+
+  return out;
+}
+
+std::vector<std::string> compareAgainstGolden(
+    const Netlist& extracted, const std::vector<GoldenDevice>& golden) {
+  std::vector<std::string> issues;
+  if (extracted.devices.size() != golden.size())
+    issues.push_back("device count mismatch: extracted " +
+                     std::to_string(extracted.devices.size()) + ", golden " +
+                     std::to_string(golden.size()));
+
+  // Greedy bijective matching on (type, port->net-label binding). Build a
+  // consistent label mapping golden-label -> extracted-net-id.
+  std::map<std::string, int> binding;
+  std::vector<bool> used(extracted.devices.size(), false);
+  for (const GoldenDevice& g : golden) {
+    bool matched = false;
+    for (std::size_t i = 0; i < extracted.devices.size() && !matched; ++i) {
+      if (used[i] || extracted.devices[i].type != g.type) continue;
+      // Tentatively extend the binding.
+      std::map<std::string, int> trial = binding;
+      bool ok = true;
+      for (const auto& [port, label] : g.ports) {
+        auto it = extracted.devices[i].portNets.find(port);
+        if (it == extracted.devices[i].portNets.end()) {
+          ok = false;
+          break;
+        }
+        // Named nets must carry the same label in the extraction.
+        const Net& net = extracted.nets[it->second];
+        auto bit = trial.find(label);
+        if (bit == trial.end()) {
+          if ((label == "VDD" || label == "GND") && !net.hasName(label)) {
+            ok = false;
+            break;
+          }
+          trial[label] = it->second;
+        } else if (bit->second != it->second) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        binding = std::move(trial);
+        used[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) issues.push_back("no extracted device matches golden " + g.type);
+  }
+  return issues;
+}
+
+}  // namespace dic::netlist

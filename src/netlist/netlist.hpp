@@ -1,0 +1,110 @@
+#pragma once
+/// \file netlist.hpp
+/// The extracted netlist model: nets with hierarchical dot-notation names
+/// (the paper: "a.b refers to element b in the instance a"), device
+/// instances with typed terminals, and the extraction entry point.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/library.hpp"
+#include "tech/technology.hpp"
+
+namespace dic::netlist {
+
+/// A device terminal bound to a net.
+struct Terminal {
+  std::size_t device{0};  ///< index into Netlist::devices
+  std::string port;       ///< port name within the device ("G", "S", ...)
+  int net{-1};
+};
+
+/// A device instance in the extracted circuit.
+struct ExtractedDevice {
+  std::string path;  ///< hierarchical instance path
+  std::string type;  ///< CIF 4D device type string
+  tech::DeviceClass cls{tech::DeviceClass::kContact};
+  layout::CellId cell{0};
+  geom::Rect bbox{};
+  std::map<std::string, int> portNets;  ///< port name -> net id
+};
+
+/// One electrical net.
+struct Net {
+  int id{-1};
+  std::vector<std::string> names;  ///< declared labels, global names first
+  std::size_t elementCount{0};     ///< interconnect elements on the net
+  geom::Rect bbox{};               ///< bounds of the net's geometry
+  std::vector<Terminal> terminals;
+
+  /// Preferred display name: first declared label or "net<id>".
+  std::string displayName() const {
+    return names.empty() ? "net" + std::to_string(id) : names.front();
+  }
+  bool hasName(const std::string& n) const {
+    for (const auto& s : names)
+      if (s == n) return true;
+    return false;
+  }
+};
+
+/// The extracted circuit.
+struct Netlist {
+  std::vector<Net> nets;
+  std::vector<ExtractedDevice> devices;
+  /// Net id of each flattened interconnect element (parallel to the
+  /// flatten() element order used during extraction).
+  std::vector<int> elementNet;
+
+  const Net* findNet(const std::string& name) const {
+    for (const Net& n : nets)
+      if (n.hasName(name)) return &n;
+    return nullptr;
+  }
+};
+
+/// Extraction options.
+struct ExtractOptions {
+  /// Merge equal *global* labels even without touching geometry (power
+  /// rails and chip-wide buses). A label is global if it starts with one
+  /// of these prefixes; all other labels are local to their instance and
+  /// are qualified with the dot-notation path ("a.b").
+  bool mergeByLabel{true};
+  std::vector<std::string> globalPrefixes{"VDD", "GND", "BUS",
+                                          "IN",  "CLK", "PHI"};
+
+  bool isGlobalLabel(const std::string& label) const {
+    for (const std::string& p : globalPrefixes)
+      if (label.rfind(p, 0) == 0) return true;
+    return false;
+  }
+};
+
+/// Extract the netlist below `root`.
+///
+/// Connectivity rules (the paper's "check legal connections" stage):
+///  * two interconnect elements on the same layer connect iff their
+///    skeletons touch (Fig. 11);
+///  * an element connects to a device port on the same layer iff its
+///    region (closed) touches the port rect;
+///  * ports of one device instance sharing an internalGroup are connected
+///    through the device (contacts);
+///  * device classes with no internal groups (FETs) keep terminals apart.
+Netlist extract(const layout::Library& lib, layout::CellId root,
+                const tech::Technology& tech, const ExtractOptions& opts = {});
+
+/// Compare an extracted netlist against a golden device/connection list
+/// ("check the net list against an input net list for consistency").
+/// Returns human-readable mismatch descriptions (empty = consistent).
+struct GoldenDevice {
+  std::string type;
+  /// Port name -> net label. Labels are matched up to renaming; named
+  /// nets (VDD/GND) must match exactly.
+  std::map<std::string, std::string> ports;
+};
+std::vector<std::string> compareAgainstGolden(
+    const Netlist& extracted, const std::vector<GoldenDevice>& golden);
+
+}  // namespace dic::netlist

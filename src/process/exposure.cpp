@@ -1,0 +1,96 @@
+#include "process/exposure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dic::process {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+}  // namespace
+
+double ExposureModel::boxExposure(const geom::Rect& box, geom::Point p) const {
+  // I = 1/4 [erf((x2-px)/(sqrt(2) s)) - erf((x1-px)/(sqrt(2) s))] *
+  //         [erf((y2-py)/(sqrt(2) s)) - erf((y1-py)/(sqrt(2) s))]
+  const double inv = kInvSqrt2 / sigma_;
+  const double fx =
+      std::erf((static_cast<double>(box.hi.x) - static_cast<double>(p.x)) * inv) -
+      std::erf((static_cast<double>(box.lo.x) - static_cast<double>(p.x)) * inv);
+  const double fy =
+      std::erf((static_cast<double>(box.hi.y) - static_cast<double>(p.y)) * inv) -
+      std::erf((static_cast<double>(box.lo.y) - static_cast<double>(p.y)) * inv);
+  return 0.25 * fx * fy;
+}
+
+double ExposureModel::exposure(const geom::Region& mask, geom::Point p) const {
+  double sum = 0;
+  for (const geom::Rect& r : mask.rects()) sum += boxExposure(r, p);
+  return sum;
+}
+
+double ExposureModel::boxExposureNumeric(const geom::Rect& box, geom::Point p,
+                                         int samplesPerAxis) const {
+  // Simpson's rule needs an even interval count.
+  int n = samplesPerAxis;
+  if (n % 2 != 0) ++n;
+  const double x1 = static_cast<double>(box.lo.x);
+  const double x2 = static_cast<double>(box.hi.x);
+  const double y1 = static_cast<double>(box.lo.y);
+  const double y2 = static_cast<double>(box.hi.y);
+  const double hx = (x2 - x1) / n;
+  const double hy = (y2 - y1) / n;
+  const double s2 = 2.0 * sigma_ * sigma_;
+  auto w = [n](int i) { return i == 0 || i == n ? 1.0 : (i % 2 ? 4.0 : 2.0); };
+  double sum = 0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = x1 + i * hx;
+    const double dx2 = (x - static_cast<double>(p.x)) *
+                       (x - static_cast<double>(p.x));
+    for (int j = 0; j <= n; ++j) {
+      const double y = y1 + j * hy;
+      const double dy2 = (y - static_cast<double>(p.y)) *
+                         (y - static_cast<double>(p.y));
+      sum += w(i) * w(j) * std::exp(-(dx2 + dy2) / s2);
+    }
+  }
+  // Kernel normalization: A = 1 / (2 pi sigma^2) makes the plane integral 1.
+  const double a = 1.0 / (2.0 * M_PI * sigma_ * sigma_);
+  return a * sum * hx * hy / 9.0;
+}
+
+double ExposureModel::maxAlongSegment(const geom::Region& mask, geom::Point a,
+                                      geom::Point b, int samples) const {
+  double best = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = samples == 1 ? 0.5
+                                  : static_cast<double>(i) / (samples - 1);
+    const geom::Point p{
+        a.x + static_cast<geom::Coord>(std::llround(
+                  t * static_cast<double>(b.x - a.x))),
+        a.y + static_cast<geom::Coord>(std::llround(
+                  t * static_cast<double>(b.y - a.y)))};
+    best = std::max(best, exposure(mask, p));
+  }
+  return best;
+}
+
+double ExposureModel::minAlongOpenSegment(const geom::Region& mask,
+                                          geom::Point a, geom::Point b,
+                                          int samples) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (int i = 1; i + 1 < samples; ++i) {
+    const double t = static_cast<double>(i) / (samples - 1);
+    const geom::Point p{
+        a.x + static_cast<geom::Coord>(std::llround(
+                  t * static_cast<double>(b.x - a.x))),
+        a.y + static_cast<geom::Coord>(std::llround(
+                  t * static_cast<double>(b.y - a.y)))};
+    worst = std::min(worst, exposure(mask, p));
+  }
+  return worst;
+}
+
+}  // namespace dic::process

@@ -1,0 +1,58 @@
+#pragma once
+/// \file exposure.hpp
+/// 2-D process modelling for DRC (the paper's Eq. 1):
+///
+///   I(p) = integral over the mask M of a Gaussian exposure kernel
+///          A * exp(-r^2 / (2 sigma^2))
+///
+/// normalized so that a fully-covered point deep inside a large mask
+/// feature has exposure 1, a straight mask edge has exposure 1/2, and a
+/// convex corner 1/4. "If the mask function can be simplified to simple
+/// boxes ... equation (1) ... has a closed form solution in terms of an
+/// error function."
+
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace dic::process {
+
+/// A Gaussian exposure model with the given sigma (database units).
+class ExposureModel {
+ public:
+  explicit ExposureModel(double sigma) : sigma_(sigma) {}
+
+  double sigma() const { return sigma_; }
+
+  /// Closed-form exposure of one box at point p (separable erf product).
+  double boxExposure(const geom::Rect& box, geom::Point p) const;
+
+  /// Exposure of a whole mask region (sum over its disjoint rects).
+  double exposure(const geom::Region& mask, geom::Point p) const;
+
+  /// Reference value by 2-D Simpson integration of the Gaussian kernel
+  /// over the box (validation of the closed form; O(n^2) samples).
+  double boxExposureNumeric(const geom::Rect& box, geom::Point p,
+                            int samplesPerAxis = 64) const;
+
+  /// Exposure along the segment a..b, sampled at `samples` points;
+  /// returns the maximum (the paper's line-of-closest-approach check
+  /// needs the max along that line).
+  double maxAlongSegment(const geom::Region& mask, geom::Point a,
+                         geom::Point b, int samples = 65) const;
+
+  /// Minimum exposure along the *open* segment between a and b (endpoints
+  /// excluded). This is the exposure dip between two features: if even
+  /// the dip stays above the resist threshold, the features bridge.
+  double minAlongOpenSegment(const geom::Region& mask, geom::Point a,
+                             geom::Point b, int samples = 65) const;
+
+ private:
+  double sigma_;
+};
+
+/// Exposure at which developed resist reproduces a straight mask edge at
+/// its drawn position.
+inline constexpr double kEdgeThreshold = 0.5;
+
+}  // namespace dic::process

@@ -1,0 +1,81 @@
+#include "process/proximity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dic::process {
+
+ContourResult contourArea(const ExposureModel& model, const geom::Region& mask,
+                          const geom::Rect& window, double threshold,
+                          geom::Coord step) {
+  ContourResult out;
+  if (window.empty() || step <= 0) return out;
+  bool any = false;
+  geom::Rect bb{{0, 0}, {0, 0}};
+  double area = 0;
+  const double cellArea = static_cast<double>(step) * static_cast<double>(step);
+  for (geom::Coord y = window.lo.y; y < window.hi.y; y += step) {
+    for (geom::Coord x = window.lo.x; x < window.hi.x; x += step) {
+      const geom::Point p{x + step / 2, y + step / 2};
+      if (model.exposure(mask, p) < threshold) continue;
+      area += cellArea;
+      const geom::Rect cell{{x, y}, {x + step, y + step}};
+      bb = any ? geom::bound(bb, cell) : cell;
+      any = true;
+    }
+  }
+  out.area = area;
+  out.bbox = bb;
+  return out;
+}
+
+double orthogonalExpandArea(const geom::Region& mask, geom::Coord bias) {
+  return static_cast<double>(mask.expanded(bias).area());
+}
+
+double edgeBias(const ExposureModel& model, double threshold) {
+  // Isolated straight edge at x=0, mask at x<0: I(x) = (1 - erf(x /
+  // (sqrt(2) s))) / 2. Solve I(b) = threshold.
+  const double s = model.sigma();
+  double lo = -6 * s, hi = 6 * s;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2;
+    const double v = 0.5 * (1.0 - std::erf(mid / (std::sqrt(2.0) * s)));
+    if (v > threshold)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return (lo + hi) / 2;
+}
+
+BridgeAnalysis analyzeBridge(const ExposureModel& model, const geom::Rect& a,
+                             const geom::Rect& b, double threshold) {
+  BridgeAnalysis out;
+  const geom::Region ra((a));
+  const geom::Region rb((b));
+  const geom::Region both = unite(ra, rb);
+
+  // Line of closest approach between the two rects. Bridging criterion:
+  // the exposure *dip* between the features stays above threshold, so the
+  // developed resist never opens between them.
+  const geom::Point ga{std::clamp(b.center().x, a.lo.x, a.hi.x),
+                       std::clamp(b.center().y, a.lo.y, a.hi.y)};
+  const geom::Point gb{std::clamp(a.center().x, b.lo.x, b.hi.x),
+                       std::clamp(a.center().y, b.lo.y, b.hi.y)};
+  if (geom::closedTouch(a, b)) {
+    out.maxGapExposure = 1.0;
+    out.bridges = true;
+  } else {
+    out.maxGapExposure = model.minAlongOpenSegment(both, ga, gb);
+    out.bridges = out.maxGapExposure >= threshold;
+  }
+
+  // Facing-edge shift: exposure at a's edge point nearest b, with and
+  // without b present.
+  out.isolatedEdgeExposure = model.exposure(ra, ga);
+  out.facingEdgeExposure = model.exposure(both, ga);
+  return out;
+}
+
+}  // namespace dic::process

@@ -1,0 +1,51 @@
+#pragma once
+/// \file proximity.hpp
+/// Proximity-effect expand (Fig. 13): the developed image of a mask is the
+/// iso-contour of the Gaussian exposure at the resist threshold. Unlike
+/// Euclidean or Orthogonal expand, the result depends on *nearby* geometry
+/// ("a piece of geometry expands or shrinks differently if there is
+/// another piece nearby").
+
+#include "process/exposure.hpp"
+
+namespace dic::process {
+
+/// Result of contouring the exposure field on a sampled grid.
+struct ContourResult {
+  double area{0};            ///< area above threshold (developed image)
+  geom::Rect bbox{};         ///< bbox of the developed image
+  bool bridged{false};       ///< set by bridge analysis (two-feature masks)
+  double minGapExposure{0};  ///< max exposure along the inter-feature gap
+};
+
+/// Sample the exposure field of `mask` over `window` on a `step`-unit grid
+/// and measure the region with exposure >= threshold.
+ContourResult contourArea(const ExposureModel& model, const geom::Region& mask,
+                          const geom::Rect& window, double threshold,
+                          geom::Coord step);
+
+/// Developed-image area predicted for pure geometric expands, to compare
+/// against the proximity model at matched bias:
+///   orthogonal: area of Region::expanded(bias)
+///   Euclidean:  Steiner formula (geom::euclideanExpandArea)
+double orthogonalExpandArea(const geom::Region& mask, geom::Coord bias);
+
+/// Bias that a straight isolated edge moves outward at `threshold`:
+/// solves erf(b / (sqrt(2) sigma)) = 1 - 2*threshold. For threshold 0.5
+/// the bias is 0; lower thresholds expand.
+double edgeBias(const ExposureModel& model, double threshold);
+
+/// Two-feature proximity analysis (Fig. 13's point): given two mask
+/// features separated by a gap, does the exposure between them stay above
+/// threshold (features bridge) and how much does the facing-edge position
+/// shift compared to an isolated feature?
+struct BridgeAnalysis {
+  double maxGapExposure{0};
+  bool bridges{false};
+  double isolatedEdgeExposure{0};  ///< exposure at the drawn edge, isolated
+  double facingEdgeExposure{0};    ///< exposure at the drawn edge, with pair
+};
+BridgeAnalysis analyzeBridge(const ExposureModel& model, const geom::Rect& a,
+                             const geom::Rect& b, double threshold);
+
+}  // namespace dic::process

@@ -1,0 +1,113 @@
+#include "process/relational.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dic::process {
+
+double endRetreat(const ExposureModel& model, geom::Coord width,
+                  geom::Coord length, double threshold) {
+  // Wire drawn as [0, length] x [-w/2, w/2]; exposure along the centerline
+  // is closed-form. Find x* where I(x*) = threshold; retreat = length - x*.
+  const geom::Rect wire{{0, -width / 2}, {length, width - width / 2}};
+  auto at = [&](double x) {
+    // Evaluate the closed form with a double x by linear interpolation of
+    // two adjacent integer samples (the erf product is smooth; 1-unit
+    // interpolation error is negligible at sigma >= a few units).
+    const geom::Coord x0 = static_cast<geom::Coord>(std::floor(x));
+    const double f = x - static_cast<double>(x0);
+    const double a = model.boxExposure(wire, {x0, 0});
+    const double b = model.boxExposure(wire, {x0 + 1, 0});
+    return a + (b - a) * f;
+  };
+  const double mid = at(static_cast<double>(length) / 2);
+  if (mid < threshold) return static_cast<double>(length);  // wire vanishes
+  double lo = static_cast<double>(length) / 2;
+  double hi = static_cast<double>(length) + 6 * model.sigma();
+  for (int i = 0; i < 100; ++i) {
+    const double m = (lo + hi) / 2;
+    if (at(m) >= threshold)
+      lo = m;
+    else
+      hi = m;
+  }
+  return static_cast<double>(length) - (lo + hi) / 2;
+}
+
+RelationalCheck checkGateOverlapRelational(const ExposureModel& model,
+                                           geom::Coord polyWidth,
+                                           geom::Coord drawnOverlap,
+                                           geom::Coord requiredOverlap,
+                                           double threshold) {
+  RelationalCheck out;
+  // Model the poly stub beyond the gate edge as the end of a long wire of
+  // the given width.
+  const geom::Coord modelLength =
+      std::max<geom::Coord>(drawnOverlap + 8 * static_cast<geom::Coord>(
+                                               model.sigma()),
+                            10 * static_cast<geom::Coord>(model.sigma()));
+  out.retreat = endRetreat(model, polyWidth, modelLength, threshold);
+  out.effectiveOverlap = static_cast<double>(drawnOverlap) - out.retreat;
+  out.pass = out.effectiveOverlap >= static_cast<double>(requiredOverlap);
+  return out;
+}
+
+LcaSpacing checkSpacingLca(const ExposureModel& model, const geom::Region& a,
+                           const geom::Region& b, double criticalExposure,
+                           geom::Coord misalignment) {
+  LcaSpacing out;
+  if (a.empty() || b.empty()) return out;
+
+  // Find the closest rect pair -- the line of closest approach runs
+  // between their nearest points.
+  double best = std::numeric_limits<double>::infinity();
+  geom::Rect ra, rb;
+  for (const geom::Rect& x : a.rects()) {
+    for (const geom::Rect& y : b.rects()) {
+      const double d = geom::rectDistance(x, y, geom::Metric::kEuclidean);
+      if (d < best) {
+        best = d;
+        ra = x;
+        rb = y;
+      }
+    }
+  }
+  const geom::Point pa{std::clamp(rb.center().x, ra.lo.x, ra.hi.x),
+                       std::clamp(rb.center().y, ra.lo.y, ra.hi.y)};
+  const geom::Point pb{std::clamp(pa.x, rb.lo.x, rb.hi.x),
+                       std::clamp(pa.y, rb.lo.y, rb.hi.y)};
+
+  // Worst-case misalignment translates b toward a along the line of
+  // closest approach ("misalignment can be modelled by a simple
+  // translation").
+  geom::Region bMoved = b;
+  if (misalignment > 0) {
+    const geom::Point d = pa - pb;
+    const double len = geom::length(d);
+    if (len > 0) {
+      const geom::Point shift{
+          static_cast<geom::Coord>(std::llround(
+              static_cast<double>(d.x) / len *
+              static_cast<double>(misalignment))),
+          static_cast<geom::Coord>(std::llround(
+              static_cast<double>(d.y) / len *
+              static_cast<double>(misalignment)))};
+      bMoved = b.translated(shift);
+    }
+  }
+
+  // Bridging criterion: the exposure dip along the line of closest
+  // approach (endpoints sit on the shapes and are exposed by definition).
+  const geom::Region both = unite(a, bMoved);
+  if (best <= static_cast<double>(misalignment) || pa == pb) {
+    out.maxExposure = 1.0;
+    out.fails = true;
+    return out;
+  }
+  out.maxExposure = model.minAlongOpenSegment(both, pa, pb);
+  out.fails = out.maxExposure >= criticalExposure;
+  return out;
+}
+
+}  // namespace dic::process

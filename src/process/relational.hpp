@@ -1,0 +1,53 @@
+#pragma once
+/// \file relational.hpp
+/// Relational rules (Fig. 14) and spacing by line of closest approach.
+///
+/// "Relational rules are ones where one dimension of the structure depends
+/// on another feature of the same structure. For example, the poly overlap
+/// of the gate region on an MOS transistor is a function of the width of
+/// the poly in some design rules to account for the 'retreat' of the end
+/// on narrow wires."
+
+#include <optional>
+
+#include "process/exposure.hpp"
+
+namespace dic::process {
+
+/// End retreat of a wire of the given width: how far inside the drawn end
+/// the developed image's end sits, at the given resist threshold. Narrow
+/// wires retreat more (their interior exposure is lower), which is the
+/// whole point of the relational rule. Solved by bisection on the
+/// closed-form exposure along the wire centerline.
+double endRetreat(const ExposureModel& model, geom::Coord width,
+                  geom::Coord length, double threshold);
+
+/// The relational gate-overlap rule: given a poly wire of `polyWidth`
+/// whose drawn end extends `drawnOverlap` beyond the gate edge, does the
+/// *developed* poly still cover the gate edge with the required margin?
+struct RelationalCheck {
+  double retreat{0};
+  double effectiveOverlap{0};
+  bool pass{false};
+};
+RelationalCheck checkGateOverlapRelational(const ExposureModel& model,
+                                           geom::Coord polyWidth,
+                                           geom::Coord drawnOverlap,
+                                           geom::Coord requiredOverlap,
+                                           double threshold);
+
+/// Spacing by line of closest approach ("translating one element along
+/// this line (if they are on different layers), finding the maximum of the
+/// exposure function ... and comparing the value at this point against
+/// some critical value"). The statistic compared is the exposure *dip*
+/// between the features along that line: if even the dip exceeds the
+/// critical value, the resist never opens between them and they short.
+struct LcaSpacing {
+  double maxExposure{0};  ///< worst (largest surviving) dip exposure
+  bool fails{false};
+};
+LcaSpacing checkSpacingLca(const ExposureModel& model, const geom::Region& a,
+                           const geom::Region& b, double criticalExposure,
+                           geom::Coord misalignment = 0);
+
+}  // namespace dic::process

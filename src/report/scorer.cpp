@@ -1,0 +1,87 @@
+#include "report/scorer.hpp"
+
+#include <vector>
+
+namespace dic::report {
+
+namespace {
+
+/// Category compatibility: checkers report at different granularity (the
+/// baseline reports everything as width/spacing), so matching is by
+/// broad family.
+bool compatible(Category truth, Category reported) {
+  if (truth == reported) return true;
+  // An injected missing-overlap device defect may be seen as a device or
+  // width problem; an electrical short may surface as connection.
+  auto family = [](Category c) {
+    switch (c) {
+      case Category::kWidth:
+      case Category::kSelfSufficiency:
+        return 0;
+      case Category::kSpacing:
+        return 1;
+      case Category::kDevice:
+      case Category::kContactOverGate:
+      case Category::kImplicitDevice:
+        return 2;
+      case Category::kConnection:
+      case Category::kElectrical:
+        return 3;
+      case Category::kOther:
+        return 4;
+    }
+    return 4;
+  };
+  return family(truth) == family(reported);
+}
+
+}  // namespace
+
+VennCounts score(const std::vector<GroundTruth>& truths, const Report& report,
+                 geom::Coord tolerance) {
+  VennCounts out;
+  const auto& vs = report.violations();
+  std::vector<bool> violationMatched(vs.size(), false);
+
+  for (const GroundTruth& t : truths) {
+    if (!t.isRealError) continue;
+    ++out.totalReal;
+    bool matched = false;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (!compatible(t.category, vs[i].category)) continue;
+      // Electrical rules are net properties; ERC reports often carry no
+      // meaningful location, so they match by category alone.
+      const bool electrical = t.category == Category::kElectrical;
+      if (!electrical &&
+          !geom::closedTouch(t.where.inflated(tolerance), vs[i].where))
+        continue;
+      violationMatched[i] = true;
+      matched = true;
+    }
+    if (matched)
+      ++out.realFlagged;
+    else
+      ++out.realUnchecked;
+  }
+
+  // Second pass: a violation co-located with a real defect is a symptom
+  // of that defect even if it was reported under a different category
+  // (e.g. a contact-over-gate also violates cut-to-gate spacing). Only
+  // violations touching no real defect at all are false errors.
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (violationMatched[i]) continue;
+    bool nearReal = false;
+    for (const GroundTruth& t : truths) {
+      if (!t.isRealError) continue;
+      if (geom::closedTouch(t.where.inflated(tolerance), vs[i].where)) {
+        nearReal = true;
+        break;
+      }
+    }
+    if (!nearReal) ++out.falseErrors;
+  }
+
+  return out;
+}
+
+}  // namespace dic::report

@@ -1,0 +1,51 @@
+#pragma once
+/// \file scorer.hpp
+/// Ground-truth scoring: reproduces the paper's Fig. 1 Venn diagram.
+///
+/// Workload injectors record every *real* defect they create. Given a
+/// checker's Report, the scorer classifies:
+///   * flagged real errors   (Fig. 1 region 2)
+///   * unchecked real errors (Fig. 1 region 1: real but not reported)
+///   * false errors          (Fig. 1 region 3: reported but not real)
+/// and computes the false:real ratio the paper quotes as "10 to 1 or
+/// higher" for traditional checkers.
+
+#include <vector>
+
+#include "report/violation.hpp"
+
+namespace dic::report {
+
+/// One injected defect (or intentional decoy) with its expected category.
+struct GroundTruth {
+  Category category{Category::kOther};
+  geom::Rect where{};
+  bool isRealError{true};  ///< false: a legal decoy that must NOT be flagged
+  std::string note;
+};
+
+/// Fig. 1 regions.
+struct VennCounts {
+  std::size_t realFlagged{0};    ///< region 2
+  std::size_t realUnchecked{0};  ///< region 1
+  std::size_t falseErrors{0};    ///< region 3
+  std::size_t totalReal{0};
+
+  double falseToRealRatio() const {
+    return realFlagged == 0 ? static_cast<double>(falseErrors)
+                            : static_cast<double>(falseErrors) /
+                                  static_cast<double>(realFlagged);
+  }
+  double coverage() const {
+    return totalReal == 0 ? 1.0
+                          : static_cast<double>(realFlagged) /
+                                static_cast<double>(totalReal);
+  }
+};
+
+/// Match tolerance: a violation matches a truth if the categories are
+/// compatible and the rects, inflated by `tolerance`, intersect.
+VennCounts score(const std::vector<GroundTruth>& truths, const Report& report,
+                 geom::Coord tolerance);
+
+}  // namespace dic::report

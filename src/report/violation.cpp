@@ -1,0 +1,78 @@
+#include "report/violation.hpp"
+
+#include <sstream>
+
+namespace dic::report {
+
+std::string toString(Category c) {
+  switch (c) {
+    case Category::kWidth: return "WIDTH";
+    case Category::kSpacing: return "SPACING";
+    case Category::kConnection: return "CONNECTION";
+    case Category::kDevice: return "DEVICE";
+    case Category::kImplicitDevice: return "IMPLICIT_DEVICE";
+    case Category::kContactOverGate: return "CONTACT_OVER_GATE";
+    case Category::kSelfSufficiency: return "SELF_SUFFICIENCY";
+    case Category::kElectrical: return "ELECTRICAL";
+    case Category::kOther: return "OTHER";
+  }
+  return "OTHER";
+}
+
+std::size_t Report::count(Category c) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations_)
+    if (v.category == c) ++n;
+  return n;
+}
+
+std::string Report::text() const {
+  std::ostringstream os;
+  for (const Violation& v : violations_) {
+    os << (v.severity == Severity::kError
+               ? "ERROR"
+               : v.severity == Severity::kWarning ? "WARN" : "INFO")
+       << " [" << v.rule << "] " << toString(v.where);
+    if (!v.cell.empty()) os << " in " << v.cell;
+    if (!v.message.empty()) os << ": " << v.message;
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void jsonEscape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Report::json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Violation& v : violations_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"category\":";
+    jsonEscape(os, toString(v.category));
+    os << ",\"rule\":";
+    jsonEscape(os, v.rule);
+    os << ",\"where\":[" << v.where.lo.x << "," << v.where.lo.y << ","
+       << v.where.hi.x << "," << v.where.hi.y << "],\"cell\":";
+    jsonEscape(os, v.cell);
+    os << ",\"message\":";
+    jsonEscape(os, v.message);
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dic::report

@@ -1,0 +1,67 @@
+#pragma once
+/// \file violation.hpp
+/// Violation records shared by every checker (DIC pipeline, ERC,
+/// structured-design checks, and the mask-level baseline).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace dic::report {
+
+enum class Severity : std::uint8_t { kError, kWarning, kInfo };
+
+/// Rule categories -- the coarse classification used by the Fig. 1 scorer
+/// to match reported violations against injected ground truth.
+enum class Category : std::uint8_t {
+  kWidth,
+  kSpacing,
+  kConnection,       ///< illegal connection / pinched union
+  kDevice,           ///< device-rule violation (enclosure, overlap, ...)
+  kImplicitDevice,   ///< undeclared poly/diff crossing (Fig. 8)
+  kContactOverGate,  ///< Fig. 7
+  kSelfSufficiency,  ///< Fig. 15
+  kElectrical,       ///< non-geometric construction rules
+  kOther,
+};
+
+std::string toString(Category c);
+
+/// One reported problem.
+struct Violation {
+  Category category{Category::kOther};
+  Severity severity{Severity::kError};
+  std::string rule;      ///< machine id, e.g. "S.ND.DIFFNET", "ERC.PGSHORT"
+  geom::Rect where{};    ///< location in root (chip) coordinates
+  std::string cell;      ///< defining cell or instance path
+  std::string message;   ///< human-readable description
+  int layerA{-1};
+  int layerB{-1};
+};
+
+/// A set of violations with convenience queries.
+class Report {
+ public:
+  void add(Violation v) { violations_.push_back(std::move(v)); }
+  void merge(const Report& other) {
+    violations_.insert(violations_.end(), other.violations_.begin(),
+                       other.violations_.end());
+  }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t count() const { return violations_.size(); }
+  std::size_t count(Category c) const;
+  bool empty() const { return violations_.empty(); }
+
+  /// Plain-text listing, one violation per line.
+  std::string text() const;
+
+  /// Machine-readable JSON array.
+  std::string json() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace dic::report

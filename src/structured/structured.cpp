@@ -1,0 +1,210 @@
+#include "structured/structured.hpp"
+
+#include <algorithm>
+
+#include "geom/spatial.hpp"
+
+namespace dic::structured {
+
+namespace {
+
+using geom::Rect;
+using geom::Region;
+
+struct FlatShape {
+  Region region;
+  Rect bbox;
+  int layer;
+  bool fromDevice;
+  std::string deviceType;  ///< device type if fromDevice
+  std::string path;
+};
+
+std::vector<FlatShape> flattenShapes(const layout::Library& lib,
+                                     layout::CellId root) {
+  std::vector<layout::FlatElement> fe;
+  std::vector<layout::FlatDevice> fd;
+  lib.flatten(root, fe, fd, /*includeDeviceGeometry=*/true);
+  std::vector<FlatShape> out;
+  out.reserve(fe.size());
+  for (const layout::FlatElement& e : fe) {
+    FlatShape s;
+    s.region = e.element.region();
+    s.bbox = e.element.bbox();
+    s.layer = e.element.layer;
+    const layout::Cell& src = lib.cell(e.sourceCell);
+    s.fromDevice = src.isDevice();
+    s.deviceType = src.deviceType;
+    s.path = e.path;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+report::Report checkImplicitDevices(const layout::Library& lib,
+                                    layout::CellId root,
+                                    const tech::Technology& tech) {
+  report::Report rep;
+  const auto polyIdx = tech.layerByName("poly");
+  const auto diffIdx = tech.layerByName("diff");
+  const auto cutIdx = tech.layerByName("contact");
+  if (!polyIdx || !diffIdx) return rep;
+
+  const std::vector<FlatShape> shapes = flattenShapes(lib, root);
+
+  // Interconnect poly regions and diff regions (everything NOT inside a
+  // declared device symbol).
+  std::vector<const FlatShape*> poly, diff, freeCuts, devicePoly, deviceDiff;
+  for (const FlatShape& s : shapes) {
+    if (s.layer == *polyIdx) (s.fromDevice ? devicePoly : poly).push_back(&s);
+    if (s.layer == *diffIdx) (s.fromDevice ? deviceDiff : diff).push_back(&s);
+    if (cutIdx && s.layer == *cutIdx && !s.fromDevice) freeCuts.push_back(&s);
+  }
+
+  // (1) Poly x diff overlap where at least one side is interconnect:
+  // an accidental (undeclared) transistor, Fig. 8.
+  auto crossCheck = [&](const std::vector<const FlatShape*>& ps,
+                        const std::vector<const FlatShape*>& ds) {
+    if (ps.empty() || ds.empty()) return;
+    geom::GridIndex grid(tech.lambda() * 64);
+    for (std::size_t k = 0; k < ds.size(); ++k) grid.insert(k, ds[k]->bbox);
+    for (const FlatShape* p : ps) {
+      for (std::size_t k : grid.query(p->bbox)) {
+        const FlatShape* d = ds[k];
+        if (!geom::overlaps(p->bbox, d->bbox)) continue;
+        const Region x = intersect(p->region, d->region);
+        if (x.empty()) continue;
+        report::Violation v;
+        v.category = report::Category::kImplicitDevice;
+        v.rule = "STRUCT.IMPLICIT_FET";
+        v.where = x.bbox();
+        v.layerA = *polyIdx;
+        v.layerB = *diffIdx;
+        v.cell = p->path.empty() ? d->path : p->path;
+        v.message =
+            "poly crosses diffusion outside a transistor symbol (implied "
+            "device)";
+        rep.add(std::move(v));
+      }
+    }
+  };
+  crossCheck(poly, diff);        // both interconnect
+  crossCheck(poly, deviceDiff);  // stray poly over a device's diffusion
+  crossCheck(devicePoly, diff);  // device poly over stray diffusion
+
+  // (2) Free contact geometry over a declared transistor gate (Fig. 7):
+  // the gate of each FET is the poly x diff inside the device.
+  if (cutIdx && !freeCuts.empty()) {
+    for (const FlatShape* dp : devicePoly) {
+      const tech::DeviceRules* rules = tech.deviceRules(dp->deviceType);
+      if (!rules || (rules->cls != tech::DeviceClass::kEnhancementFet &&
+                     rules->cls != tech::DeviceClass::kDepletionFet))
+        continue;
+      for (const FlatShape* dd : deviceDiff) {
+        if (dd->path != dp->path) continue;  // same device instance only
+        const Region gate = intersect(dp->region, dd->region);
+        if (gate.empty()) continue;
+        for (const FlatShape* cut : freeCuts) {
+          if (!geom::overlaps(cut->bbox, gate.bbox())) continue;
+          if (!cut->region.overlaps(gate)) continue;
+          report::Violation v;
+          v.category = report::Category::kContactOverGate;
+          v.rule = "STRUCT.CONTACT_OVER_GATE";
+          v.where = intersect(cut->region, gate).bbox();
+          v.layerA = *cutIdx;
+          v.layerB = *polyIdx;
+          v.cell = dp->path;
+          v.message = "contact geometry over the active gate of " + dp->path;
+          rep.add(std::move(v));
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+report::Report checkSelfSufficiency(const layout::Library& lib,
+                                    layout::CellId root,
+                                    const tech::Technology& tech) {
+  report::Report rep;
+  lib.forEachCellOnce(root, [&](layout::CellId id) {
+    const layout::Cell& c = lib.cell(id);
+    if (c.isDevice()) return;
+    for (std::size_t i = 0; i < c.elements.size(); ++i) {
+      const layout::Element& e = c.elements[i];
+      const geom::Coord minW = tech.layer(e.layer).minWidth;
+      const Rect b = e.bbox();
+      const geom::Coord w = std::min(b.width(), b.height());
+      if (w >= minW) continue;  // a legal-width element is self-sufficient
+      // Sub-minimum element: if it butts another element on the same layer
+      // (possibly forming a legal composite), that is the Fig. 15 error.
+      for (std::size_t j = 0; j < c.elements.size(); ++j) {
+        if (j == i) continue;
+        const layout::Element& o = c.elements[j];
+        if (o.layer != e.layer) continue;
+        if (!geom::closedTouch(b, o.bbox())) continue;
+        bool touch = false;
+        const Region re = e.region();
+        const Region ro = o.region();
+        for (const Rect& ra : re.rects()) {
+          for (const Rect& rb : ro.rects())
+            if (geom::closedTouch(ra, rb)) {
+              touch = true;
+              break;
+            }
+          if (touch) break;
+        }
+        if (!touch) continue;
+        report::Violation v;
+        v.category = report::Category::kSelfSufficiency;
+        v.rule = "STRUCT.SELF_SUFFICIENT";
+        v.where = b;
+        v.layerA = e.layer;
+        v.cell = c.name;
+        v.message =
+            "sub-minimum element butts a neighbour to form a composite; "
+            "include a legal-width element and overlap symbols instead";
+        rep.add(std::move(v));
+        break;
+      }
+    }
+  });
+  return rep;
+}
+
+LocalityStats measureLocality(const layout::Library& lib,
+                              layout::CellId root) {
+  LocalityStats stats;
+  double escapeSum = 0;
+  std::size_t escapeCount = 0;
+  lib.forEachCellOnce(root, [&](layout::CellId id) {
+    const layout::Cell& c = lib.cell(id);
+    stats.cells++;
+    // A cell's "own" span is the bbox of its instances; elements reaching
+    // far beyond it are global wiring.
+    geom::Rect core{{0, 0}, {0, 0}};
+    for (const layout::Instance& inst : c.instances)
+      core = geom::bound(core, inst.transform.apply(lib.cellBBox(inst.cell)));
+    if (core.empty()) return;
+    bool escaped = false;
+    for (const layout::Element& e : c.elements) {
+      const geom::Rect b = e.bbox();
+      const geom::Coord escape =
+          std::max({core.lo.x - b.lo.x, core.lo.y - b.lo.y,
+                    b.hi.x - core.hi.x, b.hi.y - core.hi.y,
+                    geom::Coord{0}});
+      if (escape > 0) {
+        escaped = true;
+        escapeSum += static_cast<double>(escape);
+        ++escapeCount;
+      }
+    }
+    if (escaped) stats.cellsWithEscapingElements++;
+  });
+  stats.meanEscape = escapeCount ? escapeSum / escapeCount : 0.0;
+  return stats;
+}
+
+}  // namespace dic::structured

@@ -1,0 +1,46 @@
+#pragma once
+/// \file structured.hpp
+/// Structured-design usage rules (the paper's "STRUCTURED DESIGN"
+/// section): the layout analogues of declarations, typing, and locality.
+///
+///  * Declarations/typing: "The crossing of poly and diffusion outside of
+///    the context of a transistor symbol is an error." -- implicit-device
+///    detection (Fig. 8), which "replaces the need for device recognition
+///    with that for device checking".
+///  * Self-sufficiency (Fig. 15): "Butting of two boxes each of half
+///    minimum width to form a legal box is called out as an error";
+///    symbols must be self-sufficient at every level of the hierarchy.
+///  * Locality: prefer local to global elements; measured, not enforced.
+
+#include "layout/library.hpp"
+#include "report/violation.hpp"
+#include "tech/technology.hpp"
+
+namespace dic::structured {
+
+/// Implicit-device scan: flags any poly/diff crossing that does not lie
+/// inside a declared device symbol, and any contact-layer geometry over a
+/// declared transistor gate that is not part of the device itself.
+report::Report checkImplicitDevices(const layout::Library& lib,
+                                    layout::CellId root,
+                                    const tech::Technology& tech);
+
+/// Self-sufficiency: within each cell, flags sub-minimum-width elements
+/// that butt against other elements to form a legal composite (Fig. 15
+/// left). (A sub-minimum element that touches nothing is a plain width
+/// error and is stage 1's business.)
+report::Report checkSelfSufficiency(const layout::Library& lib,
+                                    layout::CellId root,
+                                    const tech::Technology& tech);
+
+/// Locality metrics: how far do elements of each cell reach outside the
+/// cell's own bounding box, and what fraction of cells are "local".
+struct LocalityStats {
+  std::size_t cells{0};
+  std::size_t cellsWithEscapingElements{0};
+  double meanEscape{0};  ///< mean escape distance (database units)
+};
+LocalityStats measureLocality(const layout::Library& lib,
+                              layout::CellId root);
+
+}  // namespace dic::structured

@@ -1,0 +1,179 @@
+#include "tech/technology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dic::tech {
+
+int Technology::addLayer(Layer l) {
+  const int idx = static_cast<int>(layers_.size());
+  layers_.push_back(std::move(l));
+  for (auto& row : spacing_) row.resize(layers_.size());
+  spacing_.emplace_back(layers_.size());
+  return idx;
+}
+
+std::optional<int> Technology::layerByName(const std::string& n) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    if (layers_[i].name == n) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::optional<int> Technology::layerByCifName(const std::string& n) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    if (layers_[i].cifName == n) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+void Technology::setSpacing(int a, int b, SpacingRule r) {
+  spacing_.at(a).at(b) = r;
+  spacing_.at(b).at(a) = r;
+}
+
+const SpacingRule& Technology::spacing(int a, int b) const {
+  return spacing_.at(a).at(b);
+}
+
+geom::Coord Technology::maxInteractionDistance() const {
+  geom::Coord m = 0;
+  for (const auto& row : spacing_)
+    for (const SpacingRule& r : row)
+      m = std::max({m, r.sameNet, r.diffNet, r.related});
+  return m;
+}
+
+void Technology::addDeviceType(const std::string& typeName,
+                               DeviceRules rules) {
+  devices_[typeName] = rules;
+}
+
+const DeviceRules* Technology::deviceRules(const std::string& typeName) const {
+  auto it = devices_.find(typeName);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+Technology nmos() {
+  // Mead-Conway lambda rules; lambda = 250 centimicrons.
+  const geom::Coord L = 250;
+  Technology t("nmos-mead-conway", L);
+
+  const int ND = t.addLayer({"diff", "ND", 2 * L, true});
+  const int NP = t.addLayer({"poly", "NP", 2 * L, true});
+  const int NC = t.addLayer({"contact", "NC", 2 * L, false});
+  const int NM = t.addLayer({"metal", "NM", 3 * L, true});
+  const int NI = t.addLayer({"implant", "NI", 2 * L, false});
+  const int NB = t.addLayer({"buried", "NB", 2 * L, false});
+  t.addLayer({"glass", "NG", 2 * L, false});
+
+  // Fig. 12 upper-triangular interaction matrix (only entries with rules;
+  // "either there is no rule between those two mask layers (as in metal
+  // and diffusion) or the only rules relate to primitive symbols").
+  // Same-net spacing is usually unnecessary (Fig. 5a); diff-diff keeps a
+  // same-net rule of 0 and diff-net 3L, etc. The "related" figure is the
+  // gate-region rule for transistor elements.
+  t.setSpacing(ND, ND, {.sameNet = 0, .diffNet = 3 * L, .related = 0});
+  t.setSpacing(NP, NP, {.sameNet = 0, .diffNet = 2 * L, .related = 0});
+  t.setSpacing(NM, NM, {.sameNet = 0, .diffNet = 3 * L, .related = 0});
+  // Poly-diffusion separation: unrelated poly must clear diffusion by 1L
+  // (crossing would form an undeclared transistor -- that is additionally
+  // caught as an implicit-device error by the structured checker).
+  t.setSpacing(NP, ND, {.sameNet = L, .diffNet = L, .related = 0});
+  // Contact cuts keep 2L clear of *unrelated* poly (gates in particular);
+  // geometry related to the cut's own net may overlap it (the landing).
+  t.setSpacing(NC, NP, {.sameNet = 0, .diffNet = 2 * L, .related = 0});
+  t.setSpacing(NB, NP, {.sameNet = 0, .diffNet = 2 * L, .related = 0});
+  t.setSpacing(NB, ND, {.sameNet = 0, .diffNet = 2 * L, .related = 0});
+  t.setSpacing(NI, NI, {.sameNet = 0, .diffNet = 2 * L, .related = 0});
+
+  t.addDeviceType("TRAN", {.cls = DeviceClass::kEnhancementFet,
+                           .gateOverlap = 2 * L,
+                           .diffOverlap = 2 * L,
+                           .implantOverlap = 0,
+                           .contactEnclosure = 0,
+                           .contactOverGateAllowed = false,
+                           .isolationContactAllowed = false});
+  t.addDeviceType("DTRAN", {.cls = DeviceClass::kDepletionFet,
+                            .gateOverlap = 2 * L,
+                            .diffOverlap = 2 * L,
+                            .implantOverlap = 2 * L,
+                            .contactEnclosure = 0,
+                            .contactOverGateAllowed = false,
+                            .isolationContactAllowed = false});
+  t.addDeviceType("RES", {.cls = DeviceClass::kResistor,
+                          .gateOverlap = 0,
+                          .diffOverlap = 0,
+                          .implantOverlap = 0,
+                          .contactEnclosure = 0,
+                          .contactOverGateAllowed = false,
+                          .isolationContactAllowed = false});
+  t.addDeviceType("CON_MD", {.cls = DeviceClass::kContact,
+                             .gateOverlap = 0,
+                             .diffOverlap = 0,
+                             .implantOverlap = 0,
+                             .contactEnclosure = L,
+                             .contactOverGateAllowed = false,
+                             .isolationContactAllowed = false});
+  t.addDeviceType("CON_MP", {.cls = DeviceClass::kContact,
+                             .gateOverlap = 0,
+                             .diffOverlap = 0,
+                             .implantOverlap = 0,
+                             .contactEnclosure = L,
+                             .contactOverGateAllowed = false,
+                             .isolationContactAllowed = false});
+  t.addDeviceType("BUTT", {.cls = DeviceClass::kButtingContact,
+                           .gateOverlap = 0,
+                           .diffOverlap = 0,
+                           .implantOverlap = 0,
+                           .contactEnclosure = L,
+                           .contactOverGateAllowed = true,
+                           .isolationContactAllowed = false});
+  t.addDeviceType("BURIED", {.cls = DeviceClass::kBuriedContact,
+                             .gateOverlap = 0,
+                             .diffOverlap = 0,
+                             .implantOverlap = 0,
+                             .contactEnclosure = L,
+                             .contactOverGateAllowed = false,
+                             .isolationContactAllowed = false});
+  t.addDeviceType("PAD", {.cls = DeviceClass::kPad,
+                          .gateOverlap = 0,
+                          .diffOverlap = 0,
+                          .implantOverlap = 0,
+                          .contactEnclosure = 0,
+                          .contactOverGateAllowed = false,
+                          .isolationContactAllowed = false});
+  return t;
+}
+
+Technology bipolar() {
+  const geom::Coord U = 100;  // 1 um grid
+  Technology t("bipolar-demo", U);
+  const int ISO = t.addLayer({"iso", "ISO", 4 * U, false});
+  const int BASE = t.addLayer({"base", "BASE", 4 * U, false});
+  const int EMIT = t.addLayer({"emit", "EMIT", 3 * U, false});
+  t.addLayer({"cont", "CONT", 2 * U, false});
+  t.addLayer({"met1", "MET1", 4 * U, true});
+
+  // Base diffusion must clear the isolation diffusion -- *unless* the
+  // device is a base resistor deliberately tied to isolation (Fig. 6).
+  t.setSpacing(BASE, ISO, {.sameNet = 2 * U, .diffNet = 2 * U, .related = 0});
+  t.setSpacing(BASE, BASE, {.sameNet = 0, .diffNet = 4 * U, .related = 0});
+  t.setSpacing(EMIT, EMIT, {.sameNet = 0, .diffNet = 3 * U, .related = 0});
+
+  t.addDeviceType("NPN", {.cls = DeviceClass::kBipolarNpn,
+                          .gateOverlap = 0,
+                          .diffOverlap = 0,
+                          .implantOverlap = 0,
+                          .contactEnclosure = U,
+                          .contactOverGateAllowed = false,
+                          .isolationContactAllowed = false});
+  t.addDeviceType("BRES", {.cls = DeviceClass::kBipolarResistor,
+                           .gateOverlap = 0,
+                           .diffOverlap = 0,
+                           .implantOverlap = 0,
+                           .contactEnclosure = U,
+                           .contactOverGateAllowed = false,
+                           .isolationContactAllowed = true});
+  return t;
+}
+
+}  // namespace dic::tech

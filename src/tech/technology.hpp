@@ -1,0 +1,137 @@
+#pragma once
+/// \file technology.hpp
+/// Technology description: layers, width rules, the Fig. 12 interaction
+/// (spacing) matrix with same-net / different-net / related sub-cases, and
+/// device rule sets.
+///
+/// The paper's design-rule taxonomy (section "DESIGN RULES"):
+///   1. legal devices and related rules        -> DeviceRules
+///   2. legal interconnect; width + connection -> Layer::minWidth
+///   3. interaction rules                      -> SpacingRule matrix
+///   4. non-geometric construction rules       -> erc module
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/types.hpp"
+
+namespace dic::tech {
+
+/// A mask layer.
+struct Layer {
+  std::string name;     ///< human name, e.g. "metal"
+  std::string cifName;  ///< CIF layer command name, e.g. "NM"
+  geom::Coord minWidth{0};
+  bool interconnect{true};  ///< may carry wiring between devices
+};
+
+/// Net relation between two elements, the sub-cases of Fig. 12.
+enum class NetRelation : std::uint8_t {
+  kSameNet,   ///< electrically equivalent (Fig. 5a: usually no check)
+  kDiffNet,   ///< distinct nets: full spacing applies
+  kRelated,   ///< elements of the same device ("the gate or implant of a
+              ///< transistor cannot be assigned to a net")
+  kUnknown,   ///< no net information (mask-level baseline checking)
+};
+
+/// One cell of the interaction matrix. A spacing of 0 means "no rule"
+/// (the paper: "most of these cases are not necessary").
+struct SpacingRule {
+  geom::Coord sameNet{0};
+  geom::Coord diffNet{0};
+  geom::Coord related{0};
+
+  geom::Coord forRelation(NetRelation r) const {
+    switch (r) {
+      case NetRelation::kSameNet: return sameNet;
+      case NetRelation::kDiffNet: return diffNet;
+      case NetRelation::kRelated: return related;
+      case NetRelation::kUnknown:
+        // Without net information the only safe rule is the widest one --
+        // this is exactly why mask-level checkers produce false errors.
+        return std::max(sameNet, std::max(diffNet, related));
+    }
+    return 0;
+  }
+
+  bool any() const { return sameNet | diffNet | related; }
+};
+
+/// Device classes recognized by the checker.
+enum class DeviceClass : std::uint8_t {
+  kEnhancementFet,
+  kDepletionFet,
+  kResistor,
+  kContact,         ///< single-cut inter-layer contact
+  kButtingContact,  ///< poly+diff butting contact (Fig. 7, legal)
+  kBuriedContact,
+  kBipolarNpn,      ///< for the Fig. 6 bipolar scenario
+  kBipolarResistor, ///< base-diffusion resistor (Fig. 6b, legal to ISO)
+  kPad,
+};
+
+/// Geometric rules for one device class (all in database units).
+struct DeviceRules {
+  DeviceClass cls{DeviceClass::kContact};
+  geom::Coord gateOverlap{0};     ///< poly past gate (FETs)
+  geom::Coord diffOverlap{0};     ///< diff past gate (FETs)
+  geom::Coord implantOverlap{0};  ///< implant past gate (depletion FETs)
+  geom::Coord contactEnclosure{0};///< surrounding layer past contact cut
+  bool contactOverGateAllowed{false};  ///< Fig. 7: false for FETs
+  bool isolationContactAllowed{false}; ///< Fig. 6: true for base resistors
+};
+
+class Technology {
+ public:
+  Technology(std::string name, geom::Coord lambda)
+      : name_(std::move(name)), lambda_(lambda) {}
+
+  const std::string& name() const { return name_; }
+  geom::Coord lambda() const { return lambda_; }
+
+  int addLayer(Layer l);
+  const Layer& layer(int i) const { return layers_.at(i); }
+  int layerCount() const { return static_cast<int>(layers_.size()); }
+  std::optional<int> layerByName(const std::string& n) const;
+  std::optional<int> layerByCifName(const std::string& n) const;
+
+  /// Symmetric spacing matrix access.
+  void setSpacing(int a, int b, SpacingRule r);
+  const SpacingRule& spacing(int a, int b) const;
+
+  /// Largest spacing in the matrix: the interaction search radius.
+  geom::Coord maxInteractionDistance() const;
+
+  /// Device type registry: CIF `4D` string -> rules.
+  void addDeviceType(const std::string& typeName, DeviceRules rules);
+  const DeviceRules* deviceRules(const std::string& typeName) const;
+
+  /// Names of special nets.
+  std::string powerNet{"VDD"};
+  std::string groundNet{"GND"};
+  std::string busPrefix{"BUS"};
+
+ private:
+  std::string name_;
+  geom::Coord lambda_;
+  std::vector<Layer> layers_;
+  std::vector<std::vector<SpacingRule>> spacing_;
+  std::map<std::string, DeviceRules> devices_;
+};
+
+/// The built-in NMOS technology (Mead & Conway lambda rules [12]);
+/// lambda = 250 centimicrons (2.5 um).
+///
+/// Layers: ND diffusion, NP poly, NC contact, NM metal, NI implant,
+/// NB buried, NG glass. Device types: TRAN, DTRAN (depletion), RES,
+/// CON_MD, CON_MP, BUTT, BURIED, PAD.
+Technology nmos();
+
+/// A minimal bipolar technology for the Fig. 6 device-dependent rule:
+/// layers ISO, BASE, EMIT, CONT, MET1; device types NPN (isolation contact
+/// forbidden) and BRES (isolation contact legal).
+Technology bipolar();
+
+}  // namespace dic::tech

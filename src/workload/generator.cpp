@@ -1,0 +1,116 @@
+#include "workload/generator.hpp"
+
+namespace dic::workload {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+Point GeneratedChip::blockOrigin(int br, int bc) const {
+  return {bc * blockPitchX, br * blockPitchY};
+}
+
+Point GeneratedChip::inverterOrigin(int br, int bc, int ir, int ic) const {
+  const Point b = blockOrigin(br, bc);
+  return {b.x + ic * invPitchX, b.y + ir * invPitchY};
+}
+
+Rect GeneratedChip::busRect(int br, int bc, int ir) const {
+  const Point b = blockOrigin(br, bc);
+  const Coord L = lambda;
+  const Coord y = b.y + ir * invPitchY + 18 * L;
+  return {{b.x, y - 3 * L / 2}, {b.x + blockW, y + 3 * L / 2}};
+}
+
+GeneratedChip generateChip(const tech::Technology& tech,
+                           const ChipParams& params) {
+  GeneratedChip chip;
+  chip.params = params;
+  chip.lambda = tech.lambda();
+  const Coord L = chip.lambda;
+  chip.cells = installNmosCells(chip.lib, tech);
+  chip.invPitchX = 26 * L;
+  chip.invPitchY = 44 * L;
+  chip.blockW = params.invCols * chip.invPitchX - 2 * L;
+  chip.blockH = params.invRows * chip.invPitchY - 4 * L;
+  chip.blockPitchX = chip.blockW + 8 * L;
+  chip.blockPitchY = chip.blockH + 8 * L;
+
+  const int nm = *tech.layerByName("metal");
+  const int np = *tech.layerByName("poly");
+
+  // ---- Functional block: an array of inverters plus block interconnect.
+  {
+    layout::Cell blk;
+    blk.name = "block";
+    for (int r = 0; r < params.invRows; ++r) {
+      for (int c = 0; c < params.invCols; ++c) {
+        blk.instances.push_back(
+            {chip.cells.inverter,
+             {geom::Orient::kR0, {c * chip.invPitchX, r * chip.invPitchY}},
+             "inv" + std::to_string(r) + "_" + std::to_string(c)});
+      }
+    }
+    for (int r = 0; r < params.invRows; ++r) {
+      const Coord y0 = r * chip.invPitchY;
+      // Block power rails, overlapping every inverter's rails exactly.
+      blk.elements.push_back(layout::makeBox(
+          nm, {{0, y0}, {chip.blockW, y0 + 3 * L}}, "GND"));
+      blk.elements.push_back(layout::makeBox(
+          nm, {{0, y0 + 37 * L}, {chip.blockW, y0 + 40 * L}}, "VDD"));
+      // Output bus for the row (a chip-global bus net). A box, not a
+      // wire: wire end caps would protrude past the block edge.
+      blk.elements.push_back(layout::makeBox(
+          nm,
+          {{0, y0 + 18 * L - 3 * L / 2}, {chip.blockW, y0 + 18 * L + 3 * L / 2}},
+          "BUSO" + std::to_string(r)));
+    }
+    // Per-column input poly lines spanning the block height.
+    for (int c = 0; c < params.invCols; ++c) {
+      const Coord x = c * chip.invPitchX;
+      blk.elements.push_back(layout::makeWire(
+          np, {{x, 0}, {x, chip.blockH}}, 2 * L, "IN" + std::to_string(c)));
+    }
+    chip.block = chip.lib.addCell(std::move(blk));
+  }
+
+  // ---- Chip: a grid of blocks plus pads.
+  {
+    layout::Cell top;
+    top.name = "chip";
+    for (int br = 0; br < params.blockRows; ++br) {
+      for (int bc = 0; bc < params.blockCols; ++bc) {
+        top.instances.push_back(
+            {chip.block,
+             {geom::Orient::kR0,
+              {bc * chip.blockPitchX, br * chip.blockPitchY}},
+             "blk" + std::to_string(br) + "_" + std::to_string(bc)});
+      }
+    }
+    if (params.withPads) {
+      // Pads along the bottom edge; each pad's tail wire is labelled with
+      // a chip-global net so the label merge binds it to that net.
+      std::vector<std::string> padNets = {"VDD", "GND"};
+      for (int c = 0; c < params.invCols; ++c)
+        padNets.push_back("IN" + std::to_string(c));
+      for (int r = 0; r < params.invRows; ++r)
+        padNets.push_back("BUSO" + std::to_string(r));
+      Coord x = 0;
+      const Coord y = -30 * L;
+      int padNo = 0;
+      for (const std::string& net : padNets) {
+        top.instances.push_back({chip.cells.pad,
+                                 {geom::Orient::kR0, {x, y}},
+                                 "pad" + std::to_string(padNo++)});
+        top.elements.push_back(layout::makeWire(
+            nm, {{x, y + 4 * L}, {x, y + 12 * L}}, 3 * L, net));
+        x += 20 * L;
+      }
+    }
+    chip.top = chip.lib.addCell(std::move(top));
+  }
+
+  return chip;
+}
+
+}  // namespace dic::workload

@@ -1,0 +1,64 @@
+#pragma once
+/// \file generator.hpp
+/// Synthetic hierarchical NMOS chip generator, following the paper's
+/// Fig. 9 structure:
+///
+///   Chip: functional blocks & interconnect
+///   Functional block: subblocks (inverter columns/rows) & interconnect
+///   Subblock (inverter): devices & interconnect
+///   Device: geometry
+///
+/// The generated chip is DRC- and ERC-clean by construction; the error
+/// injectors in inject.hpp then plant known defects (and legal decoys)
+/// with recorded ground truth for the Fig. 1 experiment.
+
+#include <string>
+#include <vector>
+
+#include "layout/library.hpp"
+#include "report/scorer.hpp"
+#include "tech/technology.hpp"
+#include "workload/nmos_cells.hpp"
+
+namespace dic::workload {
+
+struct ChipParams {
+  int blockRows{2};     ///< blocks per chip, vertically
+  int blockCols{2};     ///< blocks per chip, horizontally
+  int invRows{2};       ///< inverters per block, vertically
+  int invCols{4};       ///< inverters per block, horizontally
+  bool withPads{true};
+};
+
+/// A generated chip plus the handles injectors need.
+struct GeneratedChip {
+  layout::Library lib;
+  layout::CellId top{0};
+  layout::CellId block{0};
+  NmosCells cells{};
+  ChipParams params{};
+
+  // Geometry constants (database units).
+  geom::Coord lambda{0};
+  geom::Coord invPitchX{0}, invPitchY{0};
+  geom::Coord blockW{0}, blockH{0};
+  geom::Coord blockPitchX{0}, blockPitchY{0};
+
+  /// Origin (lower-left) of block (br, bc) in chip coordinates.
+  geom::Point blockOrigin(int br, int bc) const;
+  /// Origin of inverter (ir, ic) within block (br, bc), chip coordinates.
+  geom::Point inverterOrigin(int br, int bc, int ir, int ic) const;
+  /// The row bus rect of block (br,bc), row ir, chip coordinates.
+  geom::Rect busRect(int br, int bc, int ir) const;
+
+  std::size_t inverterCount() const {
+    return static_cast<std::size_t>(params.blockRows) * params.blockCols *
+           params.invRows * params.invCols;
+  }
+};
+
+/// Generate a clean chip.
+GeneratedChip generateChip(const tech::Technology& tech,
+                           const ChipParams& params);
+
+}  // namespace dic::workload

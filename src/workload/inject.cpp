@@ -1,0 +1,170 @@
+#include "workload/inject.hpp"
+
+#include <algorithm>
+
+namespace dic::workload {
+
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+struct Site {
+  int br, bc, ir, ic;
+};
+
+std::vector<Site> allSites(const ChipParams& p) {
+  std::vector<Site> s;
+  for (int br = 0; br < p.blockRows; ++br)
+    for (int bc = 0; bc < p.blockCols; ++bc)
+      for (int ir = 0; ir < p.invRows; ++ir)
+        for (int ic = 0; ic < p.invCols; ++ic) s.push_back({br, bc, ir, ic});
+  return s;
+}
+
+}  // namespace
+
+std::vector<report::GroundTruth> inject(GeneratedChip& chip,
+                                        const tech::Technology& tech,
+                                        const InjectionPlan& plan,
+                                        unsigned seed) {
+  std::vector<report::GroundTruth> truths;
+  layout::Cell& top = chip.lib.cell(chip.top);
+  const Coord L = chip.lambda;
+  const int nm = *tech.layerByName("metal");
+  const int np = *tech.layerByName("poly");
+  const int nc = *tech.layerByName("contact");
+
+  std::mt19937 rng(seed);
+  std::vector<Site> sites = allSites(chip.params);
+  std::shuffle(sites.begin(), sites.end(), rng);
+  std::size_t next = 0;
+  auto takeSite = [&]() -> Site {
+    const Site s = sites[next % sites.size()];
+    ++next;
+    return s;
+  };
+
+  // --- (1) real spacing violations: a stray metal box 1L from a bus end.
+  // Caught by both checkers.
+  for (int k = 0; k < plan.spacingViolations; ++k) {
+    const Site s = takeSite();
+    const Rect bus = chip.busRect(s.br, s.bc, s.ir);
+    const Rect box{{bus.lo.x - 4 * L, bus.lo.y}, {bus.lo.x - L, bus.hi.y}};
+    top.elements.push_back(layout::makeBox(nm, box));
+    truths.push_back({report::Category::kSpacing,
+                      geom::bound(box, {{bus.lo.x, bus.lo.y}, {bus.lo.x + L, bus.hi.y}}),
+                      true, "stray metal 1L from bus"});
+  }
+
+  // --- (2) legal same-net decoys: a labelled stub of the bus's own net
+  // 1L away. Electrically equivalent (Fig. 5a): a correct checker stays
+  // silent; the mask-level baseline flags it (false error).
+  for (int k = 0; k < plan.sameNetDecoys; ++k) {
+    const Site s = takeSite();
+    const Rect bus = chip.busRect(s.br, s.bc, s.ir);
+    // 1L above the bus, inside the site inverter's empty patch (clear of
+    // the gate-contact metal riser); distinct sites never overlap.
+    const geom::Coord x0 =
+        chip.blockOrigin(s.br, s.bc).x + s.ic * chip.invPitchX + 14 * L;
+    const Rect box{{x0, bus.hi.y + L}, {x0 + 6 * L, bus.hi.y + 4 * L}};
+    top.elements.push_back(
+        layout::makeBox(nm, box, "BUSO" + std::to_string(s.ir)));
+    truths.push_back({report::Category::kSpacing, box, false,
+                      "same-net decoy 1L from bus"});
+  }
+
+  // --- (3) real width violations: a 2L-wide metal box (min is 3L) in the
+  // empty margin right of the chip. Caught by both checkers.
+  const Coord marginX =
+      chip.params.blockCols * chip.blockPitchX + 10 * L;
+  for (int k = 0; k < plan.widthViolations; ++k) {
+    const Site s = takeSite();
+    const Coord x = marginX + (k % 4) * 20 * L;
+    const Coord y = chip.blockOrigin(s.br, s.bc).y + (k / 4) * 20 * L;
+    const Rect box{{x, y}, {x + 6 * L, y + 2 * L}};
+    top.elements.push_back(layout::makeBox(nm, box));
+    truths.push_back({report::Category::kWidth, box, true,
+                      "metal 2L wide, minimum 3L"});
+  }
+
+  // --- (4) accidental transistors (Fig. 8): stray poly crossing the VDD
+  // diffusion riser inside an inverter. "Most design rule checkers today
+  // will not recognize [this] as an error since it forms a legal
+  // transistor" -- baseline-unchecked, caught by DIC.
+  for (int k = 0; k < plan.accidentalFets; ++k) {
+    const Site s = takeSite();
+    const Point o = chip.inverterOrigin(s.br, s.bc, s.ir, s.ic);
+    const Rect box{{o.x + 9 * L, o.y + 30 * L}, {o.x + 15 * L, o.y + 32 * L}};
+    top.elements.push_back(layout::makeBox(np, box));
+    truths.push_back({report::Category::kImplicitDevice,
+                      {{o.x + 11 * L, box.lo.y}, {o.x + 13 * L, box.hi.y}},
+                      true, "undeclared poly/diff crossing"});
+  }
+
+  // --- (5) contact over an active gate (Fig. 7): a full contact patch
+  // (poly pad + cut + metal) on a driver gate. At mask level this is
+  // indistinguishable from a poly/butting contact (poly and metal both
+  // enclose the cut), so the baseline passes it -- unchecked. DIC knows
+  // the gate.
+  for (int k = 0; k < plan.contactsOverGate; ++k) {
+    const Site s = takeSite();
+    const Point o = chip.inverterOrigin(s.br, s.bc, s.ir, s.ic);
+    const Point g{o.x + 12 * L, o.y + 12 * L};  // driver gate center
+    const Rect cut{{g.x - L, g.y - L}, {g.x + L, g.y + L}};
+    top.elements.push_back(layout::makeBox(np, cut.inflated(L)));
+    top.elements.push_back(layout::makeBox(nc, cut));
+    top.elements.push_back(layout::makeBox(nm, cut.inflated(L)));
+    truths.push_back({report::Category::kContactOverGate, cut, true,
+                      "contact over active gate"});
+  }
+
+  // --- (6) butting halves (Fig. 15 / Fig. 2): two half-width boxes that
+  // union to a legal width. The mask-level union is legal -- unchecked by
+  // the baseline; DIC flags both the element widths and the usage rule.
+  for (int k = 0; k < plan.buttingHalves; ++k) {
+    const Site s = takeSite();
+    const Coord x = marginX + 100 * L + (k % 3) * 20 * L;
+    const Coord y = chip.blockOrigin(s.br, s.bc).y + 8 * L + (k / 3) * 20 * L;
+    const Rect a{{x, y}, {x + 6 * L, y + 3 * L / 2}};
+    const Rect b{{x, y + 3 * L / 2}, {x + 6 * L, y + 3 * L}};
+    top.elements.push_back(layout::makeBox(nm, a));
+    top.elements.push_back(layout::makeBox(nm, b));
+    truths.push_back({report::Category::kSelfSufficiency, geom::bound(a, b),
+                      true, "two half-width boxes butting"});
+  }
+
+  // --- (7) power/ground short: a vertical metal strap across a block row
+  // hits GND rail, bus and VDD rail. Geometrically legal (everything
+  // connects), so the baseline is silent -- the error is electrical.
+  for (int k = 0; k < plan.powerGroundShorts && chip.params.invCols >= 2;
+       ++k) {
+    const Site s = takeSite();
+    const Point o = chip.blockOrigin(s.br, s.bc);
+    const Coord x = o.x + (s.ic == 0 ? 0 : (s.ic - 1)) * chip.invPitchX +
+                    24 * L + L / 2;
+    const Coord y = o.y + s.ir * chip.invPitchY;
+    const Rect box{{x, y}, {x + 3 * L, y + 40 * L}};
+    top.elements.push_back(layout::makeBox(nm, box));
+    truths.push_back({report::Category::kElectrical, box, true,
+                      "metal strap shorts VDD to GND"});
+  }
+
+  // --- (8) floating nets: a labelled island with no device terminals.
+  for (int k = 0; k < plan.floatingNets; ++k) {
+    const Site s = takeSite();
+    const Coord x = marginX + 180 * L + (k % 2) * 20 * L;
+    const Coord y = chip.blockOrigin(s.br, s.bc).y + 16 * L + (k / 2) * 20 * L;
+    const Rect box{{x, y}, {x + 4 * L, y + 4 * L}};
+    top.elements.push_back(
+        layout::makeBox(nm, box, "float" + std::to_string(k)));
+    truths.push_back({report::Category::kElectrical, box, true,
+                      "net with no device terminals"});
+  }
+
+  chip.lib.invalidateCaches();
+  return truths;
+}
+
+}  // namespace dic::workload

@@ -1,0 +1,38 @@
+#pragma once
+/// \file inject.hpp
+/// Error injectors: plant known defects (and legal decoys) into a
+/// generated chip, recording ground truth for the Fig. 1 scorer.
+///
+/// Each injector documents which checker class is expected to see it:
+///   * both DIC and the mask-level baseline (real, checkable anywhere)
+///   * DIC only (the baseline's *unchecked* errors, Fig. 1 region 1)
+///   * neither -- legal decoys that only a net-blind checker flags
+///     (the baseline's *false* errors, Fig. 1 region 3)
+
+#include <random>
+
+#include "report/scorer.hpp"
+#include "workload/generator.hpp"
+
+namespace dic::workload {
+
+/// How many of each defect class to inject.
+struct InjectionPlan {
+  int spacingViolations{2};    ///< real; caught by both
+  int widthViolations{2};      ///< real; caught by both
+  int sameNetDecoys{4};        ///< legal; baseline false errors (Fig. 5a)
+  int accidentalFets{2};       ///< real; baseline-unchecked (Fig. 8)
+  int contactsOverGate{2};     ///< real; baseline-unchecked (Fig. 7)
+  int buttingHalves{2};        ///< real; baseline-unchecked (Fig. 15/2)
+  int powerGroundShorts{1};    ///< real; baseline-unchecked (electrical)
+  int floatingNets{1};         ///< real; baseline-unchecked (electrical)
+};
+
+/// Apply the plan. Mutates chip.lib's top cell (and records each site so
+/// no two injections collide) and returns the ground-truth list.
+std::vector<report::GroundTruth> inject(GeneratedChip& chip,
+                                        const tech::Technology& tech,
+                                        const InjectionPlan& plan,
+                                        unsigned seed);
+
+}  // namespace dic::workload

@@ -1,0 +1,206 @@
+#include "workload/nmos_cells.hpp"
+
+#include <stdexcept>
+
+namespace dic::workload {
+
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+using layout::Cell;
+using layout::makeBox;
+using layout::makeWire;
+
+struct Layers {
+  int nd, np, nc, nm, ni;
+};
+
+Layers layersOf(const tech::Technology& tech) {
+  auto need = [&](const char* n) {
+    const auto i = tech.layerByName(n);
+    if (!i) throw std::invalid_argument(std::string("missing layer ") + n);
+    return *i;
+  };
+  return {need("diff"), need("poly"), need("contact"), need("metal"),
+          need("implant")};
+}
+
+}  // namespace
+
+NmosCells installNmosCells(layout::Library& lib,
+                           const tech::Technology& tech) {
+  const Coord L = tech.lambda();
+  const Layers ly = layersOf(tech);
+  NmosCells ids{};
+
+  // --- metal-diffusion contact: 2Lx2L cut, 4Lx4L landings ------------------
+  {
+    Cell c;
+    c.name = "con_md";
+    c.deviceType = "CON_MD";
+    c.elements.push_back(makeBox(ly.nd, {{-2 * L, -2 * L}, {2 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nm, {{-2 * L, -2 * L}, {2 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nc, {{-L, -L}, {L, L}}));
+    c.ports.push_back({"A", ly.nd, {{-2 * L, -2 * L}, {2 * L, 2 * L}}, 0});
+    c.ports.push_back({"B", ly.nm, {{-2 * L, -2 * L}, {2 * L, 2 * L}}, 0});
+    ids.contactMD = lib.addCell(std::move(c));
+  }
+
+  // --- metal-poly contact ---------------------------------------------------
+  {
+    Cell c;
+    c.name = "con_mp";
+    c.deviceType = "CON_MP";
+    c.elements.push_back(makeBox(ly.np, {{-2 * L, -2 * L}, {2 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nm, {{-2 * L, -2 * L}, {2 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nc, {{-L, -L}, {L, L}}));
+    c.ports.push_back({"A", ly.np, {{-2 * L, -2 * L}, {2 * L, 2 * L}}, 0});
+    c.ports.push_back({"B", ly.nm, {{-2 * L, -2 * L}, {2 * L, 2 * L}}, 0});
+    ids.contactMP = lib.addCell(std::move(c));
+  }
+
+  // --- butting contact (Fig. 7 right): poly and diff abut under the cut ----
+  {
+    Cell c;
+    c.name = "butt";
+    c.deviceType = "BUTT";
+    c.elements.push_back(makeBox(ly.nd, {{-3 * L, -2 * L}, {L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.np, {{-L, -2 * L}, {3 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nm, {{-3 * L, -2 * L}, {3 * L, 2 * L}}));
+    c.elements.push_back(makeBox(ly.nc, {{-2 * L, -L}, {2 * L, L}}));
+    c.ports.push_back({"D", ly.nd, {{-3 * L, -2 * L}, {-2 * L, 2 * L}}, 0});
+    c.ports.push_back({"P", ly.np, {{2 * L, -2 * L}, {3 * L, 2 * L}}, 0});
+    c.ports.push_back({"M", ly.nm, {{-3 * L, -2 * L}, {3 * L, 2 * L}}, 0});
+    ids.butting = lib.addCell(std::move(c));
+  }
+
+  // --- enhancement FET: 2Lx2L channel, poly horizontal, diff vertical ------
+  {
+    Cell c;
+    c.name = "tran";
+    c.deviceType = "TRAN";
+    c.elements.push_back(makeBox(ly.np, {{-3 * L, -L}, {3 * L, L}}));
+    c.elements.push_back(makeBox(ly.nd, {{-L, -3 * L}, {L, 3 * L}}));
+    c.ports.push_back({"G", ly.np, {{-3 * L, -L}, {-2 * L, L}}, 0});
+    c.ports.push_back({"G2", ly.np, {{2 * L, -L}, {3 * L, L}}, 0});
+    c.ports.push_back({"S", ly.nd, {{-L, -3 * L}, {L, -2 * L}}, -1});
+    c.ports.push_back({"D", ly.nd, {{-L, 2 * L}, {L, 3 * L}}, -1});
+    ids.tran = lib.addCell(std::move(c));
+  }
+
+  // --- depletion FET: enhancement FET plus implant over the gate -----------
+  {
+    Cell c;
+    c.name = "dtran";
+    c.deviceType = "DTRAN";
+    c.elements.push_back(makeBox(ly.np, {{-3 * L, -L}, {3 * L, L}}));
+    c.elements.push_back(makeBox(ly.nd, {{-L, -3 * L}, {L, 3 * L}}));
+    c.elements.push_back(makeBox(ly.ni, {{-3 * L, -3 * L}, {3 * L, 3 * L}}));
+    c.ports.push_back({"G", ly.np, {{-3 * L, -L}, {-2 * L, L}}, 0});
+    c.ports.push_back({"G2", ly.np, {{2 * L, -L}, {3 * L, L}}, 0});
+    c.ports.push_back({"S", ly.nd, {{-L, -3 * L}, {L, -2 * L}}, -1});
+    c.ports.push_back({"D", ly.nd, {{-L, 2 * L}, {L, 3 * L}}, -1});
+    ids.dtran = lib.addCell(std::move(c));
+  }
+
+  // --- diffusion resistor (Fig. 5b: spacing matters even on one net) -------
+  {
+    Cell c;
+    c.name = "res";
+    c.deviceType = "RES";
+    c.elements.push_back(makeBox(ly.nd, {{-4 * L, -L}, {4 * L, L}}));
+    c.ports.push_back({"A", ly.nd, {{-4 * L, -L}, {-3 * L, L}}, -1});
+    c.ports.push_back({"B", ly.nd, {{3 * L, -L}, {4 * L, L}}, -1});
+    ids.resistor = lib.addCell(std::move(c));
+  }
+
+  // --- bond pad -------------------------------------------------------------
+  {
+    Cell c;
+    c.name = "pad";
+    c.deviceType = "PAD";
+    c.elements.push_back(makeBox(ly.nm, {{-4 * L, -4 * L}, {4 * L, 4 * L}}));
+    c.ports.push_back({"P", ly.nm, {{-4 * L, -4 * L}, {4 * L, 4 * L}}, 0});
+    ids.pad = lib.addCell(std::move(c));
+  }
+
+  // --- depletion-load inverter ----------------------------------------------
+  // Occupies [0,24L] x [0,40L]. GND rail y [0,3L], VDD rail y [37L,40L].
+  // Driver TRAN at (12L,12L), load DTRAN at (12L,24L); output node via a
+  // metal-diff contact at (12L,18L); load gate tied to the output through
+  // a metal-poly contact at (5L,24L); VDD/GND taps via metal-diff
+  // contacts sitting on the rail centerlines.
+  {
+    Cell c;
+    c.name = "inv";
+    auto at = [&](Coord xl, Coord yl) { return Point{xl * L, yl * L}; };
+    auto box = [&](Coord x1, Coord y1, Coord x2, Coord y2) {
+      return Rect{{x1 * L, y1 * L}, {x2 * L, y2 * L}};
+    };
+
+    // Rails (labelled: these are the chip-global power nets).
+    c.elements.push_back(makeBox(ly.nm, box(0, 0, 24, 3), "GND"));
+    c.elements.push_back(makeBox(ly.nm, box(0, 37, 24, 40), "VDD"));
+
+    // Devices. The rail taps sit with their centers on the rail
+    // centerlines (y = 1.5L and 38.5L), so their metal skeletons touch
+    // the rail skeletons.
+    const geom::Transform id{};
+    (void)id;
+    c.instances.push_back({ids.tran, {geom::Orient::kR0, at(12, 12)}, "t1"});
+    c.instances.push_back({ids.dtran, {geom::Orient::kR0, at(12, 24)}, "t2"});
+    c.instances.push_back(
+        {ids.contactMD, {geom::Orient::kR0, at(12, 18)}, "cout"});
+    c.instances.push_back(
+        {ids.contactMP, {geom::Orient::kR0, at(5, 24)}, "cgate"});
+    c.instances.push_back(
+        {ids.contactMD, {geom::Orient::kR0, {12 * L, 3 * L / 2}}, "cgnd"});
+    c.instances.push_back(
+        {ids.contactMD,
+         {geom::Orient::kR0, {12 * L, 38 * L + L / 2}},
+         "cvdd"});
+
+    // Interconnect (drawn at minimum width where possible).
+    // Driver source down to the GND tap.
+    c.elements.push_back(
+        makeWire(ly.nd, {{12 * L, 3 * L / 2}, at(12, 9)}, 2 * L));
+    // Driver drain up to the output contact.
+    c.elements.push_back(makeWire(ly.nd, {at(12, 15), at(12, 18)}, 2 * L));
+    // Load source down to the output contact.
+    c.elements.push_back(makeWire(ly.nd, {at(12, 18), at(12, 21)}, 2 * L));
+    // Load drain up to the VDD tap.
+    c.elements.push_back(
+        makeWire(ly.nd, {at(12, 27), {12 * L, 38 * L + L / 2}}, 2 * L));
+    // Load gate to the gate contact (poly).
+    c.elements.push_back(makeWire(ly.np, {at(5, 24), at(9, 24)}, 2 * L));
+    // Gate contact down and over to the output contact (metal).
+    c.elements.push_back(
+        makeWire(ly.nm, {at(5, 24), at(5, 18), at(12, 18)}, 3 * L));
+    // Output stub to the right edge (metal), the OUT attachment.
+    c.elements.push_back(makeWire(ly.nm, {at(12, 18), at(22, 18)}, 3 * L));
+    // Input poly from the left edge to the driver gate.
+    c.elements.push_back(makeWire(ly.np, {at(0, 12), at(9, 12)}, 2 * L));
+
+    ids.inverter = lib.addCell(std::move(c));
+  }
+
+  return ids;
+}
+
+InverterGeometry inverterGeometry(const tech::Technology& tech) {
+  const Coord L = tech.lambda();
+  InverterGeometry g;
+  g.width = 24 * L;
+  g.height = 40 * L;
+  g.inAt = {0, 12 * L};
+  g.outAt = {22 * L, 18 * L};
+  g.driverGate = {12 * L, 12 * L};
+  g.loadGate = {12 * L, 24 * L};
+  g.gndRail = {{0, 0}, {24 * L, 3 * L}};
+  g.vddRail = {{0, 37 * L}, {24 * L, 40 * L}};
+  return g;
+}
+
+}  // namespace dic::workload

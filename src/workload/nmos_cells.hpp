@@ -1,0 +1,50 @@
+#pragma once
+/// \file nmos_cells.hpp
+/// The NMOS device and cell library used by the synthetic chip generator:
+/// Mead-Conway style primitive devices (declared with device types and
+/// ports, per the paper's structured-design declaration rule) and a
+/// depletion-load inverter laid out to be DRC-clean under the built-in
+/// NMOS rules.
+///
+/// All device cells here follow the paper's rule that "devices ... be
+/// called out specifically and their type defined. Implied devices are
+/// not allowed."
+
+#include "layout/library.hpp"
+#include "tech/technology.hpp"
+
+namespace dic::workload {
+
+/// Ids of the standard cells installed by installNmosCells().
+struct NmosCells {
+  layout::CellId contactMD;  ///< metal-diffusion contact (CON_MD)
+  layout::CellId contactMP;  ///< metal-poly contact (CON_MP)
+  layout::CellId butting;    ///< butting contact (BUTT)
+  layout::CellId tran;       ///< enhancement FET (TRAN)
+  layout::CellId dtran;      ///< depletion FET (DTRAN)
+  layout::CellId resistor;   ///< diffusion resistor (RES)
+  layout::CellId pad;        ///< bond pad (PAD)
+  layout::CellId inverter;   ///< depletion-load inverter (composite)
+};
+
+/// Install the cells into `lib` using the layer indices of `tech` (must be
+/// the built-in NMOS technology or one with the same layer names).
+NmosCells installNmosCells(layout::Library& lib, const tech::Technology& tech);
+
+/// Inverter layout constants (database units; lambda = tech.lambda()).
+/// The inverter occupies [0, invWidth] x [0, invHeight]; IN is poly at
+/// (0, 12L); OUT is metal reaching (22L, 18L); rails span the full width
+/// at y [0, 3L] (GND) and [37L, 40L] (VDD).
+struct InverterGeometry {
+  geom::Coord width;        ///< 24 lambda
+  geom::Coord height;       ///< 40 lambda
+  geom::Point inAt;         ///< IN poly attachment
+  geom::Point outAt;        ///< OUT metal attachment
+  geom::Point driverGate;   ///< center of the driver's gate
+  geom::Point loadGate;     ///< center of the load's gate
+  geom::Rect gndRail;
+  geom::Rect vddRail;
+};
+InverterGeometry inverterGeometry(const tech::Technology& tech);
+
+}  // namespace dic::workload

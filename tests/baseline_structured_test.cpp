@@ -1,0 +1,213 @@
+// Tests for the mask-level baseline checker and the structured-design
+// checks: exactly the false/unchecked error behaviours the paper predicts.
+#include <gtest/gtest.h>
+
+#include "baseline/flat_drc.hpp"
+#include "structured/structured.hpp"
+#include "workload/generator.hpp"
+#include "workload/inject.hpp"
+
+namespace dic {
+namespace {
+
+using geom::makeRect;
+using layout::makeBox;
+using layout::makeWire;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  tech::Technology t = tech::nmos();
+  const int nm = *t.layerByName("metal");
+  const int nd = *t.layerByName("diff");
+  const int np = *t.layerByName("poly");
+  const int nc = *t.layerByName("contact");
+  const geom::Coord L = t.lambda();
+};
+
+TEST_F(BaselineTest, CleanGeometryPasses) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  top.elements.push_back(makeBox(nm, makeRect(0, 6 * L, 10 * L, 9 * L)));
+  const auto root = lib.addCell(std::move(top));
+  EXPECT_TRUE(baseline::check(lib, root, t).empty());
+}
+
+TEST_F(BaselineTest, RealSpacingCaught) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  top.elements.push_back(makeBox(nm, makeRect(0, 4 * L, 10 * L, 7 * L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_EQ(rep.count(report::Category::kSpacing), 1u);
+}
+
+TEST_F(BaselineTest, SameNetDecoyIsFalseError) {
+  // The same two boxes, now labelled as one net: still flagged (the
+  // baseline has no nets) -- the Fig. 5a false error.
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "A"));
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 4 * L, 10 * L, 7 * L), "A"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_EQ(rep.count(report::Category::kSpacing), 1u);
+}
+
+TEST_F(BaselineTest, AccidentalTransistorUnchecked) {
+  // Poly overlapping diff "forms a legal transistor" at mask level.
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeWire(nd, {{0, 0}, {20 * L, 0}}, 2 * L));
+  top.elements.push_back(
+      makeWire(np, {{10 * L, -10 * L}, {10 * L, 10 * L}}, 2 * L));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(BaselineTest, PolyDiffNearMissIsFlagged) {
+  // Not overlapping, 0.5L apart: a genuine inter-layer spacing error the
+  // baseline does catch.
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nd, makeRect(0, 0, 10 * L, 2 * L)));
+  top.elements.push_back(
+      makeBox(np, makeRect(0, 2 * L + L / 2, 10 * L, 4 * L + L / 2)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_EQ(rep.count(report::Category::kSpacing), 1u) << rep.text();
+}
+
+TEST_F(BaselineTest, ContactOverGateLooksLikeButtingContact) {
+  // Cut enclosed by poly, diff and metal: passes at mask level even
+  // though it sits on a transistor gate (Fig. 7's unchecked error).
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(np, makeRect(-3 * L, -L, 3 * L, L)));
+  top.elements.push_back(makeBox(nd, makeRect(-2 * L, -3 * L, 2 * L, 3 * L)));
+  top.elements.push_back(makeBox(nm, makeRect(-2 * L, -2 * L, 2 * L, 2 * L)));
+  top.elements.push_back(makeBox(nc, makeRect(-L, -L, L, L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_EQ(rep.count(report::Category::kDevice), 0u) << rep.text();
+}
+
+TEST_F(BaselineTest, BareContactCaught) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nc, makeRect(-L, -L, L, L)));
+  top.elements.push_back(makeBox(nm, makeRect(-2 * L, -2 * L, 2 * L, 2 * L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);  // no poly/diff landing
+  EXPECT_EQ(rep.count(report::Category::kDevice), 1u);
+}
+
+TEST_F(BaselineTest, ButtingHalvesUnchecked) {
+  // Two half-width boxes unioned at mask level look legal (Fig. 2/15).
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 0, 6 * L, 3 * L / 2)));
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 3 * L / 2, 6 * L, 3 * L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = baseline::check(lib, root, t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(BaselineTest, EuclideanModeFlagsCorners) {
+  // Fig. 4: in Euclidean mode a perfectly legal box gets 4 corner flags.
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 10 * L)));
+  const auto root = lib.addCell(std::move(top));
+  baseline::Options o;
+  o.metric = geom::Metric::kEuclidean;
+  const auto rep = baseline::check(lib, root, t, o);
+  EXPECT_EQ(rep.count(report::Category::kWidth), 4u);
+}
+
+// --- structured checks --------------------------------------------------------
+
+class StructuredTest : public BaselineTest {};
+
+TEST_F(StructuredTest, ImplicitDeviceDetected) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeWire(nd, {{0, 0}, {20 * L, 0}}, 2 * L));
+  top.elements.push_back(
+      makeWire(np, {{10 * L, -10 * L}, {10 * L, 10 * L}}, 2 * L));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = structured::checkImplicitDevices(lib, root, t);
+  ASSERT_EQ(rep.count(report::Category::kImplicitDevice), 1u);
+}
+
+TEST_F(StructuredTest, DeclaredTransistorNotFlagged) {
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back({cells.tran, {geom::Orient::kR0, {0, 0}}, "t"});
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = structured::checkImplicitDevices(lib, root, t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(StructuredTest, StrayContactOverDeclaredGate) {
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back({cells.tran, {geom::Orient::kR0, {0, 0}}, "t"});
+  top.elements.push_back(makeBox(nc, makeRect(-L, -L, L, L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = structured::checkImplicitDevices(lib, root, t);
+  EXPECT_EQ(rep.count(report::Category::kContactOverGate), 1u) << rep.text();
+}
+
+TEST_F(StructuredTest, SelfSufficiencyButtingHalves) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 6 * L, 3 * L / 2)));
+  top.elements.push_back(makeBox(nm, makeRect(0, 3 * L / 2, 6 * L, 3 * L)));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = structured::checkSelfSufficiency(lib, root, t);
+  EXPECT_GE(rep.count(report::Category::kSelfSufficiency), 1u);
+}
+
+TEST_F(StructuredTest, OverlappedLegalSymbolsPass) {
+  // Fig. 15 right: "include a legal width box in each symbol and ...
+  // overlap the symbols".
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  top.elements.push_back(makeBox(nm, makeRect(8 * L, 0, 18 * L, 3 * L)));
+  const auto root = lib.addCell(std::move(top));
+  EXPECT_TRUE(structured::checkSelfSufficiency(lib, root, t).empty());
+}
+
+TEST_F(StructuredTest, LocalityOfGeneratedChip) {
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 1, .blockCols = 2, .invRows = 2, .invCols = 2,
+          .withPads = false});
+  const auto stats = structured::measureLocality(chip.lib, chip.top);
+  EXPECT_GE(stats.cells, 3u);
+}
+
+}  // namespace
+}  // namespace dic

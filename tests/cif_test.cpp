@@ -1,0 +1,161 @@
+// Tests for the CIF parser/writer including the DIC 4N/4D extensions.
+#include <gtest/gtest.h>
+
+#include "cif/parser.hpp"
+#include "cif/writer.hpp"
+
+namespace dic::cif {
+namespace {
+
+TEST(CifParser, MinimalFile) {
+  const CifFile f = parse("E");
+  EXPECT_TRUE(f.symbols.empty());
+  EXPECT_TRUE(f.top.elements.empty());
+}
+
+TEST(CifParser, BoxWithLayer) {
+  const CifFile f = parse("L NM; B 20 10 5 5; E");
+  ASSERT_EQ(f.top.elements.size(), 1u);
+  const CifElement& e = f.top.elements[0];
+  EXPECT_EQ(e.kind, CifElement::Kind::kBox);
+  EXPECT_EQ(e.layer, "NM");
+  EXPECT_EQ(e.length, 20);
+  EXPECT_EQ(e.width, 10);
+  EXPECT_EQ(e.center, (geom::Point{5, 5}));
+}
+
+TEST(CifParser, BoxWithRotatedDirection) {
+  // Direction (0,1) swaps length and width.
+  const CifFile f = parse("L NM; B 20 10 0 0 0 1; E");
+  ASSERT_EQ(f.top.elements.size(), 1u);
+  EXPECT_EQ(f.top.elements[0].length, 10);
+  EXPECT_EQ(f.top.elements[0].width, 20);
+}
+
+TEST(CifParser, WireAndPolygon) {
+  const CifFile f = parse("L NP; W 4 0 0 10 0 10 10; P 0 0 8 0 0 8; E");
+  ASSERT_EQ(f.top.elements.size(), 2u);
+  EXPECT_EQ(f.top.elements[0].kind, CifElement::Kind::kWire);
+  EXPECT_EQ(f.top.elements[0].width, 4);
+  ASSERT_EQ(f.top.elements[0].path.size(), 3u);
+  EXPECT_EQ(f.top.elements[1].kind, CifElement::Kind::kPolygon);
+  ASSERT_EQ(f.top.elements[1].path.size(), 3u);
+}
+
+TEST(CifParser, RoundFlash) {
+  const CifFile f = parse("L NM; R 10 3 4; E");
+  ASSERT_EQ(f.top.elements.size(), 1u);
+  EXPECT_EQ(f.top.elements[0].kind, CifElement::Kind::kFlash);
+  EXPECT_EQ(f.top.elements[0].width, 10);
+}
+
+TEST(CifParser, SymbolDefinitionAndCall) {
+  const CifFile f = parse(
+      "DS 1; 9 cellA; L ND; B 4 4 0 0; DF;"
+      "C 1 T 100 200; C 1 M X T 5 5; E");
+  ASSERT_EQ(f.symbols.size(), 1u);
+  EXPECT_EQ(f.symbols.at(1).name, "cellA");
+  ASSERT_EQ(f.top.calls.size(), 2u);
+  EXPECT_EQ(f.top.calls[0].transform.t, (geom::Point{100, 200}));
+  EXPECT_EQ(f.top.calls[1].transform.orient, geom::Orient::kMX);
+}
+
+TEST(CifParser, CallTransformComposition) {
+  // Mirror then translate: p -> (-p.x + 5, p.y + 7).
+  const CifFile f = parse("DS 1; L ND; B 2 2 0 0; DF; C 1 M X T 5 7; E");
+  const geom::Transform t = f.top.calls[0].transform;
+  EXPECT_EQ(t.apply(geom::Point{1, 1}), (geom::Point{4, 8}));
+}
+
+TEST(CifParser, RotationCommand) {
+  const CifFile f = parse("DS 1; L ND; B 2 2 0 0; DF; C 1 R 0 1; E");
+  EXPECT_EQ(f.top.calls[0].transform.orient, geom::Orient::kR90);
+}
+
+TEST(CifParser, NetExtensionAppliesToNextPrimitive) {
+  const CifFile f = parse("L NM; 4N VDD; B 4 4 0 0; B 4 4 20 0; E");
+  ASSERT_EQ(f.top.elements.size(), 2u);
+  EXPECT_EQ(f.top.elements[0].net, "VDD");
+  EXPECT_EQ(f.top.elements[1].net, "");
+}
+
+TEST(CifParser, DeviceTypeExtension) {
+  const CifFile f =
+      parse("DS 2; 9 mytran; 4D TRAN; L NP; B 6 2 0 0; DF; E");
+  EXPECT_EQ(f.symbols.at(2).deviceType, "TRAN");
+}
+
+TEST(CifParser, DsScaleFactor) {
+  const CifFile f = parse("DS 1 2 1; L ND; B 4 4 0 0; DF; E");
+  EXPECT_EQ(f.symbols.at(1).scaleNum, 2);
+  EXPECT_EQ(f.symbols.at(1).scaleDen, 1);
+}
+
+TEST(CifParser, CommentsAndSeparators) {
+  const CifFile f =
+      parse("(header comment (nested));\nL NM;\n  B 4,4 0 0; E");
+  ASSERT_EQ(f.top.elements.size(), 1u);
+}
+
+TEST(CifParser, Errors) {
+  EXPECT_THROW(parse("L NM; B 4 4 0 0;"), CifError);        // missing E
+  EXPECT_THROW(parse("B 4 4 0 0; E"), CifError);            // no layer
+  EXPECT_THROW(parse("L NM; B 0 4 0 0; E"), CifError);      // zero box
+  EXPECT_THROW(parse("DS 1; DS 2; DF; DF; E"), CifError);   // nested DS
+  EXPECT_THROW(parse("DF; E"), CifError);                   // DF without DS
+  EXPECT_THROW(parse("DS 1; L ND; B 2 2 0 0; DF; DS 1; DF; E"),
+               CifError);                                   // duplicate id
+  EXPECT_THROW(parse("L NM; W 4; E"), CifError);            // empty wire
+  EXPECT_THROW(parse("Z 1 2; E"), CifError);                // unknown cmd
+  EXPECT_THROW(parse("L NM; B 4 4 0 0 1 1; E"), CifError);  // 45-degree box
+}
+
+TEST(CifParser, ErrorCarriesOffset) {
+  try {
+    parse("L NM; Q;");
+    FAIL() << "expected CifError";
+  } catch (const CifError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(CifWriter, RoundTrip) {
+  const std::string src =
+      "DS 1; 9 leaf; 4D TRAN; L NP; B 6 2 0 0; L ND; 4N a; B 2 6 0 0; DF;"
+      "DS 2; 9 mid; L NM; W 4 0 0 20 0; DF;"
+      "9 top; C 1 T 10 10; C 2 M Y T 0 50; L NM; 4N VDD; B 8 4 4 2; E";
+  const CifFile f1 = parse(src);
+  const std::string out = write(f1);
+  const CifFile f2 = parse(out);
+  ASSERT_EQ(f2.symbols.size(), f1.symbols.size());
+  EXPECT_EQ(f2.symbols.at(1).deviceType, "TRAN");
+  EXPECT_EQ(f2.symbols.at(1).elements[1].net, "a");
+  EXPECT_EQ(f2.top.calls.size(), f1.top.calls.size());
+  EXPECT_EQ(f2.top.calls[1].transform, f1.top.calls[1].transform);
+  EXPECT_EQ(f2.top.elements[0].net, "VDD");
+}
+
+TEST(CifWriter, AllOrientationsRoundTrip) {
+  for (int i = 0; i < 8; ++i) {
+    CifFile f;
+    CifSymbol sym;
+    sym.id = 1;
+    CifElement e;
+    e.kind = CifElement::Kind::kBox;
+    e.layer = "NM";
+    e.length = 4;
+    e.width = 2;
+    sym.elements.push_back(e);
+    f.symbols[1] = sym;
+    f.top.calls.push_back(
+        {1, {static_cast<geom::Orient>(i), {10, -20}}});
+    const CifFile g = parse(write(f));
+    ASSERT_EQ(g.top.calls.size(), 1u) << i;
+    EXPECT_EQ(g.top.calls[0].transform,
+              (geom::Transform{static_cast<geom::Orient>(i), {10, -20}}))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace dic::cif

@@ -1,0 +1,336 @@
+// Tests for the DIC pipeline stages (Fig. 10) and the paper's headline
+// behaviours: per-symbol checking, net-aware interactions, device rules.
+#include <gtest/gtest.h>
+
+#include "drc/checker.hpp"
+#include "drc/stages.hpp"
+#include "workload/generator.hpp"
+
+namespace dic::drc {
+namespace {
+
+using geom::makeRect;
+using layout::makeBox;
+using layout::makeWire;
+
+class DrcTest : public ::testing::Test {
+ protected:
+  tech::Technology t = tech::nmos();
+  const int nd = *t.layerByName("diff");
+  const int np = *t.layerByName("poly");
+  const int nm = *t.layerByName("metal");
+  const int ncut = *t.layerByName("contact");
+  const geom::Coord L = t.lambda();
+};
+
+// --- Stage 1: element checks -----------------------------------------------
+
+TEST_F(DrcTest, ElementWidthBoxOk) {
+  EXPECT_TRUE(
+      checkElementWidth(makeBox(nm, makeRect(0, 0, 3 * L, 10 * L)), t)
+          .empty());
+}
+
+TEST_F(DrcTest, ElementWidthBoxNarrow) {
+  const auto v =
+      checkElementWidth(makeBox(nm, makeRect(0, 0, 2 * L, 10 * L)), t);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].category, report::Category::kWidth);
+  EXPECT_EQ(v[0].rule, "W.metal");
+}
+
+TEST_F(DrcTest, ElementWidthWire) {
+  EXPECT_TRUE(
+      checkElementWidth(makeWire(np, {{0, 0}, {10 * L, 0}}, 2 * L), t)
+          .empty());
+  EXPECT_FALSE(
+      checkElementWidth(makeWire(np, {{0, 0}, {10 * L, 0}}, L), t).empty());
+}
+
+TEST_F(DrcTest, ElementWidthPolygonNeedsGeneralRoutine) {
+  // An L-polygon with one thin arm.
+  const auto v = checkElementWidth(
+      layout::makePolygon(nm, {{0, 0},
+                               {10 * L, 0},
+                               {10 * L, L},
+                               {3 * L, L},
+                               {3 * L, 10 * L},
+                               {0, 10 * L}}),
+      t);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].category, report::Category::kWidth);
+}
+
+TEST_F(DrcTest, NonManhattanFlagged) {
+  const auto v = checkElementWidth(
+      layout::makePolygon(nm, {{0, 0}, {10 * L, 0}, {0, 10 * L}}), t);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "GEOM.MANHATTAN");
+}
+
+// --- Stage 3: legal connections (Fig. 11 / Fig. 15) -------------------------
+
+TEST_F(DrcTest, ConnectionLegalOverlap) {
+  // Boxes overlapping by at least the minimum width: skeletons touch.
+  layout::Cell c;
+  c.name = "c";
+  c.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  c.elements.push_back(makeBox(nm, makeRect(7 * L, 0, 17 * L, 3 * L)));
+  EXPECT_TRUE(checkCellConnections(c, t).empty());
+}
+
+TEST_F(DrcTest, ConnectionButtingFlagged) {
+  // Abutting boxes: touch but skeletons do not connect.
+  layout::Cell c;
+  c.name = "c";
+  c.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  c.elements.push_back(makeBox(nm, makeRect(10 * L, 0, 20 * L, 3 * L)));
+  const auto v = checkCellConnections(c, t);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].category, report::Category::kConnection);
+}
+
+TEST_F(DrcTest, ConnectionDifferentLayersIgnored) {
+  layout::Cell c;
+  c.name = "c";
+  c.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L)));
+  c.elements.push_back(makeBox(np, makeRect(0, 0, 10 * L, 3 * L)));
+  EXPECT_TRUE(checkCellConnections(c, t).empty());
+}
+
+// --- Stage 2: device checks (Figs. 6, 7) -----------------------------------
+
+layout::Cell fetCell(const tech::Technology& t, geom::Coord polyHalfLen,
+                     geom::Coord diffHalfLen, const char* type = "TRAN") {
+  const geom::Coord L = t.lambda();
+  layout::Cell c;
+  c.name = "dev";
+  c.deviceType = type;
+  c.elements.push_back(layout::makeBox(
+      *t.layerByName("poly"), makeRect(-polyHalfLen, -L, polyHalfLen, L)));
+  c.elements.push_back(layout::makeBox(
+      *t.layerByName("diff"), makeRect(-L, -diffHalfLen, L, diffHalfLen)));
+  return c;
+}
+
+TEST_F(DrcTest, FetOk) {
+  EXPECT_TRUE(checkDeviceCell(fetCell(t, 3 * L, 3 * L), t).empty());
+}
+
+TEST_F(DrcTest, FetGateOverlapTooSmall) {
+  // Poly extends only 1L past the gate; rule is 2L ("source and drain
+  // may short").
+  const auto v = checkDeviceCell(fetCell(t, 2 * L, 3 * L), t);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, "DEV.GATE_OVERLAP");
+}
+
+TEST_F(DrcTest, FetNoGate) {
+  layout::Cell c;
+  c.name = "dev";
+  c.deviceType = "TRAN";
+  c.elements.push_back(makeBox(np, makeRect(0, 0, 6 * L, 2 * L)));
+  c.elements.push_back(makeBox(nd, makeRect(10 * L, 0, 12 * L, 6 * L)));
+  const auto v = checkDeviceCell(c, t);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "DEV.NOGATE");
+}
+
+TEST_F(DrcTest, DepletionNeedsImplant) {
+  layout::Cell c = fetCell(t, 3 * L, 3 * L, "DTRAN");
+  const auto missing = checkDeviceCell(c, t);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].rule, "DEV.IMPLANT");
+  c.elements.push_back(layout::makeBox(
+      *t.layerByName("implant"), makeRect(-3 * L, -3 * L, 3 * L, 3 * L)));
+  EXPECT_TRUE(checkDeviceCell(c, t).empty());
+}
+
+TEST_F(DrcTest, ContactOverGateFlagged) {
+  layout::Cell c = fetCell(t, 3 * L, 3 * L);
+  c.elements.push_back(makeBox(ncut, makeRect(-L, -L, L, L)));
+  const auto v = checkDeviceCell(c, t);
+  ASSERT_FALSE(v.empty());
+  bool found = false;
+  for (const auto& x : v)
+    if (x.category == report::Category::kContactOverGate) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DrcTest, ButtingContactLegal) {
+  // Fig. 7: the same cut-over-poly-and-diff pattern is legal in a
+  // butting-contact device.
+  layout::Cell c;
+  c.name = "butt";
+  c.deviceType = "BUTT";
+  c.elements.push_back(makeBox(nd, makeRect(-3 * L, -2 * L, L, 2 * L)));
+  c.elements.push_back(makeBox(np, makeRect(-L, -2 * L, 3 * L, 2 * L)));
+  c.elements.push_back(makeBox(nm, makeRect(-3 * L, -2 * L, 3 * L, 2 * L)));
+  c.elements.push_back(makeBox(ncut, makeRect(-2 * L, -L, 2 * L, L)));
+  EXPECT_TRUE(checkDeviceCell(c, t).empty());
+}
+
+TEST_F(DrcTest, ContactEnclosure) {
+  layout::Cell c;
+  c.name = "con";
+  c.deviceType = "CON_MD";
+  c.elements.push_back(makeBox(nd, makeRect(-2 * L, -2 * L, 2 * L, 2 * L)));
+  c.elements.push_back(makeBox(nm, makeRect(-2 * L, -2 * L, 2 * L, 2 * L)));
+  c.elements.push_back(makeBox(ncut, makeRect(-L, -L, 2 * L, L)));
+  const auto v = checkDeviceCell(c, t);  // cut sticks out to the east
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].rule, "DEV.CON_MET");
+}
+
+TEST_F(DrcTest, BipolarFig6DeviceDependent) {
+  const tech::Technology bt = tech::bipolar();
+  const geom::Coord U = bt.lambda();
+  auto cellWith = [&](const char* type) {
+    layout::Cell c;
+    c.name = std::string("d_") + type;
+    c.deviceType = type;
+    c.elements.push_back(layout::makeBox(*bt.layerByName("base"),
+                                         makeRect(0, 0, 10 * U, 6 * U)));
+    // Isolation abutting the base: the Fig. 6 situation.
+    c.elements.push_back(layout::makeBox(*bt.layerByName("iso"),
+                                         makeRect(10 * U, 0, 16 * U, 6 * U)));
+    return c;
+  };
+  const auto npn = checkDeviceCell(cellWith("NPN"), bt);
+  ASSERT_EQ(npn.size(), 1u);  // error: device integrity destroyed
+  EXPECT_EQ(npn[0].rule, "DEV.BASE_ISO");
+  EXPECT_TRUE(checkDeviceCell(cellWith("BRES"), bt).empty());  // legal
+}
+
+TEST_F(DrcTest, PrecheckedDeviceSkipped) {
+  layout::Library lib;
+  layout::Cell bad = fetCell(t, 2 * L, 3 * L);  // overlap violation
+  bad.prechecked = true;
+  const auto devId = lib.addCell(std::move(bad));
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back({devId, {geom::Orient::kR0, {0, 0}}, "d"});
+  const auto root = lib.addCell(std::move(top));
+  Checker checker(lib, root, t);
+  EXPECT_TRUE(checker.checkPrimitiveSymbols().empty());
+}
+
+// --- Stage 5: interactions (Figs. 5, 12) -------------------------------------
+
+struct InteractionFixture {
+  layout::Library lib;
+  layout::CellId root{};
+};
+
+TEST_F(DrcTest, SameNetSpacingSkippedDiffNetFlagged) {
+  // Fig. 5a: two boxes 1L apart. Same net -> no check; different nets ->
+  // spacing error. (CLK/IN are chip-global labels, so equal labels merge.)
+  for (const bool sameNet : {true, false}) {
+    layout::Library lib;
+    layout::Cell top;
+    top.name = "top";
+    top.elements.push_back(
+        makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "CLK"));
+    top.elements.push_back(makeBox(nm, makeRect(0, 4 * L, 10 * L, 7 * L),
+                                   sameNet ? "CLK" : "IN1"));
+    const auto root = lib.addCell(std::move(top));
+    Checker checker(lib, root, t, {});
+    const auto nl = checker.generateNetlist();
+    const auto rep = checker.checkInteractions(nl);
+    if (sameNet) {
+      EXPECT_TRUE(rep.empty()) << rep.text();
+    } else {
+      ASSERT_EQ(rep.count(report::Category::kSpacing), 1u) << rep.text();
+    }
+  }
+}
+
+TEST_F(DrcTest, ResistorSameNetStillChecked) {
+  // Fig. 5b: geometry electrically tied to a resistor body must still
+  // keep its distance (a short would bypass the resistor).
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back(
+      {cells.resistor, {geom::Orient::kR0, {0, 0}}, "r1"});
+  // Diff wire from port A, hooking around 1L below the body.
+  top.elements.push_back(makeWire(nd,
+                                  {{-4 * L, 0},
+                                   {-8 * L, 0},
+                                   {-8 * L, -4 * L},
+                                   {0, -4 * L}},
+                                  2 * L, "end"));
+  const auto root = lib.addCell(std::move(top));
+  Checker checker(lib, root, t, {});
+  const auto nl = checker.generateNetlist();
+  const auto rep = checker.checkInteractions(nl);
+  EXPECT_GE(rep.count(report::Category::kSpacing), 1u) << rep.text();
+}
+
+TEST_F(DrcTest, CleanInverterHasNoViolations) {
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back(
+      {cells.inverter, {geom::Orient::kR0, {0, 0}}, "i1"});
+  const auto root = lib.addCell(std::move(top));
+  Checker checker(lib, root, t, {});
+  const auto rep = checker.run();
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(DrcTest, FlatAndHierarchicalAgree) {
+  const workload::ChipParams params{.blockRows = 1,
+                                    .blockCols = 2,
+                                    .invRows = 2,
+                                    .invCols = 2,
+                                    .withPads = true};
+  workload::GeneratedChip chip = workload::generateChip(t, params);
+
+  Options flat;
+  flat.hierarchicalInteractions = false;
+  Options hier;
+  hier.hierarchicalInteractions = true;
+
+  Checker cf(chip.lib, chip.top, t, flat);
+  Checker ch(chip.lib, chip.top, t, hier);
+  const auto nlf = cf.generateNetlist();
+  const auto nlh = ch.generateNetlist();
+  const auto rf = cf.checkInteractions(nlf);
+  const auto rh = ch.checkInteractions(nlh);
+  EXPECT_EQ(rf.count(), rh.count()) << "flat:\n"
+                                    << rf.text() << "hier:\n"
+                                    << rh.text();
+}
+
+TEST_F(DrcTest, CleanChipIsCleanEndToEnd) {
+  const workload::ChipParams params{.blockRows = 1,
+                                    .blockCols = 1,
+                                    .invRows = 2,
+                                    .invCols = 2,
+                                    .withPads = true};
+  workload::GeneratedChip chip = workload::generateChip(t, params);
+  Checker checker(chip.lib, chip.top, t, {});
+  const auto rep = checker.run();
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(DrcTest, InteractionStatsPruneSameNet) {
+  const workload::ChipParams params{.blockRows = 1,
+                                    .blockCols = 1,
+                                    .invRows = 2,
+                                    .invCols = 2,
+                                    .withPads = false};
+  workload::GeneratedChip chip = workload::generateChip(t, params);
+  Checker checker(chip.lib, chip.top, t, {});
+  checker.run();
+  const InteractionStats& s = checker.interactionStats();
+  EXPECT_GT(s.candidatePairs, 0u);
+  EXPECT_GT(s.sameNetSkipped + s.relatedSkipped, 0u);
+  EXPECT_GT(s.noRulePairs, 0u);
+}
+
+}  // namespace
+}  // namespace dic::drc

@@ -1,0 +1,157 @@
+// Tests for the four non-geometric construction rules.
+#include <gtest/gtest.h>
+
+#include "erc/erc.hpp"
+#include "netlist/netlist.hpp"
+#include "workload/generator.hpp"
+
+namespace dic::erc {
+namespace {
+
+using geom::makeRect;
+using layout::makeBox;
+using layout::makeWire;
+
+class ErcTest : public ::testing::Test {
+ protected:
+  tech::Technology t = tech::nmos();
+  const int nm = *t.layerByName("metal");
+  const int nd = *t.layerByName("diff");
+  const int np = *t.layerByName("poly");
+  const geom::Coord L = t.lambda();
+
+  netlist::Netlist extractTop(layout::Library& lib, layout::CellId root) {
+    return netlist::extract(lib, root, t);
+  }
+};
+
+TEST_F(ErcTest, PowerGroundShortDetected) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 20 * L, 3 * L), "VDD"));
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 10 * L, 20 * L, 13 * L), "GND"));
+  // Strap shorting them.
+  top.elements.push_back(makeWire(nm, {{10 * L, 3 * L / 2},
+                                       {10 * L, 11 * L + L / 2}},
+                                  3 * L));
+  const auto root = lib.addCell(std::move(top));
+  const auto nl = extractTop(lib, root);
+  const auto rep = check(nl, t);
+  bool found = false;
+  for (const auto& v : rep.violations())
+    if (v.rule == "ERC.PGSHORT") found = true;
+  EXPECT_TRUE(found) << rep.text();
+}
+
+TEST_F(ErcTest, NoShortNoViolation) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 20 * L, 3 * L), "VDD"));
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 10 * L, 20 * L, 13 * L), "GND"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  for (const auto& v : rep.violations()) EXPECT_NE(v.rule, "ERC.PGSHORT");
+}
+
+TEST_F(ErcTest, DanglingNetDetected) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "lonely"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  ASSERT_EQ(rep.count(), 1u);
+  EXPECT_EQ(rep.violations()[0].rule, "ERC.DANGLING");
+}
+
+TEST_F(ErcTest, PowerNetsExemptFromDangling) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "VDD"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+TEST_F(ErcTest, BusMayNotConnectToPower) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  // One piece of metal carrying both a bus label and the power label.
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 0, 20 * L, 3 * L), "BUS3"));
+  top.elements.push_back(
+      makeBox(nm, makeRect(10 * L, 0, 30 * L, 3 * L), "VDD"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  bool found = false;
+  for (const auto& v : rep.violations())
+    if (v.rule == "ERC.BUS_PG") found = true;
+  EXPECT_TRUE(found) << rep.text();
+}
+
+TEST_F(ErcTest, DepletionDeviceMayNotConnectToGround) {
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back({cells.dtran, {geom::Orient::kR0, {0, 0}}, "d1"});
+  // Tie the source to GND -- the rule violation.
+  top.elements.push_back(
+      makeWire(nd, {{0, -3 * L}, {0, -20 * L}}, 2 * L, "GND"));
+  top.elements.push_back(makeWire(nd, {{0, 3 * L}, {0, 20 * L}}, 2 * L, "x"));
+  top.elements.push_back(
+      makeWire(np, {{-3 * L, 0}, {-20 * L, 0}}, 2 * L, "y"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  bool found = false;
+  for (const auto& v : rep.violations())
+    if (v.rule == "ERC.DEPL_GND") found = true;
+  EXPECT_TRUE(found) << rep.text();
+}
+
+TEST_F(ErcTest, EnhancementToGroundIsFine) {
+  layout::Library lib;
+  const workload::NmosCells cells = workload::installNmosCells(lib, t);
+  layout::Cell top;
+  top.name = "top";
+  top.instances.push_back({cells.tran, {geom::Orient::kR0, {0, 0}}, "t1"});
+  top.elements.push_back(
+      makeWire(nd, {{0, -3 * L}, {0, -20 * L}}, 2 * L, "GND"));
+  top.elements.push_back(makeWire(nd, {{0, 3 * L}, {0, 20 * L}}, 2 * L, "x"));
+  top.elements.push_back(
+      makeWire(np, {{-3 * L, 0}, {-20 * L, 0}}, 2 * L, "y"));
+  const auto root = lib.addCell(std::move(top));
+  const auto rep = check(extractTop(lib, root), t);
+  for (const auto& v : rep.violations()) EXPECT_NE(v.rule, "ERC.DEPL_GND");
+}
+
+TEST_F(ErcTest, OptionsDisableChecks) {
+  layout::Library lib;
+  layout::Cell top;
+  top.name = "top";
+  top.elements.push_back(
+      makeBox(nm, makeRect(0, 0, 10 * L, 3 * L), "lonely"));
+  const auto root = lib.addCell(std::move(top));
+  Options o;
+  o.checkDanglingNets = false;
+  EXPECT_TRUE(check(netlist::extract(lib, root, t), t, o).empty());
+}
+
+TEST_F(ErcTest, CleanGeneratedChipPassesErc) {
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 1, .blockCols = 1, .invRows = 2, .invCols = 2,
+          .withPads = true});
+  const auto nl = netlist::extract(chip.lib, chip.top, t);
+  const auto rep = check(nl, t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+}
+
+}  // namespace
+}  // namespace dic::erc

@@ -1,0 +1,190 @@
+// Unit tests for points, rects, transforms and polygons.
+#include <gtest/gtest.h>
+
+#include "geom/polygon.hpp"
+#include "geom/rect.hpp"
+#include "geom/transform.hpp"
+#include "geom/types.hpp"
+
+namespace dic::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, (Point{2, 6}));
+  EXPECT_EQ(a - b, (Point{4, 2}));
+  EXPECT_EQ(a * 2, (Point{6, 8}));
+  EXPECT_EQ(-a, (Point{-3, -4}));
+}
+
+TEST(Point, CrossAndDot) {
+  EXPECT_EQ(cross({1, 0}, {0, 1}), 1);
+  EXPECT_EQ(cross({0, 1}, {1, 0}), -1);
+  EXPECT_EQ(dot({3, 4}, {3, 4}), 25);
+}
+
+TEST(Point, Metrics) {
+  EXPECT_DOUBLE_EQ(length({3, 4}), 5.0);
+  EXPECT_EQ(chebyshev({3, -4}), 4);
+  EXPECT_EQ(length2({3, 4}), 25);
+  EXPECT_DOUBLE_EQ(pointDistance({0, 0}, {3, 4}, Metric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(pointDistance({0, 0}, {3, 4}, Metric::kOrthogonal), 4.0);
+}
+
+TEST(Rect, EmptyAndArea) {
+  EXPECT_TRUE(Rect({{0, 0}, {0, 5}}).empty());
+  EXPECT_TRUE(Rect({{2, 0}, {1, 5}}).empty());
+  const Rect r = makeRect(0, 0, 10, 5);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.area(), 50);
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 5);
+}
+
+TEST(Rect, ContainsHalfOpen) {
+  const Rect r = makeRect(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains({10, 10}));
+  EXPECT_TRUE(r.containsClosed({10, 10}));
+}
+
+TEST(Rect, IntersectAndBound) {
+  const Rect a = makeRect(0, 0, 10, 10);
+  const Rect b = makeRect(5, 5, 15, 15);
+  EXPECT_EQ(intersect(a, b), makeRect(5, 5, 10, 10));
+  EXPECT_EQ(bound(a, b), makeRect(0, 0, 15, 15));
+  EXPECT_TRUE(overlaps(a, b));
+  EXPECT_FALSE(overlaps(a, makeRect(10, 0, 20, 10)));  // abutting, half-open
+  EXPECT_TRUE(closedTouch(a, makeRect(10, 0, 20, 10)));
+  EXPECT_TRUE(closedTouch(a, makeRect(10, 10, 20, 20)));  // corner touch
+  EXPECT_FALSE(closedTouch(a, makeRect(11, 11, 20, 20)));
+}
+
+TEST(Rect, Distance) {
+  const Rect a = makeRect(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(rectDistance(a, makeRect(13, 14, 20, 20),
+                                Metric::kEuclidean),
+                   5.0);
+  EXPECT_DOUBLE_EQ(rectDistance(a, makeRect(13, 14, 20, 20),
+                                Metric::kOrthogonal),
+                   4.0);
+  EXPECT_DOUBLE_EQ(rectDistance(a, makeRect(5, 5, 20, 20),
+                                Metric::kEuclidean),
+                   0.0);
+  EXPECT_EQ(rectDistance2(a, makeRect(13, 14, 20, 20)), 25);
+}
+
+TEST(Transform, EightOrientationsRoundTrip) {
+  const Point p{7, 3};
+  for (int i = 0; i < 8; ++i) {
+    const Transform t{static_cast<Orient>(i), {11, -5}};
+    const Transform inv = inverse(t);
+    EXPECT_EQ(inv.apply(t.apply(p)), p) << "orient " << i;
+  }
+}
+
+TEST(Transform, ComposeMatchesSequentialApplication) {
+  const Point p{7, 3};
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const Transform a{static_cast<Orient>(i), {2, 5}};
+      const Transform b{static_cast<Orient>(j), {-3, 1}};
+      const Transform c = compose(a, b);
+      EXPECT_EQ(c.apply(p), b.apply(a.apply(p))) << i << "," << j;
+    }
+  }
+}
+
+TEST(Transform, R90RotatesCcw) {
+  const Transform t{Orient::kR90, {}};
+  EXPECT_EQ(t.apply(Point{1, 0}), (Point{0, 1}));
+  EXPECT_EQ(t.apply(Point{0, 1}), (Point{-1, 0}));
+}
+
+TEST(Transform, RectStaysNormalized) {
+  const Transform t{Orient::kR180, {0, 0}};
+  const Rect r = t.apply(makeRect(1, 2, 5, 7));
+  EXPECT_EQ(r, makeRect(-5, -7, -1, -2));
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Polygon, NormalizesToCcwAndDropsCollinear) {
+  // Clockwise square with an extra collinear vertex.
+  Polygon p({{0, 0}, {0, 10}, {5, 10}, {10, 10}, {10, 0}});
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.twiceArea(), 200);
+}
+
+TEST(Polygon, AreaLShape) {
+  Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  EXPECT_EQ(p.twiceArea(), 2 * (20 * 10 + 10 * 10));
+  EXPECT_TRUE(p.isManhattan());
+}
+
+TEST(Polygon, ContainsBoundaryAndInterior) {
+  Polygon p({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(p.contains({5, 5}));
+  EXPECT_TRUE(p.contains({0, 5}));    // boundary
+  EXPECT_TRUE(p.contains({10, 10}));  // corner
+  EXPECT_FALSE(p.contains({11, 5}));
+  EXPECT_FALSE(p.contains({-1, -1}));
+}
+
+TEST(Polygon, ContainsNonManhattan) {
+  Polygon tri({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_TRUE(tri.contains({2, 2}));
+  EXPECT_TRUE(tri.contains({5, 5}));  // hypotenuse
+  EXPECT_FALSE(tri.contains({6, 6}));
+  EXPECT_FALSE(tri.isManhattan());
+}
+
+TEST(Polygon, ToRegionRectangle) {
+  Polygon p({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Region r = p.toRegion();
+  EXPECT_EQ(r.area(), 100);
+  ASSERT_EQ(r.rects().size(), 1u);
+  EXPECT_EQ(r.rects()[0], makeRect(0, 0, 10, 10));
+}
+
+TEST(Polygon, ToRegionLShape) {
+  Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  const Region r = p.toRegion();
+  EXPECT_EQ(r.area(), 300);
+}
+
+TEST(Polygon, ToRegionUShape) {
+  // U shape: two towers on a base.
+  Polygon p({{0, 0}, {30, 0}, {30, 20}, {20, 20}, {20, 10}, {10, 10},
+             {10, 20}, {0, 20}});
+  const Region r = p.toRegion();
+  EXPECT_EQ(r.area(), 30 * 10 + 2 * 10 * 10);
+  EXPECT_TRUE(r.contains({5, 15}));
+  EXPECT_TRUE(r.contains({25, 15}));
+  EXPECT_FALSE(r.contains({15, 15}));  // the notch
+}
+
+TEST(Polygon, TransformPreservesArea) {
+  Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  for (int i = 0; i < 8; ++i) {
+    const Polygon q = p.transformed({static_cast<Orient>(i), {100, -50}});
+    EXPECT_EQ(q.twiceArea(), p.twiceArea()) << i;
+  }
+}
+
+TEST(SegmentDistance, ParallelAndCrossing) {
+  EXPECT_DOUBLE_EQ(segmentDistance({0, 0}, {10, 0}, {0, 5}, {10, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(segmentDistance({0, 0}, {10, 10}, {0, 10}, {10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(segmentDistance({0, 0}, {10, 0}, {13, 4}, {20, 4}), 5.0);
+}
+
+TEST(PolygonDistance, SeparatedSquares) {
+  Polygon a({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  Polygon b({{13, 14}, {23, 14}, {23, 24}, {13, 24}});
+  EXPECT_DOUBLE_EQ(polygonDistance(a, b), 5.0);
+  Polygon c({{5, 5}, {15, 5}, {15, 15}, {5, 15}});
+  EXPECT_DOUBLE_EQ(polygonDistance(a, c), 0.0);
+}
+
+}  // namespace
+}  // namespace dic::geom

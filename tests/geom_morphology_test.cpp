@@ -1,0 +1,187 @@
+// Tests for expand/shrink metric behaviour (Fig. 3), width checking
+// (Fig. 4 left) and spacing checking (Fig. 4 right).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/expand.hpp"
+#include "geom/spacing.hpp"
+#include "geom/width.hpp"
+
+namespace dic::geom {
+namespace {
+
+Region box(Coord x1, Coord y1, Coord x2, Coord y2) {
+  return Region(makeRect(x1, y1, x2, y2));
+}
+
+// --- Fig. 3: Orthogonal vs Euclidean expand/shrink ------------------------
+
+TEST(Fig3, OrthogonalExpandPreservesSquareCorners) {
+  const Region sq = box(0, 0, 100, 100);
+  const Region e = sq.expanded(10);
+  ASSERT_EQ(e.rects().size(), 1u);  // still a square: corners preserved
+  EXPECT_EQ(e.area(), 120 * 120);
+}
+
+TEST(Fig3, EuclideanExpandRoundsCorners) {
+  const Rect sq = makeRect(0, 0, 100, 100);
+  const Polygon e = euclideanExpand(sq, 10, 16);
+  const double expect =
+      100.0 * 100 + 4 * 100 * 10 + std::numbers::pi * 10 * 10;
+  // Sampled arcs underestimate the disc slightly.
+  EXPECT_NEAR(e.area(), expect, expect * 0.01);
+  EXPECT_LT(e.area(), 120.0 * 120);  // strictly smaller than orthogonal
+}
+
+TEST(Fig3, BothShrinksYieldSquareCorners) {
+  // Shrink of a convex Manhattan shape is identical under both metrics.
+  const Region sq = box(0, 0, 100, 100);
+  const Region s = sq.shrunk(10);
+  ASSERT_EQ(s.rects().size(), 1u);
+  EXPECT_EQ(s.rects()[0], makeRect(10, 10, 90, 90));
+}
+
+TEST(Fig3, EuclideanExpandAreaFormulaMatchesSampledPolygon) {
+  const Region l = unite(box(0, 0, 200, 100), box(0, 100, 100, 200));
+  const double formula = euclideanExpandArea(l, 10);
+  // Steiner: A + P*d + 5 quarter-discs - 1 reflex square.
+  const double expect = 30000.0 + 800 * 10 +
+                        5 * std::numbers::pi * 100 / 4 - 100;
+  EXPECT_NEAR(formula, expect, 1e-6);
+}
+
+// --- Fig. 4 (left): width-check corner pathologies ------------------------
+
+TEST(Fig4, EdgeBasedWidthCleanOnLegalSquare) {
+  EXPECT_TRUE(checkWidthEdges(box(0, 0, 100, 100), 20).empty());
+}
+
+TEST(Fig4, EdgeBasedWidthFlagsNarrowBox) {
+  const auto v = checkWidthEdges(box(0, 0, 10, 100), 20);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].measured, 10);
+}
+
+TEST(Fig4, EdgeBasedWidthFlagsNeck) {
+  const Region dumbbell = unite(
+      unite(box(0, 0, 100, 100), box(200, 0, 300, 100)), box(100, 40, 200, 60));
+  const auto v = checkWidthEdges(dumbbell, 40);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].measured, 20);
+}
+
+TEST(Fig4, EdgeBasedWidthIgnoresExteriorGaps) {
+  // Two separate legal boxes: gap is spacing, not width.
+  const Region two = unite(box(0, 0, 100, 100), box(110, 0, 210, 100));
+  EXPECT_TRUE(checkWidthEdges(two, 40).empty());
+}
+
+TEST(Fig4, OrthogonalShrinkExpandCleanOnSquare) {
+  EXPECT_TRUE(
+      checkWidthShrinkExpand(box(0, 0, 100, 100), 20, Metric::kOrthogonal)
+          .empty());
+}
+
+TEST(Fig4, EuclideanShrinkExpandFlagsEveryCorner) {
+  // The paper: "yields errors at every corner when the Euclidean technique
+  // is used". A legal square has 4 convex corners -> 4 false errors.
+  const auto v =
+      checkWidthShrinkExpand(box(0, 0, 100, 100), 20, Metric::kEuclidean);
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Fig4, EuclideanCornerFalseErrorCountGrowsWithCorners) {
+  // Staircase with k steps has 2+k+... convex corners; count them.
+  Region stair = box(0, 0, 50, 50);
+  stair = unite(stair, box(50, 50, 100, 100));
+  stair = unite(stair, box(100, 100, 150, 150));
+  int convex = 0;
+  for (const Corner& c : regionCorners(stair))
+    if (c.convex) ++convex;
+  const auto v = checkWidthShrinkExpand(stair, 10, Metric::kEuclidean);
+  // Every convex corner with a fat interior produces a defect.
+  EXPECT_EQ(static_cast<int>(v.size()), convex);
+}
+
+TEST(Fig4, BothTechniquesAgreeOnRealViolation) {
+  const Region narrow = box(0, 0, 10, 100);
+  EXPECT_FALSE(
+      checkWidthShrinkExpand(narrow, 20, Metric::kOrthogonal).empty());
+  EXPECT_FALSE(checkWidthEdges(narrow, 20).empty());
+}
+
+// --- Fig. 4 (right): spacing-check metric pathologies ---------------------
+
+TEST(Fig4, SpacingStraightGapBothMetricsAgree) {
+  const Region a = box(0, 0, 100, 100);
+  const Region b = box(130, 0, 230, 100);  // gap 30
+  EXPECT_TRUE(checkSpacing(a, b, 30, Metric::kEuclidean).empty());
+  EXPECT_TRUE(checkSpacing(a, b, 30, Metric::kOrthogonal).empty());
+  EXPECT_FALSE(checkSpacing(a, b, 31, Metric::kEuclidean).empty());
+  EXPECT_FALSE(checkSpacing(a, b, 31, Metric::kOrthogonal).empty());
+}
+
+TEST(Fig4, SpacingDiagonalCornersMetricsDisagree) {
+  // Diagonal offset (21,21): Chebyshev 21 < 30 flags; Euclid 29.7 < 30
+  // flags too. Offset (25,25): Chebyshev 25 flags, Euclid 35.36 passes.
+  const Region a = box(0, 0, 100, 100);
+  const Region b = box(125, 125, 225, 225);
+  EXPECT_FALSE(checkSpacing(a, b, 30, Metric::kOrthogonal).empty());
+  EXPECT_TRUE(checkSpacing(a, b, 30, Metric::kEuclidean).empty());
+}
+
+TEST(Fig4, SpacingReportsMeasuredDistance) {
+  const Region a = box(0, 0, 100, 100);
+  const Region b = box(103, 104, 200, 200);
+  const auto v = checkSpacing(a, b, 30, Metric::kEuclidean);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0].measured, 5.0);
+}
+
+TEST(Fig4, TouchingShapesReportZero) {
+  const auto v =
+      checkSpacing(box(0, 0, 10, 10), box(10, 0, 20, 10), 5,
+                   Metric::kEuclidean);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0].measured, 0.0);
+}
+
+TEST(DistanceBelow, EarlyOut) {
+  const Region a = box(0, 0, 10, 10);
+  const Region b = box(100, 0, 110, 10);
+  EXPECT_FALSE(distanceBelow(a, b, 50, Metric::kEuclidean).has_value());
+  const auto d = distanceBelow(a, b, 91, Metric::kEuclidean);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 90.0);
+}
+
+// --- Disagreement-band property sweep --------------------------------------
+
+class MetricSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricSweep, DiagonalDisagreementBand) {
+  // For diagonal offsets t in (s/sqrt(2), s), orthogonal flags but
+  // Euclidean does not -- exactly the paper's corner-to-corner false-error
+  // band.
+  const Coord s = 40;
+  const Coord t = GetParam();
+  const Region a = box(0, 0, 100, 100);
+  const Region b = box(100 + t, 100 + t, 200 + t, 200 + t);
+  const bool orth = !checkSpacing(a, b, s, Metric::kOrthogonal).empty();
+  const bool euc = !checkSpacing(a, b, s, Metric::kEuclidean).empty();
+  const double euclid = std::hypot(double(t), double(t));
+  EXPECT_EQ(orth, t < s);
+  EXPECT_EQ(euc, euclid < double(s));
+  if (t < s && euclid >= double(s)) {
+    EXPECT_TRUE(orth && !euc) << "disagreement band";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, MetricSweep,
+                         ::testing::Values(10, 20, 28, 29, 30, 33, 36, 39, 40,
+                                           45));
+
+}  // namespace
+}  // namespace dic::geom

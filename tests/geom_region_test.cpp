@@ -1,0 +1,302 @@
+// Unit + property tests for the Region scanline boolean engine.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace dic::geom {
+namespace {
+
+Region box(Coord x1, Coord y1, Coord x2, Coord y2) {
+  return Region(makeRect(x1, y1, x2, y2));
+}
+
+TEST(Region, EmptyBasics) {
+  Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_TRUE(unite(r, r).empty());
+  EXPECT_TRUE(Region(Rect{{5, 5}, {5, 9}}).empty());
+}
+
+TEST(Region, SingleRect) {
+  const Region r = box(0, 0, 10, 5);
+  EXPECT_EQ(r.area(), 50);
+  EXPECT_EQ(r.bbox(), makeRect(0, 0, 10, 5));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_FALSE(r.contains({10, 4}));
+}
+
+TEST(Region, UniteDisjoint) {
+  const Region r = unite(box(0, 0, 10, 10), box(20, 0, 30, 10));
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.rects().size(), 2u);
+}
+
+TEST(Region, UniteOverlapping) {
+  const Region r = unite(box(0, 0, 10, 10), box(5, 5, 15, 15));
+  EXPECT_EQ(r.area(), 100 + 100 - 25);
+}
+
+TEST(Region, UniteAbuttingMergesToOneRect) {
+  // Canonical form merges: two abutting half-open boxes form one rect.
+  const Region r = unite(box(0, 0, 10, 10), box(10, 0, 20, 10));
+  ASSERT_EQ(r.rects().size(), 1u);
+  EXPECT_EQ(r.rects()[0], makeRect(0, 0, 20, 10));
+  const Region v = unite(box(0, 0, 10, 10), box(0, 10, 10, 20));
+  ASSERT_EQ(v.rects().size(), 1u);
+  EXPECT_EQ(v.rects()[0], makeRect(0, 0, 10, 20));
+}
+
+TEST(Region, IntersectSubtractXor) {
+  const Region a = box(0, 0, 10, 10);
+  const Region b = box(5, 0, 15, 10);
+  EXPECT_EQ(intersect(a, b).area(), 50);
+  EXPECT_EQ(subtract(a, b).area(), 50);
+  EXPECT_EQ(exclusiveOr(a, b).area(), 100);
+  EXPECT_EQ(subtract(a, a).area(), 0);
+  EXPECT_TRUE(subtract(a, a).empty());
+}
+
+TEST(Region, CanonicalFormIsConstructionOrderIndependent) {
+  // The same point set assembled differently must compare equal.
+  const Region a = unite(unite(box(0, 0, 10, 10), box(10, 0, 20, 10)),
+                         box(0, 10, 20, 20));
+  const Region b = unite(unite(box(0, 0, 20, 5), box(0, 5, 20, 15)),
+                         box(0, 15, 20, 20));
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.rects().size(), 1u);
+  EXPECT_EQ(a.rects()[0], makeRect(0, 0, 20, 20));
+}
+
+TEST(Region, FromRectsHandlesDuplicatesAndOverlaps) {
+  const std::vector<Rect> rs = {makeRect(0, 0, 10, 10), makeRect(0, 0, 10, 10),
+                                makeRect(2, 2, 8, 8)};
+  EXPECT_EQ(Region::fromRects(rs).area(), 100);
+}
+
+TEST(Region, CoversAndOverlaps) {
+  const Region a = unite(box(0, 0, 10, 10), box(20, 0, 30, 10));
+  EXPECT_TRUE(a.covers(makeRect(2, 2, 8, 8)));
+  EXPECT_FALSE(a.covers(makeRect(8, 2, 12, 8)));
+  EXPECT_TRUE(a.overlaps(box(9, 9, 11, 11)));
+  EXPECT_FALSE(a.overlaps(box(10, 0, 20, 10)));  // abuts only
+}
+
+TEST(Region, LShapeDecomposition) {
+  const Region l = unite(box(0, 0, 20, 10), box(0, 10, 10, 20));
+  EXPECT_EQ(l.area(), 300);
+  // Canonical slabs: y-split at 10, vertically-mergeable columns merged.
+  ASSERT_EQ(l.rects().size(), 2u);
+  EXPECT_EQ(l.rects()[0], makeRect(0, 0, 20, 10));
+  EXPECT_EQ(l.rects()[1], makeRect(0, 10, 10, 20));
+}
+
+TEST(Region, TransformedPreservesArea) {
+  const Region l = unite(box(0, 0, 20, 10), box(0, 10, 10, 20));
+  for (int i = 0; i < 8; ++i) {
+    const Region t = l.transformed({static_cast<Orient>(i), {7, -3}});
+    EXPECT_EQ(t.area(), l.area()) << i;
+  }
+}
+
+TEST(Region, ExpandRect) {
+  const Region r = box(0, 0, 10, 10).expanded(3);
+  EXPECT_EQ(r.area(), 16 * 16);
+  EXPECT_EQ(r.bbox(), makeRect(-3, -3, 13, 13));
+}
+
+TEST(Region, ExpandMergesNearbyRects) {
+  const Region r = unite(box(0, 0, 10, 10), box(14, 0, 24, 10)).expanded(2);
+  // Gap of 4 closes at expand 2.
+  ASSERT_EQ(r.rects().size(), 1u);
+  EXPECT_EQ(r.rects()[0], makeRect(-2, -2, 26, 12));
+}
+
+TEST(Region, ShrinkRect) {
+  const Region r = box(0, 0, 10, 10).shrunk(3);
+  ASSERT_EQ(r.rects().size(), 1u);
+  EXPECT_EQ(r.rects()[0], makeRect(3, 3, 7, 7));
+  EXPECT_TRUE(box(0, 0, 10, 10).shrunk(5).empty());
+  EXPECT_TRUE(box(0, 0, 10, 10).shrunk(6).empty());
+}
+
+TEST(Region, ShrinkSeparatesNeck) {
+  // Dumbbell: two 10x10 plates joined by a 2-wide neck.
+  const Region r = unite(unite(box(0, 0, 10, 10), box(20, 0, 30, 10)),
+                         box(10, 4, 20, 6));
+  const Region s = r.shrunk(2);
+  EXPECT_EQ(s.rects().size(), 2u);  // neck vanishes
+  EXPECT_EQ(s.area(), 2 * 36);
+}
+
+TEST(Region, OpeningRemovesProtrusion) {
+  // A 10x10 plate with a thin 2-wide tab; opening by 2 removes the tab.
+  const Region r = unite(box(0, 0, 10, 10), box(10, 4, 18, 6));
+  const Region opened = r.shrunk(2).expanded(2);
+  EXPECT_EQ(opened, box(0, 0, 10, 10));
+}
+
+TEST(Region, ShrinkExpandIdentityOnFatRect) {
+  const Region r = box(0, 0, 100, 50);
+  EXPECT_EQ(r.shrunk(10).expanded(10), r);
+}
+
+TEST(Region, EdgesOfRect) {
+  const auto es = box(0, 0, 10, 5).edges();
+  ASSERT_EQ(es.size(), 4u);
+  int v = 0, h = 0;
+  Coord perim = 0;
+  for (const Edge& e : es) {
+    (e.vertical() ? v : h)++;
+    perim += e.length();
+  }
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(perim, 30);
+}
+
+TEST(Region, EdgesOfAbuttedRectsHideInternalBoundary) {
+  const Region r = unite(box(0, 0, 10, 10), box(10, 0, 20, 10));
+  Coord perim = 0;
+  for (const Edge& e : r.edges()) perim += e.length();
+  EXPECT_EQ(perim, 2 * (20 + 10));
+}
+
+TEST(Region, EdgesOfLShape) {
+  const Region l = unite(box(0, 0, 20, 10), box(0, 10, 10, 20));
+  Coord perim = 0;
+  for (const Edge& e : l.edges()) perim += e.length();
+  EXPECT_EQ(perim, 80);  // L perimeter: 20+10+10+10+10+20
+}
+
+TEST(Region, ScaledDoublesCoordinates) {
+  const Region r = box(1, 2, 5, 7).scaled(2);
+  ASSERT_EQ(r.rects().size(), 1u);
+  EXPECT_EQ(r.rects()[0], makeRect(2, 4, 10, 14));
+}
+
+TEST(RegionDistance, Metrics) {
+  const Region a = box(0, 0, 10, 10);
+  const Region b = box(13, 14, 20, 20);
+  EXPECT_DOUBLE_EQ(regionDistance(a, b, Metric::kEuclidean), 5.0);
+  EXPECT_DOUBLE_EQ(regionDistance(a, b, Metric::kOrthogonal), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random rect soups, algebraic identities.
+// ---------------------------------------------------------------------------
+
+class RegionProperty : public ::testing::TestWithParam<unsigned> {};
+
+std::vector<Rect> randomRects(std::mt19937& rng, int n) {
+  std::uniform_int_distribution<Coord> c(-40, 40), s(1, 25);
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const Coord x = c(rng), y = c(rng);
+    out.push_back(makeRect(x, y, x + s(rng), y + s(rng)));
+  }
+  return out;
+}
+
+/// Brute-force area by unit-pixel counting over the +/-70 window.
+Coord pixelArea(const std::vector<Rect>& rects) {
+  Coord n = 0;
+  for (Coord y = -70; y < 70; ++y)
+    for (Coord x = -70; x < 70; ++x) {
+      for (const Rect& r : rects)
+        if (r.contains(Point{x, y})) {
+          ++n;
+          break;
+        }
+    }
+  return n;
+}
+
+TEST_P(RegionProperty, UnionAreaMatchesPixelCount) {
+  std::mt19937 rng(GetParam());
+  const auto rects = randomRects(rng, 12);
+  EXPECT_EQ(Region::fromRects(rects).area(), pixelArea(rects));
+}
+
+TEST_P(RegionProperty, BooleanAlgebraIdentities) {
+  std::mt19937 rng(GetParam() * 7919 + 1);
+  const Region a = Region::fromRects(randomRects(rng, 8));
+  const Region b = Region::fromRects(randomRects(rng, 8));
+  // A = (A\B) u (A n B)
+  EXPECT_EQ(unite(subtract(a, b), intersect(a, b)), a);
+  // XOR = (A\B) u (B\A)
+  EXPECT_EQ(exclusiveOr(a, b), unite(subtract(a, b), subtract(b, a)));
+  // Inclusion-exclusion on areas.
+  EXPECT_EQ(unite(a, b).area() + intersect(a, b).area(),
+            a.area() + b.area());
+  // Commutativity & idempotence.
+  EXPECT_EQ(unite(a, b), unite(b, a));
+  EXPECT_EQ(unite(a, a), a);
+  EXPECT_EQ(intersect(a, a), a);
+}
+
+TEST_P(RegionProperty, MembershipMatchesBooleans) {
+  std::mt19937 rng(GetParam() * 104729 + 3);
+  const Region a = Region::fromRects(randomRects(rng, 6));
+  const Region b = Region::fromRects(randomRects(rng, 6));
+  const Region u = unite(a, b);
+  const Region i = intersect(a, b);
+  const Region s = subtract(a, b);
+  std::uniform_int_distribution<Coord> c(-70, 70);
+  for (int k = 0; k < 200; ++k) {
+    const Point p{c(rng), c(rng)};
+    const bool ia = a.contains(p), ib = b.contains(p);
+    EXPECT_EQ(u.contains(p), ia || ib) << toString(p);
+    EXPECT_EQ(i.contains(p), ia && ib) << toString(p);
+    EXPECT_EQ(s.contains(p), ia && !ib) << toString(p);
+  }
+}
+
+TEST_P(RegionProperty, ExpandShrinkDuality) {
+  std::mt19937 rng(GetParam() * 31 + 17);
+  const Region a = Region::fromRects(randomRects(rng, 6));
+  // Erosion of dilation contains the original (closing is extensive).
+  const Region closed = a.expanded(3).shrunk(3);
+  EXPECT_TRUE(subtract(a, closed).empty());
+  // Dilation of erosion is contained in the original (opening is
+  // anti-extensive).
+  const Region opened = a.shrunk(3).expanded(3);
+  EXPECT_TRUE(subtract(opened, a).empty());
+}
+
+TEST_P(RegionProperty, EdgesCoverBoundaryExactly) {
+  std::mt19937 rng(GetParam() * 613 + 5);
+  const Region a = Region::fromRects(randomRects(rng, 8));
+  // Sum of vertical edge lengths with interior right == sum with interior
+  // left (the boundary closes), same for horizontal.
+  Coord right = 0, left = 0, above = 0, below = 0;
+  for (const Edge& e : a.edges()) {
+    switch (e.interior) {
+      case InteriorSide::kRight: right += e.length(); break;
+      case InteriorSide::kLeft: left += e.length(); break;
+      case InteriorSide::kAbove: above += e.length(); break;
+      case InteriorSide::kBelow: below += e.length(); break;
+    }
+  }
+  EXPECT_EQ(right, left);
+  EXPECT_EQ(above, below);
+  // Spot-check: just inside each vertical edge is interior; just outside
+  // is exterior.
+  for (const Edge& e : a.edges()) {
+    if (!e.vertical()) continue;
+    const Coord sampleY = e.lo;  // always in [lo,hi)
+    const int in = e.interior == InteriorSide::kRight ? 1 : -1;
+    EXPECT_TRUE(a.contains({e.pos + (in > 0 ? 0 : -1), sampleY}));
+    EXPECT_FALSE(a.contains({e.pos + (in > 0 ? -1 : 0), sampleY}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionProperty,
+                         ::testing::Range(1u, 21u));
+
+}  // namespace
+}  // namespace dic::geom

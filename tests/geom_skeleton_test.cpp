@@ -1,0 +1,176 @@
+// Tests for skeletal connectivity (Fig. 11) including the paper's key
+// invariant: legal-width elements with touching skeletons union to a
+// legal-width region.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/skeleton.hpp"
+#include "geom/width.hpp"
+
+namespace dic::geom {
+namespace {
+
+constexpr Coord kMinW = 20;
+
+TEST(Skeleton, BoxSkeletonOfFatBox) {
+  const Skeleton s = boxSkeleton(makeRect(0, 0, 100, 40), kMinW);
+  ASSERT_EQ(s.parts.size(), 1u);
+  // 2x space: [20, 180] x [20, 60].
+  EXPECT_EQ(s.parts[0], makeRect(20, 20, 180, 60));
+  EXPECT_FALSE(s.thin);
+}
+
+TEST(Skeleton, BoxSkeletonOfMinWidthBoxIsDegenerateLine) {
+  const Skeleton s = boxSkeleton(makeRect(0, 0, 100, kMinW), kMinW);
+  ASSERT_EQ(s.parts.size(), 1u);
+  EXPECT_EQ(s.parts[0], makeRect(20, 20, 180, 20));  // zero height, closed
+  EXPECT_TRUE(s.parts[0].closedValid());
+  EXPECT_TRUE(s.thin);
+}
+
+TEST(Skeleton, WireSkeletonMinWidthIsCenterline) {
+  const Skeleton s =
+      wireSkeleton({{0, 0}, {100, 0}}, kMinW, kMinW);
+  ASSERT_EQ(s.parts.size(), 1u);
+  EXPECT_EQ(s.parts[0], makeRect(0, 0, 200, 0));
+  EXPECT_TRUE(s.thin);
+}
+
+TEST(Skeleton, WireSkeletonFatWire) {
+  const Skeleton s = wireSkeleton({{0, 0}, {100, 0}}, 30, kMinW);
+  ASSERT_EQ(s.parts.size(), 1u);
+  EXPECT_EQ(s.parts[0], makeRect(-10, -10, 210, 10));
+}
+
+TEST(Skeleton, LWireHasTwoParts) {
+  const Skeleton s =
+      wireSkeleton({{0, 0}, {100, 0}, {100, 100}}, kMinW, kMinW);
+  EXPECT_EQ(s.parts.size(), 2u);
+  EXPECT_TRUE(skeletonsConnected(s, s));
+}
+
+TEST(Skeleton, RegionSkeletonOfFatL) {
+  const Region l = unite(Region(makeRect(0, 0, 100, 40)),
+                         Region(makeRect(0, 0, 40, 100)));
+  const Skeleton s = regionSkeleton(l, kMinW);
+  EXPECT_FALSE(s.empty());
+  EXPECT_FALSE(s.thin);
+  // The two arm centerlines must be connected through the corner.
+  const Skeleton armX = boxSkeleton(makeRect(60, 0, 100, 40), kMinW);
+  const Skeleton armY = boxSkeleton(makeRect(0, 60, 40, 100), kMinW);
+  EXPECT_TRUE(skeletonsConnected(s, armX));
+  EXPECT_TRUE(skeletonsConnected(s, armY));
+}
+
+// --- Fig. 11: connected vs not-connected examples -------------------------
+
+TEST(Fig11, OverlappingBoxesConnected) {
+  const Skeleton a = boxSkeleton(makeRect(0, 0, 100, 20), kMinW);
+  const Skeleton b = boxSkeleton(makeRect(80, 0, 180, 20), kMinW);
+  EXPECT_TRUE(skeletonsConnected(a, b));
+}
+
+TEST(Fig11, SkeletonTouchRequiresHalfWidthOverlap) {
+  // Two min-width boxes merely abutting: skeletons do NOT touch (the
+  // paper's right-hand "not connected" case).
+  const Skeleton a = boxSkeleton(makeRect(0, 0, 100, 20), kMinW);
+  const Skeleton b = boxSkeleton(makeRect(100, 0, 200, 20), kMinW);
+  EXPECT_FALSE(skeletonsConnected(a, b));
+  // Overlap by exactly the minimum width: skeletons just touch.
+  const Skeleton c = boxSkeleton(makeRect(80, 0, 180, 20), kMinW);
+  EXPECT_TRUE(skeletonsConnected(a, c));
+  // One unit less overlap: not connected.
+  const Skeleton d = boxSkeleton(makeRect(81, 0, 181, 20), kMinW);
+  EXPECT_FALSE(skeletonsConnected(a, d));
+}
+
+TEST(Fig11, EnclosedElementConnected) {
+  const Skeleton big = boxSkeleton(makeRect(0, 0, 200, 200), kMinW);
+  const Skeleton small = boxSkeleton(makeRect(50, 50, 90, 90), kMinW);
+  EXPECT_TRUE(skeletonsConnected(big, small));
+}
+
+TEST(Fig11, CrossingWiresConnected) {
+  const Skeleton h = wireSkeleton({{0, 50}, {200, 50}}, kMinW, kMinW);
+  const Skeleton v = wireSkeleton({{100, 0}, {100, 200}}, kMinW, kMinW);
+  EXPECT_TRUE(skeletonsConnected(h, v));
+}
+
+TEST(Fig11, ParallelWiresNotConnected) {
+  const Skeleton a = wireSkeleton({{0, 0}, {200, 0}}, kMinW, kMinW);
+  const Skeleton b = wireSkeleton({{0, 40}, {200, 40}}, kMinW, kMinW);
+  EXPECT_FALSE(skeletonsConnected(a, b));
+  EXPECT_DOUBLE_EQ(skeletonDistance(a, b), 40.0);
+}
+
+TEST(Fig11, OddMinWidthIsExactIn2xSpace) {
+  // minWidth 15: the half-width 7.5 is exactly representable in 2x space.
+  const Skeleton a = boxSkeleton(makeRect(0, 0, 100, 15), 15);
+  ASSERT_EQ(a.parts.size(), 1u);
+  EXPECT_EQ(a.parts[0], makeRect(15, 15, 185, 15));
+}
+
+// --- The key invariant, property-tested ------------------------------------
+
+class SkeletonInvariant : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SkeletonInvariant, ConnectedLegalElementsUnionToLegalWidth) {
+  // Paper: "if two elements are each of legal width and are skeletally
+  // connected, then the union of the elements is of legal width."
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<Coord> pos(-60, 60), len(kMinW, 80);
+  int connectedPairs = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rect ra = makeRect(pos(rng), pos(rng), 0, 0);
+    const Rect a = {ra.lo, {ra.lo.x + len(rng), ra.lo.y + len(rng)}};
+    const Rect rb = makeRect(pos(rng), pos(rng), 0, 0);
+    const Rect b = {rb.lo, {rb.lo.x + len(rng), rb.lo.y + len(rng)}};
+    const Skeleton sa = boxSkeleton(a, kMinW);
+    const Skeleton sb = boxSkeleton(b, kMinW);
+    if (!skeletonsConnected(sa, sb)) continue;
+    ++connectedPairs;
+    const Region u = unite(Region(a), Region(b));
+    EXPECT_TRUE(checkWidthEdges(u, kMinW).empty())
+        << "a=" << toString(a) << " b=" << toString(b);
+  }
+  // The sweep must actually exercise connected cases.
+  EXPECT_GT(connectedPairs, 5);
+}
+
+TEST_P(SkeletonInvariant, DisconnectedSkeletonsNeverOverlapRegions) {
+  // Contrapositive sanity: if the element regions overlap by at least half
+  // the minimum width in both axes, skeletons must touch.
+  std::mt19937 rng(GetParam() * 37 + 11);
+  std::uniform_int_distribution<Coord> pos(-60, 60), len(kMinW, 80);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Coord x = pos(rng), y = pos(rng);
+    const Rect a = makeRect(x, y, x + len(rng), y + len(rng));
+    const Coord x2 = pos(rng), y2 = pos(rng);
+    const Rect b = makeRect(x2, y2, x2 + len(rng), y2 + len(rng));
+    const Rect inter = intersect(a, b);
+    if (inter.empty() || inter.width() < kMinW || inter.height() < kMinW)
+      continue;
+    EXPECT_TRUE(
+        skeletonsConnected(boxSkeleton(a, kMinW), boxSkeleton(b, kMinW)))
+        << toString(a) << " vs " << toString(b);
+  }
+}
+
+TEST_P(SkeletonInvariant, RegionSkeletonMatchesBoxSkeletonOnRects) {
+  std::mt19937 rng(GetParam() * 101 + 7);
+  std::uniform_int_distribution<Coord> pos(-50, 50), len(kMinW + 2, 90);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Coord x = pos(rng), y = pos(rng);
+    const Rect r = makeRect(x, y, x + len(rng), y + len(rng));
+    const Skeleton viaBox = boxSkeleton(r, kMinW);
+    const Skeleton viaRegion = regionSkeleton(Region(r), kMinW);
+    ASSERT_EQ(viaRegion.parts.size(), 1u);
+    EXPECT_EQ(viaRegion.parts[0], viaBox.parts[0]) << toString(r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonInvariant, ::testing::Range(1u, 11u));
+
+}  // namespace
+}  // namespace dic::geom

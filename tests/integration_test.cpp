@@ -1,0 +1,155 @@
+// End-to-end integration: generated chips, injected defects, and the
+// Fig. 1 scoring that is the heart of the paper's argument.
+#include <gtest/gtest.h>
+
+#include "baseline/flat_drc.hpp"
+#include "drc/checker.hpp"
+#include "erc/erc.hpp"
+#include "report/scorer.hpp"
+#include "structured/structured.hpp"
+#include "workload/generator.hpp"
+#include "workload/inject.hpp"
+
+namespace dic {
+namespace {
+
+report::Report runDic(const workload::GeneratedChip& chip,
+                      const tech::Technology& t) {
+  drc::Checker checker(chip.lib, chip.top, t, {});
+  report::Report rep = checker.run();
+  const netlist::Netlist nl = checker.generateNetlist();
+  rep.merge(erc::check(nl, t));
+  rep.merge(structured::checkImplicitDevices(chip.lib, chip.top, t));
+  rep.merge(structured::checkSelfSufficiency(chip.lib, chip.top, t));
+  return rep;
+}
+
+TEST(Integration, CleanChipCleanEverywhere) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 1, .blockCols = 2, .invRows = 2, .invCols = 3,
+          .withPads = true});
+  const report::Report rep = runDic(chip, t);
+  EXPECT_TRUE(rep.empty()) << rep.text();
+  const report::Report base = baseline::check(chip.lib, chip.top, t);
+  EXPECT_TRUE(base.empty()) << base.text();
+}
+
+TEST(Integration, Fig1VennShape) {
+  // The paper's central claim: the integrity checker eliminates false and
+  // unchecked errors; the mask-level baseline exhibits both, with a
+  // false:real ratio that can reach "10 to 1 or higher".
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 2, .blockCols = 2, .invRows = 2, .invCols = 3,
+          .withPads = true});
+  const workload::InjectionPlan plan{};  // defaults: a mix of everything
+  const auto truths = workload::inject(chip, t, plan, /*seed=*/42);
+
+  const report::Report dicRep = runDic(chip, t);
+  const report::Report baseRep = baseline::check(chip.lib, chip.top, t);
+
+  const geom::Coord tol = 4 * t.lambda();
+  const report::VennCounts dic = report::score(truths, dicRep, tol);
+  const report::VennCounts base = report::score(truths, baseRep, tol);
+
+  // DIC: everything real is flagged, nothing false.
+  EXPECT_EQ(dic.realUnchecked, 0u) << dicRep.text();
+  EXPECT_EQ(dic.falseErrors, 0u) << dicRep.text();
+  EXPECT_EQ(dic.realFlagged, dic.totalReal);
+
+  // Baseline: catches the plain geometric errors...
+  EXPECT_GT(base.realFlagged, 0u);
+  // ...but misses the device/electrical/structured classes...
+  EXPECT_GT(base.realUnchecked, 0u);
+  // ...and flags the same-net decoys as errors.
+  EXPECT_GT(base.falseErrors, 0u) << baseRep.text();
+}
+
+TEST(Integration, BaselineFalseRatioGrowsWithDecoys) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 2, .blockCols = 2, .invRows = 2, .invCols = 3,
+          .withPads = true});
+  workload::InjectionPlan plan;
+  plan.spacingViolations = 1;
+  plan.widthViolations = 1;
+  plan.sameNetDecoys = 12;  // decoy-rich chip
+  plan.accidentalFets = 0;
+  plan.contactsOverGate = 0;
+  plan.buttingHalves = 0;
+  plan.powerGroundShorts = 0;
+  plan.floatingNets = 0;
+  const auto truths = workload::inject(chip, t, plan, 7);
+
+  const report::Report baseRep = baseline::check(chip.lib, chip.top, t);
+  const report::VennCounts base =
+      report::score(truths, baseRep, 4 * t.lambda());
+  // 12 decoys vs 2 real: at least 5:1 observed (decoy flags can merge).
+  EXPECT_GE(base.falseToRealRatio(), 5.0);
+
+  const report::Report dicRep = runDic(chip, t);
+  const report::VennCounts dic = report::score(truths, dicRep, 4 * t.lambda());
+  EXPECT_EQ(dic.falseErrors, 0u) << dicRep.text();
+}
+
+TEST(Integration, HierarchicalAndFlatSameViolationsOnInjectedChip) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 1, .blockCols = 2, .invRows = 2, .invCols = 2,
+          .withPads = false});
+  workload::InjectionPlan plan;
+  plan.powerGroundShorts = 0;  // electrical errors are netlist-level
+  plan.floatingNets = 0;
+  workload::inject(chip, t, plan, 3);
+
+  drc::Options flat;
+  flat.hierarchicalInteractions = false;
+  drc::Checker cf(chip.lib, chip.top, t, flat);
+  drc::Checker ch(chip.lib, chip.top, t, {});
+  const auto rf = cf.run();
+  const auto rh = ch.run();
+  EXPECT_EQ(rf.count(report::Category::kSpacing),
+            rh.count(report::Category::kSpacing));
+  EXPECT_EQ(rf.count(report::Category::kWidth),
+            rh.count(report::Category::kWidth));
+  EXPECT_EQ(rf.count(report::Category::kConnection),
+            rh.count(report::Category::kConnection));
+}
+
+TEST(Integration, SizeStatsShowHierarchyLeverage) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(
+      t, {.blockRows = 2, .blockCols = 2, .invRows = 3, .invCols = 3,
+          .withPads = false});
+  const layout::Library::SizeStats s = chip.lib.sizeStats(chip.top);
+  // 36 inverters, each with ~9 interconnect elements, vs one definition.
+  EXPECT_GT(s.flatElements, 10 * s.hierarchicalElements / 2);
+  EXPECT_EQ(s.maxDepth, 4);  // chip -> block -> inverter -> device
+}
+
+TEST(Integration, ScorerVennCountsBehave) {
+  report::Report rep;
+  report::Violation v;
+  v.category = report::Category::kWidth;
+  v.where = geom::makeRect(0, 0, 10, 10);
+  rep.add(v);
+  v.where = geom::makeRect(1000, 1000, 1010, 1010);
+  rep.add(v);  // a false error far away
+
+  std::vector<report::GroundTruth> truths = {
+      {report::Category::kWidth, geom::makeRect(2, 2, 8, 8), true, ""},
+      {report::Category::kSpacing, geom::makeRect(500, 500, 510, 510), true,
+       ""},
+  };
+  const report::VennCounts c = report::score(truths, rep, 5);
+  EXPECT_EQ(c.totalReal, 2u);
+  EXPECT_EQ(c.realFlagged, 1u);
+  EXPECT_EQ(c.realUnchecked, 1u);
+  EXPECT_EQ(c.falseErrors, 1u);
+  EXPECT_DOUBLE_EQ(c.falseToRealRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(c.coverage(), 0.5);
+}
+
+}  // namespace
+}  // namespace dic

@@ -1,0 +1,210 @@
+// Tests for the layout database: elements, hierarchy, flattening, CIF IO.
+#include <gtest/gtest.h>
+
+#include "cif/parser.hpp"
+#include "cif/writer.hpp"
+#include "layout/cifio.hpp"
+#include "layout/library.hpp"
+#include "tech/technology.hpp"
+
+namespace dic::layout {
+namespace {
+
+using geom::makeRect;
+using geom::Point;
+
+TEST(Element, BoxRegionAndBBox) {
+  const Element e = makeBox(0, makeRect(0, 0, 10, 20));
+  EXPECT_EQ(e.region().area(), 200);
+  EXPECT_EQ(e.bbox(), makeRect(0, 0, 10, 20));
+}
+
+TEST(Element, WireRegionSquareCaps) {
+  const Element e = makeWire(0, {{0, 0}, {10, 0}}, 4);
+  // Segment inflated by half width in all directions.
+  EXPECT_EQ(e.region().bbox(), makeRect(-2, -2, 12, 2));
+  EXPECT_EQ(e.region().area(), 14 * 4);
+  EXPECT_EQ(e.bbox(), makeRect(-2, -2, 12, 2));
+}
+
+TEST(Element, LWireRegion) {
+  const Element e = makeWire(0, {{0, 0}, {10, 0}, {10, 10}}, 4);
+  // Two segments; the corner is covered once.
+  const geom::Region r = e.region();
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_EQ(r.area(), 14 * 4 + 14 * 4 - 4 * 4);
+}
+
+TEST(Element, PolygonRegion) {
+  const Element e =
+      makePolygon(0, {{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  EXPECT_EQ(e.region().area(), 300);
+}
+
+TEST(Element, TransformedWire) {
+  const Element e = makeWire(0, {{0, 0}, {10, 0}}, 4);
+  const Element t = e.transformed({geom::Orient::kR90, {0, 0}});
+  EXPECT_EQ(t.region().bbox(), makeRect(-2, -2, 2, 12));
+}
+
+TEST(Library, AddAndFind) {
+  Library lib;
+  Cell c;
+  c.name = "leaf";
+  const CellId id = lib.addCell(std::move(c));
+  EXPECT_EQ(lib.findCell("leaf"), std::optional<CellId>(id));
+  EXPECT_FALSE(lib.findCell("nope").has_value());
+  Cell dup;
+  dup.name = "leaf";
+  EXPECT_THROW(lib.addCell(std::move(dup)), std::invalid_argument);
+}
+
+Library makeTwoLevel(CellId& top, CellId& leaf) {
+  Library lib;
+  Cell l;
+  l.name = "leaf";
+  l.elements.push_back(makeBox(0, makeRect(0, 0, 10, 10)));
+  leaf = lib.addCell(std::move(l));
+  Cell t;
+  t.name = "top";
+  t.elements.push_back(makeBox(1, makeRect(0, 0, 100, 5)));
+  t.instances.push_back({leaf, {geom::Orient::kR0, {20, 20}}, "a"});
+  t.instances.push_back({leaf, {geom::Orient::kR90, {60, 20}}, "b"});
+  top = lib.addCell(std::move(t));
+  return lib;
+}
+
+TEST(Library, CellBBoxRecursive) {
+  CellId top, leaf;
+  Library lib = makeTwoLevel(top, leaf);
+  EXPECT_EQ(lib.cellBBox(leaf), makeRect(0, 0, 10, 10));
+  // b instance: R90 of (0,0,10,10) is (-10,0,0,10), translated to (50,20).
+  EXPECT_EQ(lib.cellBBox(top), makeRect(0, 0, 100, 30));
+}
+
+TEST(Library, FlattenPathsAndTransforms) {
+  CellId top, leaf;
+  Library lib = makeTwoLevel(top, leaf);
+  std::vector<FlatElement> fe;
+  std::vector<FlatDevice> fd;
+  lib.flatten(top, fe, fd);
+  ASSERT_EQ(fe.size(), 3u);
+  EXPECT_TRUE(fd.empty());
+  EXPECT_EQ(fe[0].path, "");
+  EXPECT_EQ(fe[1].path, "a");
+  EXPECT_EQ(fe[2].path, "b");
+  EXPECT_EQ(fe[1].element.bbox(), makeRect(20, 20, 30, 30));
+  EXPECT_EQ(fe[2].element.bbox(), makeRect(50, 20, 60, 30));
+}
+
+TEST(Library, FlattenStopsAtDevices) {
+  Library lib;
+  Cell dev;
+  dev.name = "tran";
+  dev.deviceType = "TRAN";
+  dev.elements.push_back(makeBox(0, makeRect(-5, -5, 5, 5)));
+  dev.ports.push_back({"G", 0, makeRect(-5, -5, -4, 5), 0});
+  const CellId devId = lib.addCell(std::move(dev));
+  Cell t;
+  t.name = "top";
+  t.instances.push_back({devId, {geom::Orient::kR0, {100, 100}}, "t1"});
+  const CellId top = lib.addCell(std::move(t));
+
+  std::vector<FlatElement> fe;
+  std::vector<FlatDevice> fd;
+  lib.flatten(top, fe, fd, /*includeDeviceGeometry=*/false);
+  EXPECT_TRUE(fe.empty());
+  ASSERT_EQ(fd.size(), 1u);
+  EXPECT_EQ(fd[0].deviceType, "TRAN");
+  EXPECT_EQ(fd[0].path, "t1");
+  EXPECT_EQ(fd[0].ports[0].at, makeRect(95, 95, 96, 105));
+
+  fe.clear();
+  fd.clear();
+  lib.flatten(top, fe, fd, /*includeDeviceGeometry=*/true);
+  EXPECT_EQ(fe.size(), 1u);
+  EXPECT_EQ(fd.size(), 1u);
+}
+
+TEST(Library, FlattenWindowPrunes) {
+  CellId top, leaf;
+  Library lib = makeTwoLevel(top, leaf);
+  std::vector<FlatElement> out;
+  lib.flattenWindow(top, makeRect(19, 19, 31, 31), out);
+  // The top strip (y<=5) does not intersect; instance b does not.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].path, "a");
+}
+
+TEST(Library, SizeStats) {
+  CellId top, leaf;
+  Library lib = makeTwoLevel(top, leaf);
+  const Library::SizeStats s = lib.sizeStats(top);
+  EXPECT_EQ(s.cells, 2u);
+  EXPECT_EQ(s.hierarchicalElements, 2u);
+  EXPECT_EQ(s.flatElements, 3u);
+  EXPECT_EQ(s.maxDepth, 2);
+}
+
+TEST(Library, ForEachCellOncePostOrder) {
+  CellId top, leaf;
+  Library lib = makeTwoLevel(top, leaf);
+  std::vector<CellId> order;
+  lib.forEachCellOnce(top, [&](CellId id) { order.push_back(id); });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], leaf);  // substrates first
+  EXPECT_EQ(order[1], top);
+}
+
+TEST(CifIo, ImportExportRoundTrip) {
+  const tech::Technology t = tech::nmos();
+  const std::string src =
+      "DS 1; 9 leaf; 4D TRAN; L NP; B 1500 500 0 0; L ND; B 500 1500 0 0; "
+      "DF; 9 top; L NM; 4N VDD; B 1000 750 500 375; C 1 T 5000 5000; E";
+  Library lib;
+  auto resolver = [&](const std::string& n) {
+    return t.layerByCifName(n).value_or(-1);
+  };
+  const cif::CifFile parsed = cif::parse(src);
+  const CellId rootId = fromCif(parsed, lib, resolver);
+  EXPECT_EQ(lib.cell(rootId).name, "top");
+  ASSERT_EQ(lib.cell(rootId).elements.size(), 1u);
+  EXPECT_EQ(lib.cell(rootId).elements[0].net, "VDD");
+  ASSERT_EQ(lib.cell(rootId).instances.size(), 1u);
+  const CellId leafId = lib.cell(rootId).instances[0].cell;
+  EXPECT_EQ(lib.cell(leafId).deviceType, "TRAN");
+
+  // Export and re-import; structure must survive.
+  const cif::CifFile out = toCif(lib, rootId, [&](int l) {
+    return t.layer(l).cifName;
+  });
+  Library lib2;
+  const CellId root2 = fromCif(out, lib2, resolver);
+  EXPECT_EQ(lib2.cell(root2).elements.size(), 1u);
+  EXPECT_EQ(lib2.cell(root2).instances.size(), 1u);
+  EXPECT_EQ(lib2.cellBBox(root2), lib.cellBBox(rootId));
+}
+
+TEST(CifIo, ScaleFactorApplies) {
+  const tech::Technology t = tech::nmos();
+  Library lib;
+  auto resolver = [&](const std::string& n) {
+    return t.layerByCifName(n).value_or(-1);
+  };
+  const CellId root = fromCif(
+      cif::parse("DS 1 2 1; L NM; B 10 10 0 0; DF; 9 top; C 1; E"), lib,
+      resolver);
+  const CellId leaf = lib.cell(root).instances[0].cell;
+  EXPECT_EQ(lib.cell(leaf).elements[0].bbox(), makeRect(-10, -10, 10, 10));
+}
+
+TEST(CifIo, UnknownLayerThrows) {
+  Library lib;
+  EXPECT_THROW(fromCif(cif::parse("L XX; B 4 4 0 0; E"), lib,
+                       [](const std::string&) { return -1; }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dic::layout

@@ -1,0 +1,240 @@
+// Tests for the 2-D process model: Eq. (1) closed form vs numeric
+// integration, proximity effects (Fig. 13), relational rules (Fig. 14),
+// and line-of-closest-approach spacing.
+#include <gtest/gtest.h>
+
+#include "process/exposure.hpp"
+#include "process/proximity.hpp"
+#include "process/relational.hpp"
+
+namespace dic::process {
+namespace {
+
+using geom::makeRect;
+using geom::Point;
+using geom::Rect;
+using geom::Region;
+
+TEST(Exposure, DeepInteriorApproachesOne) {
+  const ExposureModel m(10.0);
+  const Rect big = makeRect(-1000, -1000, 1000, 1000);
+  EXPECT_NEAR(m.boxExposure(big, {0, 0}), 1.0, 1e-9);
+}
+
+TEST(Exposure, StraightEdgeIsHalf) {
+  const ExposureModel m(10.0);
+  const Rect big = makeRect(0, -1000, 2000, 1000);
+  EXPECT_NEAR(m.boxExposure(big, {0, 0}), 0.5, 1e-9);
+}
+
+TEST(Exposure, ConvexCornerIsQuarter) {
+  const ExposureModel m(10.0);
+  const Rect big = makeRect(0, 0, 2000, 2000);
+  EXPECT_NEAR(m.boxExposure(big, {0, 0}), 0.25, 1e-9);
+}
+
+TEST(Exposure, FarOutsideApproachesZero) {
+  const ExposureModel m(10.0);
+  const Rect box = makeRect(0, 0, 100, 100);
+  EXPECT_NEAR(m.boxExposure(box, {500, 500}), 0.0, 1e-12);
+}
+
+TEST(Exposure, RegionSumsBoxes) {
+  const ExposureModel m(10.0);
+  const Region r = unite(Region(makeRect(-200, -200, 0, 200)),
+                         Region(makeRect(0, -200, 200, 200)));
+  // The union covers the origin's neighbourhood completely.
+  EXPECT_NEAR(m.exposure(r, {0, 0}), 1.0, 1e-6);
+}
+
+class ClosedFormVsNumeric : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosedFormVsNumeric, Eq1ClosedFormMatchesSimpson) {
+  const double sigma = 5.0 + GetParam() * 3.0;
+  const ExposureModel m(sigma);
+  const Rect box = makeRect(-40, -25, 35, 50);
+  const Point probes[] = {{0, 0},   {30, 10}, {-40, -25}, {50, 60},
+                          {35, 0},  {-10, 49}, {100, 0},  {0, -60}};
+  for (const Point p : probes) {
+    const double closed = m.boxExposure(box, p);
+    const double numeric = m.boxExposureNumeric(box, p, 128);
+    EXPECT_NEAR(closed, numeric, 1e-4)
+        << "sigma=" << sigma << " p=" << geom::toString(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ClosedFormVsNumeric, ::testing::Range(0, 6));
+
+TEST(Exposure, MaxAlongSegment) {
+  const ExposureModel m(10.0);
+  const Region r(makeRect(0, 0, 100, 100));
+  const double maxv = m.maxAlongSegment(r, {-50, 50}, {150, 50});
+  EXPECT_NEAR(maxv, 1.0, 1e-5);  // the segment crosses the interior
+  const double edge = m.maxAlongSegment(r, {-50, -50}, {150, -50});
+  EXPECT_LT(edge, 0.5);  // runs outside, below edge threshold
+}
+
+// --- Fig. 13: proximity-effect expand ---------------------------------------
+
+TEST(Proximity, EdgeBiasZeroAtHalfThreshold) {
+  const ExposureModel m(10.0);
+  EXPECT_NEAR(edgeBias(m, 0.5), 0.0, 0.01);
+  // Lower threshold -> developed image extends beyond the drawn edge.
+  EXPECT_GT(edgeBias(m, 0.3), 0.0);
+  EXPECT_LT(edgeBias(m, 0.7), 0.0);
+}
+
+TEST(Proximity, ContourAreaTracksThreshold) {
+  const ExposureModel m(10.0);
+  const Region mask(makeRect(0, 0, 200, 200));
+  const Rect win = makeRect(-60, -60, 260, 260);
+  const double aLow = contourArea(m, mask, win, 0.3, 4).area;
+  const double aMid = contourArea(m, mask, win, 0.5, 4).area;
+  const double aHigh = contourArea(m, mask, win, 0.7, 4).area;
+  EXPECT_GT(aLow, aMid);
+  EXPECT_GT(aMid, aHigh);
+  // At threshold 0.5 the developed area is close to the drawn area (the
+  // corner rounding loses a little).
+  EXPECT_NEAR(aMid, 200.0 * 200.0, 200.0 * 200.0 * 0.03);
+}
+
+TEST(Proximity, CornersRoundUnlikeOrthogonalExpand) {
+  // Fig. 13: the orthogonal expand keeps square corners; the proximity
+  // (exposure) contour rounds them. Exact point tests: the mid-edge point
+  // at the biased position develops, the orthogonally-expanded *corner*
+  // point does not.
+  const ExposureModel m(10.0);
+  const Region mask(makeRect(0, 0, 200, 200));
+  const double thr = 0.3;
+  const double bias = edgeBias(m, thr);
+  ASSERT_GT(bias, 0);
+  const geom::Coord b = static_cast<geom::Coord>(std::lround(bias));
+  EXPECT_NEAR(m.exposure(mask, {100, 200 + b}), thr, 0.02);
+  EXPECT_LT(m.exposure(mask, {200 + b, 200 + b}), 0.7 * thr);
+  // The contour area sits between the drawn area and the orthogonal
+  // expand's area (sampled coarsely; generous bounds).
+  const Rect win = makeRect(-80, -80, 280, 280);
+  const double proxArea = contourArea(m, mask, win, thr, 2).area;
+  EXPECT_GT(proxArea, 200.0 * 200.0);
+  EXPECT_LT(proxArea, orthogonalExpandArea(mask, b + 2));
+}
+
+TEST(Proximity, NearbyGeometryBoostsExposure) {
+  // The proximity effect: a neighbour raises the exposure at my edge.
+  const ExposureModel m(10.0);
+  const Rect a = makeRect(0, 0, 100, 100);
+  const Rect b = makeRect(115, 0, 215, 100);  // 15 = 1.5 sigma away
+  const BridgeAnalysis ba = analyzeBridge(m, a, b, 0.5);
+  EXPECT_GT(ba.facingEdgeExposure, ba.isolatedEdgeExposure);
+}
+
+TEST(Proximity, BridgingAtSmallGapOnly) {
+  const ExposureModel m(10.0);
+  const Rect a = makeRect(0, 0, 100, 100);
+  // Wide gap: no bridge.
+  EXPECT_FALSE(
+      analyzeBridge(m, a, makeRect(160, 0, 260, 100), 0.5).bridges);
+  // Tiny gap (well under sigma): exposure between stays above threshold.
+  EXPECT_TRUE(analyzeBridge(m, a, makeRect(104, 0, 204, 100), 0.5).bridges);
+}
+
+TEST(Proximity, BridgeGapExposureMonotonicInGap) {
+  const ExposureModel m(10.0);
+  const Rect a = makeRect(0, 0, 100, 100);
+  double prev = 1e9;
+  for (geom::Coord gap = 4; gap <= 44; gap += 8) {
+    const BridgeAnalysis ba =
+        analyzeBridge(m, a, makeRect(100 + gap, 0, 200 + gap, 100), 0.5);
+    EXPECT_LT(ba.maxGapExposure, prev) << "gap=" << gap;
+    prev = ba.maxGapExposure;
+  }
+}
+
+// --- Fig. 14: relational rule ------------------------------------------------
+
+TEST(Relational, RetreatShrinksWithWidth) {
+  // "the 'retreat' of the end on narrow wires": narrower -> more retreat.
+  const ExposureModel m(10.0);
+  double prev = 1e9;
+  for (geom::Coord w : {20, 30, 40, 60, 100}) {
+    const double r = endRetreat(m, w, 400, 0.5);
+    EXPECT_LT(r, prev) << "width=" << w;
+    EXPECT_GE(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST(Relational, WideWireBarelyRetreats) {
+  const ExposureModel m(10.0);
+  EXPECT_LT(endRetreat(m, 200, 600, 0.5), 1.5);
+}
+
+TEST(Relational, VeryNarrowWireVanishes) {
+  const ExposureModel m(10.0);
+  // A 4-unit-wide wire at sigma 10 never reaches threshold: total loss.
+  EXPECT_DOUBLE_EQ(endRetreat(m, 4, 200, 0.5), 200.0);
+}
+
+TEST(Relational, GateOverlapCheck) {
+  const ExposureModel m(10.0);
+  // A wide poly with the nominal 2-lambda-scale overlap passes...
+  const RelationalCheck wide =
+      checkGateOverlapRelational(m, 100, 50, 30, 0.5);
+  EXPECT_TRUE(wide.pass);
+  // ...but a narrow poly with the same drawn overlap fails: the end
+  // retreats too far. This is the relational dependence on width.
+  const RelationalCheck narrow =
+      checkGateOverlapRelational(m, 14, 50, 35, 0.5);
+  EXPECT_GT(narrow.retreat, wide.retreat);
+  EXPECT_FALSE(narrow.pass);
+  const RelationalCheck wideStrict =
+      checkGateOverlapRelational(m, 100, 50, 35, 0.5);
+  EXPECT_TRUE(wideStrict.pass);
+}
+
+// --- Line of closest approach spacing ----------------------------------------
+
+TEST(Lca, CloseShapesFail) {
+  const ExposureModel m(10.0);
+  const Region a(makeRect(0, 0, 100, 100));
+  const Region b(makeRect(106, 0, 206, 100));
+  const LcaSpacing r = checkSpacingLca(m, a, b, 0.5);
+  EXPECT_TRUE(r.fails);
+}
+
+TEST(Lca, FarShapesPass) {
+  const ExposureModel m(10.0);
+  const Region a(makeRect(0, 0, 100, 100));
+  const Region b(makeRect(170, 0, 270, 100));
+  EXPECT_FALSE(checkSpacingLca(m, a, b, 0.5).fails);
+}
+
+TEST(Lca, MisalignmentTightensTheCheck) {
+  // "The worst case processing in this case consists of both bias effects
+  // and mask misalignment": a pair that passes aligned can fail once the
+  // misalignment translation is applied.
+  const ExposureModel m(10.0);
+  const Region a(makeRect(0, 0, 100, 100));
+  const Region b(makeRect(135, 0, 235, 100));
+  EXPECT_FALSE(checkSpacingLca(m, a, b, 0.5, 0).fails);
+  EXPECT_TRUE(checkSpacingLca(m, a, b, 0.5, 30).fails);
+}
+
+TEST(Lca, DiagonalClosestApproach) {
+  const ExposureModel m(10.0);
+  const Region a(makeRect(0, 0, 100, 100));
+  // Corner-to-corner vs edge-to-edge at the same 4-unit axis gap: the
+  // corner dip is weaker (two quarter-planes instead of two half-planes),
+  // so corner gaps are less bridge-prone -- a physical fact neither
+  // geometric expand models.
+  const LcaSpacing corner =
+      checkSpacingLca(m, a, Region(makeRect(104, 104, 204, 204)), 0.5);
+  const LcaSpacing edge =
+      checkSpacingLca(m, a, Region(makeRect(104, 0, 204, 100)), 0.5);
+  EXPECT_GT(corner.maxExposure, 0.3);
+  EXPECT_GT(edge.maxExposure, corner.maxExposure);
+  EXPECT_TRUE(edge.fails);
+}
+
+}  // namespace
+}  // namespace dic::process

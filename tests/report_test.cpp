@@ -1,0 +1,150 @@
+// Tests for the violation report model and the Fig. 1 scorer.
+#include <gtest/gtest.h>
+
+#include "report/scorer.hpp"
+#include "report/violation.hpp"
+
+namespace dic::report {
+namespace {
+
+Violation v(Category c, geom::Rect where, std::string rule = "R") {
+  Violation out;
+  out.category = c;
+  out.where = where;
+  out.rule = std::move(rule);
+  return out;
+}
+
+TEST(Report, CountsByCategory) {
+  Report r;
+  r.add(v(Category::kWidth, geom::makeRect(0, 0, 1, 1)));
+  r.add(v(Category::kWidth, geom::makeRect(5, 5, 6, 6)));
+  r.add(v(Category::kSpacing, geom::makeRect(9, 9, 10, 10)));
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.count(Category::kWidth), 2u);
+  EXPECT_EQ(r.count(Category::kSpacing), 1u);
+  EXPECT_EQ(r.count(Category::kDevice), 0u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Report, MergeAppends) {
+  Report a, b;
+  a.add(v(Category::kWidth, geom::makeRect(0, 0, 1, 1)));
+  b.add(v(Category::kSpacing, geom::makeRect(0, 0, 1, 1)));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Report, TextContainsRuleAndSeverity) {
+  Report r;
+  Violation x = v(Category::kWidth, geom::makeRect(0, 0, 10, 10), "W.metal");
+  x.message = "too narrow";
+  x.cell = "inv";
+  r.add(x);
+  const std::string s = r.text();
+  EXPECT_NE(s.find("ERROR"), std::string::npos);
+  EXPECT_NE(s.find("W.metal"), std::string::npos);
+  EXPECT_NE(s.find("too narrow"), std::string::npos);
+  EXPECT_NE(s.find("inv"), std::string::npos);
+}
+
+TEST(Report, JsonWellFormedAndEscaped) {
+  Report r;
+  Violation x = v(Category::kSpacing, geom::makeRect(-5, 0, 5, 9), "S\"x\"");
+  x.message = "back\\slash";
+  r.add(x);
+  const std::string j = r.json();
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), ']');
+  EXPECT_NE(j.find("\"S\\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(j.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(j.find("[-5,0,5,9]"), std::string::npos);
+}
+
+TEST(Report, EmptyJsonIsEmptyArray) {
+  EXPECT_EQ(Report().json(), "[]");
+}
+
+TEST(Scorer, ToleranceControlsMatching) {
+  Report r;
+  r.add(v(Category::kWidth, geom::makeRect(20, 0, 30, 10)));
+  const std::vector<GroundTruth> truths = {
+      {Category::kWidth, geom::makeRect(0, 0, 10, 10), true, ""}};
+  EXPECT_EQ(score(truths, r, 5).realFlagged, 0u);
+  EXPECT_EQ(score(truths, r, 5).falseErrors, 1u);
+  EXPECT_EQ(score(truths, r, 10).realFlagged, 1u);
+  EXPECT_EQ(score(truths, r, 10).falseErrors, 0u);
+}
+
+TEST(Scorer, CategoryFamiliesMatch) {
+  // Self-sufficiency truths match width reports (the baseline sees them
+  // that way when it sees them at all).
+  Report r;
+  r.add(v(Category::kWidth, geom::makeRect(0, 0, 10, 10)));
+  const std::vector<GroundTruth> truths = {
+      {Category::kSelfSufficiency, geom::makeRect(0, 0, 10, 10), true, ""}};
+  EXPECT_EQ(score(truths, r, 2).realFlagged, 1u);
+}
+
+TEST(Scorer, SymptomNearRealDefectIsNotFalse) {
+  // A second, differently-categorized report at the same location is a
+  // symptom, not a false error.
+  Report r;
+  r.add(v(Category::kContactOverGate, geom::makeRect(0, 0, 10, 10)));
+  r.add(v(Category::kSpacing, geom::makeRect(2, 2, 8, 8)));
+  const std::vector<GroundTruth> truths = {
+      {Category::kContactOverGate, geom::makeRect(0, 0, 10, 10), true, ""}};
+  const VennCounts c = score(truths, r, 2);
+  EXPECT_EQ(c.realFlagged, 1u);
+  EXPECT_EQ(c.falseErrors, 0u);
+}
+
+TEST(Scorer, ElectricalMatchesByCategoryOnly) {
+  Report r;
+  r.add(v(Category::kElectrical, geom::Rect{}));  // no location (ERC)
+  const std::vector<GroundTruth> truths = {
+      {Category::kElectrical, geom::makeRect(5000, 5000, 6000, 6000), true,
+       ""}};
+  const VennCounts c = score(truths, r, 2);
+  EXPECT_EQ(c.realFlagged, 1u);
+  EXPECT_EQ(c.falseErrors, 0u);
+}
+
+TEST(Scorer, DecoysAreNotRealErrors) {
+  Report r;  // silence
+  const std::vector<GroundTruth> truths = {
+      {Category::kSpacing, geom::makeRect(0, 0, 10, 10), false, "decoy"}};
+  const VennCounts c = score(truths, r, 2);
+  EXPECT_EQ(c.totalReal, 0u);
+  EXPECT_EQ(c.realUnchecked, 0u);
+  EXPECT_EQ(c.falseErrors, 0u);
+  EXPECT_DOUBLE_EQ(c.coverage(), 1.0);
+}
+
+TEST(Scorer, RatioAndCoverageEdgeCases) {
+  VennCounts c;
+  c.falseErrors = 7;
+  c.realFlagged = 0;
+  EXPECT_DOUBLE_EQ(c.falseToRealRatio(), 7.0);
+  c.realFlagged = 2;
+  EXPECT_DOUBLE_EQ(c.falseToRealRatio(), 3.5);
+}
+
+TEST(CategoryNames, AllDistinct) {
+  const Category all[] = {
+      Category::kWidth,          Category::kSpacing,
+      Category::kConnection,     Category::kDevice,
+      Category::kImplicitDevice, Category::kContactOverGate,
+      Category::kSelfSufficiency, Category::kElectrical,
+      Category::kOther};
+  for (const Category a : all) {
+    for (const Category b : all) {
+      if (a != b) {
+        EXPECT_NE(toString(a), toString(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dic::report

@@ -1,0 +1,84 @@
+// Tests for the technology tables (Fig. 12 interaction matrix semantics).
+#include <gtest/gtest.h>
+
+#include "tech/technology.hpp"
+
+namespace dic::tech {
+namespace {
+
+TEST(Technology, NmosLayers) {
+  const Technology t = nmos();
+  EXPECT_EQ(t.lambda(), 250);
+  ASSERT_TRUE(t.layerByName("diff").has_value());
+  ASSERT_TRUE(t.layerByName("poly").has_value());
+  ASSERT_TRUE(t.layerByName("metal").has_value());
+  ASSERT_TRUE(t.layerByCifName("NM").has_value());
+  EXPECT_EQ(t.layer(*t.layerByName("metal")).minWidth, 3 * 250);
+  EXPECT_EQ(t.layer(*t.layerByName("poly")).minWidth, 2 * 250);
+}
+
+TEST(Technology, SpacingMatrixIsSymmetric) {
+  const Technology t = nmos();
+  for (int a = 0; a < t.layerCount(); ++a) {
+    for (int b = 0; b < t.layerCount(); ++b) {
+      EXPECT_EQ(t.spacing(a, b).diffNet, t.spacing(b, a).diffNet);
+      EXPECT_EQ(t.spacing(a, b).sameNet, t.spacing(b, a).sameNet);
+      EXPECT_EQ(t.spacing(a, b).related, t.spacing(b, a).related);
+    }
+  }
+}
+
+TEST(Technology, Fig12SubCases) {
+  const Technology t = nmos();
+  const int nd = *t.layerByName("diff");
+  const int nm = *t.layerByName("metal");
+  // Same-net spacing is usually unnecessary (Fig. 5a).
+  EXPECT_EQ(t.spacing(nd, nd).forRelation(NetRelation::kSameNet), 0);
+  EXPECT_EQ(t.spacing(nd, nd).forRelation(NetRelation::kDiffNet), 750);
+  // "no rule between those two mask layers (as in metal and diffusion)".
+  EXPECT_FALSE(t.spacing(nm, nd).any());
+  // Without net information the worst case applies -- the source of
+  // mask-level false errors.
+  EXPECT_EQ(t.spacing(nd, nd).forRelation(NetRelation::kUnknown), 750);
+}
+
+TEST(Technology, MaxInteractionDistance) {
+  const Technology t = nmos();
+  EXPECT_EQ(t.maxInteractionDistance(), 750);
+}
+
+TEST(Technology, DeviceTypes) {
+  const Technology t = nmos();
+  ASSERT_NE(t.deviceRules("TRAN"), nullptr);
+  EXPECT_EQ(t.deviceRules("TRAN")->cls, DeviceClass::kEnhancementFet);
+  EXPECT_EQ(t.deviceRules("TRAN")->gateOverlap, 500);
+  EXPECT_FALSE(t.deviceRules("TRAN")->contactOverGateAllowed);
+  EXPECT_TRUE(t.deviceRules("BUTT")->contactOverGateAllowed);
+  ASSERT_NE(t.deviceRules("DTRAN"), nullptr);
+  EXPECT_EQ(t.deviceRules("DTRAN")->implantOverlap, 500);
+  EXPECT_EQ(t.deviceRules("NOPE"), nullptr);
+}
+
+TEST(Technology, BipolarDeviceDependentRule) {
+  const Technology t = bipolar();
+  // Fig. 6: the same base-to-isolation contact is an error for a
+  // transistor and legal for a resistor; the *rule* is per device type.
+  ASSERT_NE(t.deviceRules("NPN"), nullptr);
+  ASSERT_NE(t.deviceRules("BRES"), nullptr);
+  EXPECT_FALSE(t.deviceRules("NPN")->isolationContactAllowed);
+  EXPECT_TRUE(t.deviceRules("BRES")->isolationContactAllowed);
+}
+
+TEST(Technology, AddLayerGrowsMatrix) {
+  Technology t("test", 100);
+  const int a = t.addLayer({"a", "A", 200, true});
+  const int b = t.addLayer({"b", "B", 200, true});
+  t.setSpacing(a, b, {.sameNet = 0, .diffNet = 300, .related = 0});
+  const int c = t.addLayer({"c", "C", 200, true});
+  EXPECT_EQ(t.spacing(a, b).diffNet, 300);
+  EXPECT_EQ(t.spacing(a, c).diffNet, 0);
+  EXPECT_EQ(t.spacing(c, b).diffNet, 0);
+}
+
+}  // namespace
+}  // namespace dic::tech
