@@ -4,8 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "engine/hierarchy_view.hpp"
 #include "geom/spacing.hpp"
-#include "geom/spatial.hpp"
 #include "geom/width.hpp"
 #include "netlist/unionfind.hpp"
 
@@ -21,10 +21,9 @@ using geom::Region;
 std::vector<std::vector<Rect>> components(const Region& layer) {
   const std::vector<Rect>& rects = layer.rects();
   netlist::UnionFind uf(rects.size());
-  geom::GridIndex grid(4096);
-  for (std::size_t i = 0; i < rects.size(); ++i) grid.insert(i, rects[i]);
+  const engine::SpatialSet set(rects);
   for (std::size_t i = 0; i < rects.size(); ++i)
-    for (std::size_t j : grid.query(rects[i].inflated(1)))
+    for (std::size_t j : set.candidates(rects[i], 1))
       if (j > i && geom::closedTouch(rects[i], rects[j])) uf.unite(i, j);
   std::map<std::size_t, std::size_t> rootToComp;
   std::vector<std::vector<Rect>> out;
@@ -72,10 +71,12 @@ report::Report check(const layout::Library& lib, layout::CellId root,
                      Stats* stats) {
   report::Report rep;
 
-  // Full instantiation: all topology and device identity discarded.
-  std::vector<layout::FlatElement> fe;
-  std::vector<layout::FlatDevice> fd;
-  lib.flatten(root, fe, fd, /*includeDeviceGeometry=*/true);
+  // Full instantiation: all topology and device identity discarded. The
+  // flat view comes from the shared engine; only mask-level geometry
+  // survives past this point.
+  engine::HierarchyView view(lib, root);
+  const std::vector<layout::FlatElement>& fe =
+      view.flat(/*includeDeviceGeometry=*/true).elements;
   if (stats) stats->flatShapes = fe.size();
 
   std::vector<Region> mask(tech.layerCount());
@@ -122,14 +123,11 @@ report::Report check(const layout::Library& lib, layout::CellId root,
       const Coord s = tech.spacing(l, l).forRelation(tech::NetRelation::kUnknown);
       if (s <= 0) continue;
       const auto& cs = comps[l];
-      geom::GridIndex grid(16 * s);
       std::vector<Rect> bbs(cs.size());
+      for (std::size_t i = 0; i < cs.size(); ++i) bbs[i] = bboxOf(cs[i]);
+      const engine::SpatialSet set(bbs, 16 * s);
       for (std::size_t i = 0; i < cs.size(); ++i) {
-        bbs[i] = bboxOf(cs[i]);
-        grid.insert(i, bbs[i]);
-      }
-      for (std::size_t i = 0; i < cs.size(); ++i) {
-        for (std::size_t j : grid.query(bbs[i].inflated(s))) {
+        for (std::size_t j : set.candidates(bbs[i], s)) {
           if (j <= i) continue;
           if (stats) ++stats->pairChecks;
           const double d = setDistance(cs[i], cs[j], opts.metric);
@@ -159,15 +157,12 @@ report::Report check(const layout::Library& lib, layout::CellId root,
         if (s <= 0) continue;
         const auto ca = components(mask[la]);
         const auto cb = components(mask[lb]);
-        geom::GridIndex grid(16 * s);
         std::vector<Rect> bbs(cb.size());
-        for (std::size_t j = 0; j < cb.size(); ++j) {
-          bbs[j] = bboxOf(cb[j]);
-          grid.insert(j, bbs[j]);
-        }
+        for (std::size_t j = 0; j < cb.size(); ++j) bbs[j] = bboxOf(cb[j]);
+        const engine::SpatialSet set(bbs, 16 * s);
         for (std::size_t i = 0; i < ca.size(); ++i) {
           const Rect ba = bboxOf(ca[i]);
-          for (std::size_t j : grid.query(ba.inflated(s))) {
+          for (std::size_t j : set.candidates(ba, s)) {
             if (stats) ++stats->pairChecks;
             if (setsOverlapOrTouch(ca[i], cb[j])) continue;  // "a device"
             const double d = setDistance(ca[i], cb[j], opts.metric);

@@ -1,53 +1,15 @@
 #include "drc/checker.hpp"
 
-#include <chrono>
+#include <memory>
 
 #include "drc/stages.hpp"
+#include "engine/pipeline.hpp"
 
 namespace dic::drc {
 
-namespace {
-
-double seconds(std::chrono::steady_clock::time_point a,
-               std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-}  // namespace
-
 Checker::Checker(const layout::Library& lib, layout::CellId root,
                  const tech::Technology& tech, Options options)
-    : lib_(lib), root_(root), tech_(tech), opt_(options) {}
-
-void Checker::collectPlacements() {
-  if (placementsReady_) return;
-  std::function<void(layout::CellId, const geom::Transform&,
-                     const std::string&)>
-      rec = [&](layout::CellId id, const geom::Transform& t,
-                const std::string& path) {
-        placements_[id].push_back({t, path});
-        int childNo = 0;
-        for (const layout::Instance& inst : lib_.cell(id).instances) {
-          std::string childName =
-              inst.name.empty() ? lib_.cell(inst.cell).name + "_" +
-                                      std::to_string(childNo)
-                                : inst.name;
-          ++childNo;
-          rec(inst.cell, geom::compose(inst.transform, t),
-              path.empty() ? childName : path + "." + childName);
-        }
-      };
-  rec(root_, geom::identityTransform(), "");
-  placementsReady_ = true;
-}
-
-const std::vector<Checker::Placement>& Checker::placements(
-    layout::CellId id) {
-  collectPlacements();
-  static const std::vector<Placement> kNone;
-  auto it = placements_.find(id);
-  return it == placements_.end() ? kNone : it->second;
-}
+    : lib_(lib), root_(root), tech_(tech), opt_(options), view_(lib, root) {}
 
 void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
                                report::Violation v) {
@@ -55,7 +17,7 @@ void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
     rep.add(std::move(v));
     return;
   }
-  for (const Placement& p : placements(cell)) {
+  for (const engine::Placement& p : view_.placementsOf(cell)) {
     report::Violation inst = v;
     inst.where = p.transform.apply(v.where);
     if (!p.path.empty()) inst.cell = p.path + " (" + v.cell + ")";
@@ -64,28 +26,56 @@ void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
 }
 
 report::Report Checker::run() {
-  const auto t0 = std::chrono::steady_clock::now();
-  report::Report rep = checkElements();
-  const auto t1 = std::chrono::steady_clock::now();
-  rep.merge(checkPrimitiveSymbols());
-  const auto t2 = std::chrono::steady_clock::now();
-  rep.merge(checkConnections());
-  const auto t3 = std::chrono::steady_clock::now();
-  const netlist::Netlist nl = generateNetlist();
-  const auto t4 = std::chrono::steady_clock::now();
-  rep.merge(checkInteractions(nl));
-  const auto t5 = std::chrono::steady_clock::now();
-  times_.elements = seconds(t0, t1);
-  times_.symbols = seconds(t1, t2);
-  times_.connections = seconds(t2, t3);
-  times_.netlist = seconds(t3, t4);
-  times_.interactions = seconds(t4, t5);
+  engine::Executor exec(opt_.threads);
+  engine::Pipeline pipe;
+  auto nl = std::make_shared<netlist::Netlist>();
+  pipe.add({"elements",
+            {},
+            [this](engine::Executor& e) { return checkElementsImpl(e); }});
+  pipe.add({"symbols",
+            {},
+            [this](engine::Executor& e) {
+              return checkPrimitiveSymbolsImpl(e);
+            }});
+  pipe.add({"connections",
+            {},
+            [this](engine::Executor& e) { return checkConnectionsImpl(e); }});
+  pipe.add({"netlist", {}, [this, nl](engine::Executor&) {
+              *nl = generateNetlist();
+              return report::Report{};
+            }});
+  pipe.add({"interactions", {"netlist"}, [this, nl](engine::Executor& e) {
+              return checkInteractionsImpl(*nl, e);
+            }});
+  report::Report rep = pipe.run(exec);
+  times_.elements = pipe.seconds("elements");
+  times_.symbols = pipe.seconds("symbols");
+  times_.connections = pipe.seconds("connections");
+  times_.netlist = pipe.seconds("netlist");
+  times_.interactions = pipe.seconds("interactions");
   return rep;
 }
 
+report::Report Checker::perCellStage(
+    engine::Executor& exec,
+    const std::function<void(layout::CellId, report::Report&)>& fn) {
+  const std::vector<layout::CellId>& cells = view_.cells();
+  view_.placements();  // built once, read-only for the workers below
+  std::vector<report::Report> reps(cells.size());
+  exec.parallelFor(cells.size(),
+                   [&](std::size_t k) { fn(cells[k], reps[k]); });
+  report::Report out;
+  for (const report::Report& r : reps) out.merge(r);
+  return out;
+}
+
 report::Report Checker::checkElements() {
-  report::Report rep;
-  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+  engine::Executor exec(opt_.threads);
+  return checkElementsImpl(exec);
+}
+
+report::Report Checker::checkElementsImpl(engine::Executor& exec) {
+  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (c.isDevice()) return;  // device geometry is stage 2's business
     for (const layout::Element& e : c.elements) {
@@ -95,13 +85,16 @@ report::Report Checker::checkElements() {
       }
     }
   });
-  return rep;
 }
 
 report::Report Checker::checkPrimitiveSymbols() {
-  report::Report rep;
-  if (!opt_.checkDevices) return rep;
-  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+  engine::Executor exec(opt_.threads);
+  return checkPrimitiveSymbolsImpl(exec);
+}
+
+report::Report Checker::checkPrimitiveSymbolsImpl(engine::Executor& exec) {
+  if (!opt_.checkDevices) return {};
+  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (!c.isDevice() || c.prechecked) return;
     for (report::Violation v : checkDeviceCell(c, tech_)) {
@@ -109,12 +102,15 @@ report::Report Checker::checkPrimitiveSymbols() {
       emitInstantiated(rep, id, std::move(v));
     }
   });
-  return rep;
 }
 
 report::Report Checker::checkConnections() {
-  report::Report rep;
-  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+  engine::Executor exec(opt_.threads);
+  return checkConnectionsImpl(exec);
+}
+
+report::Report Checker::checkConnectionsImpl(engine::Executor& exec) {
+  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (c.isDevice()) return;
     for (report::Violation v : checkCellConnections(c, tech_)) {
@@ -122,27 +118,24 @@ report::Report Checker::checkConnections() {
       emitInstantiated(rep, id, std::move(v));
     }
   });
-  return rep;
 }
 
 netlist::Netlist Checker::generateNetlist() {
-  return netlist::extract(lib_, root_, tech_);
+  return netlist::extract(view_, tech_);
 }
 
 report::Report Checker::checkInteractions(const netlist::Netlist& nl) {
-  collectPlacements();
-  InteractionContext ctx{lib_,        root_,   tech_,
-                         nl,          opt_.metric, istats_,
-                         opt_.useNetInformation};
-  if (opt_.hierarchicalInteractions) {
-    std::map<layout::CellId, std::vector<InteractionContext::Placement>> pl;
-    for (const auto& [cell, ps] : placements_) {
-      auto& v = pl[cell];
-      for (const Placement& p : ps) v.push_back({p.transform, p.path});
-    }
-    return checkInteractionsHierarchical(ctx, pl);
-  }
-  return checkInteractionsFlat(ctx);
+  engine::Executor exec(opt_.threads);
+  return checkInteractionsImpl(nl, exec);
+}
+
+report::Report Checker::checkInteractionsImpl(const netlist::Netlist& nl,
+                                              engine::Executor& exec) {
+  InteractionContext ctx{view_,       tech_,  nl,
+                         opt_.metric, istats_, opt_.useNetInformation};
+  return opt_.hierarchicalInteractions
+             ? checkInteractionsHierarchical(ctx, exec)
+             : checkInteractionsFlat(ctx, exec);
 }
 
 }  // namespace dic::drc

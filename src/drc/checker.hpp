@@ -10,10 +10,19 @@
 /// checks run once per symbol definition (not once per instance) and
 /// violations are then instantiated at each placement; interaction checks
 /// descend into instance-overlap windows only.
+///
+/// Since the engine refactor the stages run through the
+/// engine::Pipeline stage runner on a shared engine::HierarchyView:
+/// element/symbol/connection checks and netlist generation are declared
+/// independent, interaction checking depends on the netlist, and per-cell
+/// work fans across Options::threads workers with deterministic merging
+/// (threads=N output is byte-identical to threads=1).
 
 #include <map>
 #include <vector>
 
+#include "engine/executor.hpp"
+#include "engine/hierarchy_view.hpp"
 #include "layout/library.hpp"
 #include "netlist/netlist.hpp"
 #include "report/violation.hpp"
@@ -37,9 +46,15 @@ struct Options {
   bool useNetInformation{true};
   /// Report each per-cell violation at every instance placement.
   bool instantiateViolations{true};
+  /// Worker threads for per-cell checks and interaction windows
+  /// (0 = hardware concurrency). Output is identical for every value.
+  int threads{1};
 };
 
-/// Wall-clock per stage, seconds (Fig. 10 breakdown bench).
+/// Wall-clock per stage, seconds (Fig. 10 breakdown bench). With
+/// Options::threads > 1 independent stages run concurrently, so the
+/// per-stage clocks overlap and total() can exceed the pipeline's real
+/// wall time -- time run() externally when measuring end-to-end speed.
 struct StageTimes {
   double elements{0};
   double symbols{0};
@@ -62,6 +77,17 @@ struct InteractionStats {
   std::size_t connectionChecks{0};
   /// Checks per (layerA, layerB) matrix cell, layerA <= layerB.
   std::map<std::pair<int, int>, std::size_t> perLayerPair;
+
+  /// Accumulate another worker's counts (all fields are additive).
+  void merge(const InteractionStats& o) {
+    candidatePairs += o.candidatePairs;
+    sameNetSkipped += o.sameNetSkipped;
+    relatedSkipped += o.relatedSkipped;
+    noRulePairs += o.noRulePairs;
+    distanceChecks += o.distanceChecks;
+    connectionChecks += o.connectionChecks;
+    for (const auto& [k, v] : o.perLayerPair) perLayerPair[k] += v;
+  }
 };
 
 class Checker {
@@ -69,10 +95,12 @@ class Checker {
   Checker(const layout::Library& lib, layout::CellId root,
           const tech::Technology& tech, Options options = {});
 
-  /// Run the complete pipeline; returns all violations.
+  /// Run the complete pipeline through the stage runner; returns all
+  /// violations merged in stage-declaration order.
   report::Report run();
 
-  // Individual stages (callable independently; run() calls them in order).
+  // Individual stages (callable independently; run() declares them as
+  // pipeline stages with the same semantics).
   report::Report checkElements();
   report::Report checkPrimitiveSymbols();
   report::Report checkConnections();
@@ -82,14 +110,21 @@ class Checker {
   const StageTimes& stageTimes() const { return times_; }
   const InteractionStats& interactionStats() const { return istats_; }
 
+  /// The shared hierarchy view all stages run on.
+  engine::HierarchyView& view() { return view_; }
+
  private:
-  struct Placement {
-    geom::Transform transform;
-    std::string path;
-  };
-  /// All placements of each cell under root (computed lazily, cached).
-  const std::vector<Placement>& placements(layout::CellId id);
-  void collectPlacements();
+  report::Report checkElementsImpl(engine::Executor& exec);
+  report::Report checkPrimitiveSymbolsImpl(engine::Executor& exec);
+  report::Report checkConnectionsImpl(engine::Executor& exec);
+  report::Report checkInteractionsImpl(const netlist::Netlist& nl,
+                                       engine::Executor& exec);
+
+  /// Fan `fn` across reachable cells; merge per-cell reports in the
+  /// deterministic cells() order.
+  report::Report perCellStage(
+      engine::Executor& exec,
+      const std::function<void(layout::CellId, report::Report&)>& fn);
 
   /// Emit a per-cell violation at every placement of `cell`.
   void emitInstantiated(report::Report& rep, layout::CellId cell,
@@ -99,10 +134,9 @@ class Checker {
   layout::CellId root_;
   const tech::Technology& tech_;
   Options opt_;
+  engine::HierarchyView view_;
   StageTimes times_;
   InteractionStats istats_;
-  std::map<layout::CellId, std::vector<Placement>> placements_;
-  bool placementsReady_{false};
 };
 
 }  // namespace dic::drc

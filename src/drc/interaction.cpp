@@ -4,7 +4,6 @@
 
 #include "drc/stages.hpp"
 #include "geom/spacing.hpp"
-#include "geom/spatial.hpp"
 
 namespace dic::drc {
 
@@ -14,18 +13,7 @@ using geom::Coord;
 using geom::Rect;
 using geom::Region;
 
-/// Device info used for the "related" sub-case of Fig. 12.
-struct DevInfo {
-  std::vector<int> nets;
-  bool alwaysCheck{false};  ///< resistors: Fig. 5b -- spacing matters even
-                            ///< for electrically equivalent geometry
-};
-
-std::string joinPath(const std::string& a, const std::string& b) {
-  if (a.empty()) return b;
-  if (b.empty()) return a;
-  return a + "." + b;
-}
+using engine::joinPath;  // the one true dot-notation path composition
 
 std::string key(const std::string& path, layout::CellId cell,
                 std::size_t idx) {
@@ -59,6 +47,11 @@ Shape makeShape(layout::Element e, const tech::Technology& tech,
   return s;
 }
 
+Shape makeShape(const engine::WindowElement& we, const tech::Technology& tech) {
+  return makeShape(we.element, tech, we.fromDevice, we.sourceCell,
+                   we.sourceIndex, we.path);
+}
+
 /// Placement-independent geometric facts about a candidate pair.
 struct PairGeometry {
   bool sameLayer{false};
@@ -73,13 +66,11 @@ struct PairGeometry {
 void InteractionContext::buildMaps() {
   if (ready_) return;
   ready_ = true;
-  std::vector<layout::FlatElement> elements;
-  std::vector<layout::FlatDevice> devices;
-  lib.flatten(root, elements, devices, /*includeDeviceGeometry=*/false);
-  for (std::size_t i = 0; i < elements.size() && i < nl.elementNet.size();
-       ++i) {
-    netByKey_[key(elements[i].path, elements[i].sourceCell,
-                  elements[i].sourceIndex)] = nl.elementNet[i];
+  const engine::HierarchyView::Flat& f = view.flat(false);
+  for (std::size_t i = 0;
+       i < f.elements.size() && i < nl.elementNet.size(); ++i) {
+    netByKey_[key(f.elements[i].path, f.elements[i].sourceCell,
+                  f.elements[i].sourceIndex)] = nl.elementNet[i];
   }
   for (const netlist::ExtractedDevice& d : nl.devices) {
     std::vector<int> nets;
@@ -185,8 +176,10 @@ PairGeometry pairGeometry(const InteractionContext& ctx, const Shape& a,
 }
 
 /// Evaluate one candidate pair in one placement and emit violations.
-void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
-                  const PairGeometry& g, const std::string& placementPath,
+/// Counts into `stats` (a worker-private copy during parallel runs).
+void evaluatePair(const InteractionContext& ctx, InteractionStats& stats,
+                  const Shape& a, const Shape& b, const PairGeometry& g,
+                  const std::string& placementPath,
                   const geom::Transform& placement, report::Report& rep,
                   bool skipConnectionCheck) {
   // Early-outs that need no net information: a legal connection, or a
@@ -195,7 +188,7 @@ void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
   if (g.sameLayer && g.touching && g.skeletallyConnected) return;
   if (!(g.sameLayer && g.touching) && !g.distance) {
     if (!ctx.tech.spacing(a.elem.layer, b.elem.layer).any())
-      ++ctx.stats.noRulePairs;
+      ++stats.noRulePairs;
     return;
   }
 
@@ -206,7 +199,7 @@ void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
   if (!rel) return;  // intra-device
 
   if (g.sameLayer && g.touching) {
-    ++ctx.stats.connectionChecks;
+    ++stats.connectionChecks;
     const bool portLanding =
         (a.deviceInternal != b.deviceInternal) &&
         *rel == tech::NetRelation::kRelated;
@@ -227,21 +220,21 @@ void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
 
   const tech::SpacingRule& rule = ctx.tech.spacing(a.elem.layer, b.elem.layer);
   if (!rule.any()) {
-    ++ctx.stats.noRulePairs;
+    ++stats.noRulePairs;
     return;
   }
   const Coord s = rule.forRelation(*rel);
   if (s == 0) {
     if (*rel == tech::NetRelation::kSameNet)
-      ++ctx.stats.sameNetSkipped;
+      ++stats.sameNetSkipped;
     else if (*rel == tech::NetRelation::kRelated)
-      ++ctx.stats.relatedSkipped;
+      ++stats.relatedSkipped;
     return;
   }
-  ++ctx.stats.distanceChecks;
+  ++stats.distanceChecks;
   const int la = std::min(a.elem.layer, b.elem.layer);
   const int lb = std::max(a.elem.layer, b.elem.layer);
-  ++ctx.stats.perLayerPair[{la, lb}];
+  ++stats.perLayerPair[{la, lb}];
   if (!g.distance || *g.distance >= static_cast<double>(s)) return;
 
   report::Violation v;
@@ -262,197 +255,225 @@ void evaluatePair(InteractionContext& ctx, const Shape& a, const Shape& b,
   rep.add(std::move(v));
 }
 
-/// Collect shapes of a subtree restricted to `window` (in the coordinates
-/// of the cell owning the traversal). Device internals are included with
-/// deviceInternal=true; paths are relative to that cell.
-void collectWindowShapes(const InteractionContext& ctx, layout::CellId id,
-                         const geom::Transform& t, const Rect& window,
-                         const std::string& relPath, bool insideDevice,
-                         std::vector<Shape>& out) {
-  const layout::Cell& c = ctx.lib.cell(id);
-  const bool deviceHere = insideDevice || c.isDevice();
-  for (std::size_t i = 0; i < c.elements.size(); ++i) {
-    const Rect b = t.apply(c.elements[i].bbox());
-    if (!geom::closedTouch(b, window)) continue;
-    out.push_back(makeShape(c.elements[i].transformed(t), ctx.tech,
-                            deviceHere, id, i, relPath));
-  }
-  int childNo = 0;
-  for (const layout::Instance& inst : c.instances) {
-    const geom::Transform ct = geom::compose(inst.transform, t);
-    const Rect cb = ct.apply(ctx.lib.cellBBox(inst.cell));
-    std::string childName =
-        inst.name.empty()
-            ? ctx.lib.cell(inst.cell).name + "_" + std::to_string(childNo)
-            : inst.name;
-    ++childNo;
-    if (!geom::closedTouch(cb, window)) continue;
-    collectWindowShapes(ctx, inst.cell, ct, window,
-                        joinPath(relPath, childName), deviceHere, out);
-  }
-}
-
 }  // namespace
 
-report::Report checkInteractionsFlat(InteractionContext& ctx) {
+report::Report checkInteractionsFlat(InteractionContext& ctx,
+                                     const engine::Executor& exec) {
   ctx.buildMaps();
   report::Report rep;
   const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
+  const layout::Library& lib = ctx.view.library();
 
   // Every element in the design, device internals included, with full
   // paths as local paths (placementPath = "").
-  std::vector<Shape> shapes;
-  {
-    std::vector<layout::FlatElement> fe;
-    std::vector<layout::FlatDevice> fd;
-    ctx.lib.flatten(ctx.root, fe, fd, /*includeDeviceGeometry=*/true);
-    shapes.reserve(fe.size());
-    for (layout::FlatElement& e : fe) {
-      const bool dev = ctx.lib.cell(e.sourceCell).isDevice();
-      shapes.push_back(makeShape(std::move(e.element), ctx.tech, dev,
-                                 e.sourceCell, e.sourceIndex, e.path));
-    }
-  }
+  const engine::HierarchyView::Flat& f = ctx.view.flat(true);
+  std::vector<Shape> shapes(f.elements.size());
+  exec.parallelFor(f.elements.size(), [&](std::size_t i) {
+    const layout::FlatElement& e = f.elements[i];
+    shapes[i] = makeShape(e.element, ctx.tech,
+                          lib.cell(e.sourceCell).isDevice(), e.sourceCell,
+                          e.sourceIndex, e.path);
+  });
 
-  geom::GridIndex grid(dmax * 16);
-  for (std::size_t i = 0; i < shapes.size(); ++i)
-    grid.insert(i, shapes[i].bbox);
+  // Workers stream candidate pairs straight out of the engine's
+  // all-layer index over deterministic contiguous element ranges
+  // (each element i owns its (i, j>i) pairs); reports and stats merge
+  // back in chunk order -- byte-identical to a serial (i, j) sweep, with
+  // the grid queries themselves parallelized and no pair list in memory.
+  // Build the index once, serially, so workers start querying in parallel
+  // instead of queuing on the first build.
+  ctx.view.prepare(true);
+  const std::size_t nChunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(shapes.size(),
+                               static_cast<std::size_t>(exec.threads()) * 16));
+  std::vector<report::Report> chunkReps(nChunks);
+  std::vector<InteractionStats> chunkStats(nChunks);
   const geom::Transform id = geom::identityTransform();
-  for (std::size_t i = 0; i < shapes.size(); ++i) {
-    for (std::size_t j : grid.query(shapes[i].bbox.inflated(dmax))) {
-      if (j <= i) continue;
-      if (geom::rectDistance(shapes[i].bbox, shapes[j].bbox,
-                             geom::Metric::kOrthogonal) >
-          static_cast<double>(dmax))
-        continue;
-      ++ctx.stats.candidatePairs;
-      const PairGeometry g = pairGeometry(ctx, shapes[i], shapes[j]);
-      // Same-cell-instance pairs had their connection legality checked in
-      // stage 3; do not duplicate those reports.
-      const bool sameCellInstance =
-          shapes[i].localPath == shapes[j].localPath &&
-          shapes[i].srcCell == shapes[j].srcCell;
-      evaluatePair(ctx, shapes[i], shapes[j], g, "", id, rep,
-                   sameCellInstance);
+  exec.parallelFor(nChunks, [&](std::size_t c) {
+    const std::size_t lo = shapes.size() * c / nChunks;
+    const std::size_t hi = shapes.size() * (c + 1) / nChunks;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j :
+           ctx.view.flatCandidates(true, -1, shapes[i].bbox, dmax)) {
+        if (j <= i) continue;
+        if (geom::rectDistance(shapes[i].bbox, shapes[j].bbox,
+                               geom::Metric::kOrthogonal) >
+            static_cast<double>(dmax))
+          continue;
+        ++chunkStats[c].candidatePairs;
+        const PairGeometry g = pairGeometry(ctx, shapes[i], shapes[j]);
+        // Same-cell-instance pairs had their connection legality checked
+        // in stage 3; do not duplicate those reports.
+        const bool sameCellInstance =
+            shapes[i].localPath == shapes[j].localPath &&
+            shapes[i].srcCell == shapes[j].srcCell;
+        evaluatePair(ctx, chunkStats[c], shapes[i], shapes[j], g, "", id,
+                     chunkReps[c], sameCellInstance);
+      }
     }
+  });
+  for (std::size_t c = 0; c < nChunks; ++c) {
+    rep.merge(chunkReps[c]);
+    ctx.stats.merge(chunkStats[c]);
   }
   return rep;
 }
 
-report::Report checkInteractionsHierarchical(
-    InteractionContext& ctx,
-    const std::map<layout::CellId,
-                   std::vector<InteractionContext::Placement>>& placements) {
+namespace {
+
+/// One unit of hierarchical interaction work. Items are enumerated in a
+/// deterministic order (per cell: intra-cell pairs, then each child's
+/// element-vs-instance window, then each instance-pair window) and their
+/// reports merge back in that order.
+struct HierItem {
+  enum Kind { kIntra, kElemChild, kChildPair } kind{kIntra};
+  std::size_t cellSlot{0};  ///< index into the per-cell work table
+  std::size_t childA{0};
+  std::size_t childB{0};
+};
+
+struct CellWork {
+  layout::CellId id{0};
+  const std::vector<engine::Placement>* places{nullptr};
+  std::vector<Shape> local;
+  std::vector<engine::ChildRef> children;
+};
+
+}  // namespace
+
+report::Report checkInteractionsHierarchical(InteractionContext& ctx,
+                                             const engine::Executor& exec) {
   ctx.buildMaps();
   report::Report rep;
   const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
+  const layout::Library& lib = ctx.view.library();
 
-  ctx.lib.forEachCellOnce(ctx.root, [&](layout::CellId cid) {
-    const layout::Cell& c = ctx.lib.cell(cid);
-    if (c.isDevice()) return;  // internals handled by stage 2 + windows
-    auto plIt = placements.find(cid);
-    if (plIt == placements.end() || plIt->second.empty()) return;
-    const auto& places = plIt->second;
-
-    // Local shapes of this cell.
-    std::vector<Shape> local;
-    local.reserve(c.elements.size());
+  // Per-cell substrate: local shapes and child bookkeeping, built once
+  // per definition (the paper's per-cell-once economy) across workers.
+  std::vector<CellWork> work;
+  for (layout::CellId cid : ctx.view.cells()) {
+    const layout::Cell& c = lib.cell(cid);
+    if (c.isDevice()) continue;  // internals handled by stage 2 + windows
+    const auto& places = ctx.view.placementsOf(cid);
+    if (places.empty()) continue;
+    CellWork w;
+    w.id = cid;
+    w.places = &places;
+    work.push_back(std::move(w));
+  }
+  exec.parallelFor(work.size(), [&](std::size_t wi) {
+    CellWork& w = work[wi];
+    const layout::Cell& c = lib.cell(w.id);
+    w.local.reserve(c.elements.size());
     for (std::size_t i = 0; i < c.elements.size(); ++i)
-      local.push_back(
-          makeShape(c.elements[i], ctx.tech, false, cid, i, ""));
+      w.local.push_back(makeShape(c.elements[i], ctx.tech, false, w.id, i, ""));
+    w.children = ctx.view.children(w.id);
+  });
 
-    // (a) Intra-cell pairs: geometry once, relation per placement.
-    geom::GridIndex grid(dmax * 16);
-    for (std::size_t i = 0; i < local.size(); ++i)
-      grid.insert(i, local[i].bbox);
-    for (std::size_t i = 0; i < local.size(); ++i) {
-      for (std::size_t j : grid.query(local[i].bbox.inflated(dmax))) {
-        if (j <= i) continue;
-        if (geom::rectDistance(local[i].bbox, local[j].bbox,
+  std::vector<HierItem> items;
+  for (std::size_t wi = 0; wi < work.size(); ++wi) {
+    const CellWork& w = work[wi];
+    items.push_back({HierItem::kIntra, wi, 0, 0});
+    for (std::size_t k = 0; k < w.children.size(); ++k)
+      items.push_back({HierItem::kElemChild, wi, k, 0});
+    for (std::size_t i = 0; i < w.children.size(); ++i)
+      for (std::size_t j = i + 1; j < w.children.size(); ++j) {
+        if (geom::rectDistance(w.children[i].bbox, w.children[j].bbox,
                                geom::Metric::kOrthogonal) >
             static_cast<double>(dmax))
           continue;
-        ++ctx.stats.candidatePairs;
-        const PairGeometry g = pairGeometry(ctx, local[i], local[j]);
-        for (const auto& p : places)
-          evaluatePair(ctx, local[i], local[j], g, p.path, p.transform, rep,
-                       /*skipConnectionCheck=*/true);
+        items.push_back({HierItem::kChildPair, wi, i, j});
       }
-    }
+  }
 
-    // Child instance bboxes in this cell's coordinates.
-    struct Child {
-      std::size_t idx;
-      Rect bbox;
-      geom::Transform transform;
-      std::string name;
-    };
-    std::vector<Child> children;
-    int childNo = 0;
-    for (std::size_t k = 0; k < c.instances.size(); ++k) {
-      const layout::Instance& inst = c.instances[k];
-      std::string childName =
-          inst.name.empty()
-              ? ctx.lib.cell(inst.cell).name + "_" + std::to_string(childNo)
-              : inst.name;
-      ++childNo;
-      children.push_back({k, inst.transform.apply(ctx.lib.cellBBox(inst.cell)),
-                          inst.transform, std::move(childName)});
-    }
+  std::vector<report::Report> itemReps(items.size());
+  std::vector<InteractionStats> itemStats(items.size());
+  exec.parallelFor(items.size(), [&](std::size_t t) {
+    const HierItem& item = items[t];
+    const CellWork& w = work[item.cellSlot];
+    report::Report& out = itemReps[t];
+    InteractionStats& stats = itemStats[t];
 
-    // (b) Local element vs child instance windows.
-    for (const Shape& e : local) {
-      for (const Child& ch : children) {
-        if (geom::rectDistance(e.bbox, ch.bbox, geom::Metric::kOrthogonal) >
-            static_cast<double>(dmax))
-          continue;
-        const Rect window = geom::intersect(e.bbox.inflated(dmax),
-                                            ch.bbox.inflated(dmax));
-        std::vector<Shape> inner;
-        collectWindowShapes(ctx, c.instances[ch.idx].cell, ch.transform,
-                            window, ch.name, false, inner);
-        for (const Shape& x : inner) {
-          if (geom::rectDistance(e.bbox, x.bbox, geom::Metric::kOrthogonal) >
+    switch (item.kind) {
+      case HierItem::kIntra: {
+        // (a) Intra-cell pairs: geometry once, relation per placement.
+        // Pair candidates come from the engine sweep over the bboxes the
+        // CellWork pass already computed.
+        std::vector<Rect> bboxes;
+        bboxes.reserve(w.local.size());
+        for (const Shape& s : w.local) bboxes.push_back(s.bbox);
+        for (const auto& [i, j] : engine::pairsWithin(bboxes, dmax)) {
+          ++stats.candidatePairs;
+          const PairGeometry g = pairGeometry(ctx, w.local[i], w.local[j]);
+          for (const auto& p : *w.places)
+            evaluatePair(ctx, stats, w.local[i], w.local[j], g, p.path,
+                         p.transform, out, /*skipConnectionCheck=*/true);
+        }
+        break;
+      }
+      case HierItem::kElemChild: {
+        // (b) Local elements vs one child instance's overlap windows.
+        const engine::ChildRef& ch = w.children[item.childA];
+        for (const Shape& e : w.local) {
+          if (geom::rectDistance(e.bbox, ch.bbox, geom::Metric::kOrthogonal) >
               static_cast<double>(dmax))
             continue;
-          ++ctx.stats.candidatePairs;
-          const PairGeometry g = pairGeometry(ctx, e, x);
-          for (const auto& p : places)
-            evaluatePair(ctx, e, x, g, p.path, p.transform, rep, false);
+          const Rect window = geom::intersect(e.bbox.inflated(dmax),
+                                              ch.bbox.inflated(dmax));
+          std::vector<engine::WindowElement> inner;
+          ctx.view.collectWindow(ch.cell, ch.transform, window, ch.name,
+                                 inner);
+          for (const engine::WindowElement& we : inner) {
+            const Shape x = makeShape(we, ctx.tech);
+            if (geom::rectDistance(e.bbox, x.bbox,
+                                   geom::Metric::kOrthogonal) >
+                static_cast<double>(dmax))
+              continue;
+            ++stats.candidatePairs;
+            const PairGeometry g = pairGeometry(ctx, e, x);
+            for (const auto& p : *w.places)
+              evaluatePair(ctx, stats, e, x, g, p.path, p.transform, out,
+                           false);
+          }
         }
+        break;
       }
-    }
-
-    // (c) Child instance pair windows.
-    for (std::size_t i = 0; i < children.size(); ++i) {
-      for (std::size_t j = i + 1; j < children.size(); ++j) {
-        const Child& ci = children[i];
-        const Child& cj = children[j];
-        if (geom::rectDistance(ci.bbox, cj.bbox, geom::Metric::kOrthogonal) >
-            static_cast<double>(dmax))
-          continue;
+      case HierItem::kChildPair: {
+        // (c) One child-instance pair's overlap window.
+        const engine::ChildRef& ci = w.children[item.childA];
+        const engine::ChildRef& cj = w.children[item.childB];
         const Rect window = geom::intersect(ci.bbox.inflated(dmax),
                                             cj.bbox.inflated(dmax));
+        std::vector<engine::WindowElement> wi, wj;
+        ctx.view.collectWindow(ci.cell, ci.transform, window, ci.name, wi);
+        ctx.view.collectWindow(cj.cell, cj.transform, window, cj.name, wj);
         std::vector<Shape> si, sj;
-        collectWindowShapes(ctx, c.instances[ci.idx].cell, ci.transform,
-                            window, ci.name, false, si);
-        collectWindowShapes(ctx, c.instances[cj.idx].cell, cj.transform,
-                            window, cj.name, false, sj);
+        si.reserve(wi.size());
+        sj.reserve(wj.size());
+        for (const auto& we : wi) si.push_back(makeShape(we, ctx.tech));
+        for (const auto& we : wj) sj.push_back(makeShape(we, ctx.tech));
         for (const Shape& a : si) {
           for (const Shape& b : sj) {
             if (geom::rectDistance(a.bbox, b.bbox,
                                    geom::Metric::kOrthogonal) >
                 static_cast<double>(dmax))
               continue;
-            ++ctx.stats.candidatePairs;
+            ++stats.candidatePairs;
             const PairGeometry g = pairGeometry(ctx, a, b);
-            for (const auto& p : places)
-              evaluatePair(ctx, a, b, g, p.path, p.transform, rep, false);
+            for (const auto& p : *w.places)
+              evaluatePair(ctx, stats, a, b, g, p.path, p.transform, out,
+                           false);
           }
         }
+        break;
       }
     }
   });
+
+  for (std::size_t t = 0; t < items.size(); ++t) {
+    rep.merge(itemReps[t]);
+    ctx.stats.merge(itemStats[t]);
+  }
   return rep;
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "drc/checker.hpp"
+#include "engine/executor.hpp"
+#include "engine/hierarchy_view.hpp"
 
 namespace dic::drc {
 
@@ -29,25 +31,23 @@ std::vector<report::Violation> checkDeviceCell(const layout::Cell& cell,
 std::vector<report::Violation> checkCellConnections(
     const layout::Cell& cell, const tech::Technology& tech);
 
-/// Shared context of the interaction stage (stage 5).
+/// Shared context of the interaction stage (stage 5). All placement
+/// enumeration, flattening, and candidate-pair queries go through the
+/// engine::HierarchyView; this context only adds net knowledge on top.
 struct InteractionContext {
-  struct Placement {
-    geom::Transform transform;
-    std::string path;
-  };
-
-  InteractionContext(const layout::Library& lib_, layout::CellId root_,
+  InteractionContext(engine::HierarchyView& view_,
                      const tech::Technology& tech_,
                      const netlist::Netlist& nl_, geom::Metric metric_,
                      InteractionStats& stats_, bool useNets_ = true)
-      : lib(lib_), root(root_), tech(tech_), nl(nl_), metric(metric_),
-        stats(stats_), useNets(useNets_) {}
+      : view(view_), tech(tech_), nl(nl_), metric(metric_), stats(stats_),
+        useNets(useNets_) {}
 
-  const layout::Library& lib;
-  layout::CellId root;
+  engine::HierarchyView& view;
   const tech::Technology& tech;
   const netlist::Netlist& nl;
   geom::Metric metric;
+  /// Aggregate sink; parallel workers count into private copies that are
+  /// merged here in deterministic order after the fan-out.
   InteractionStats& stats;
   bool useNets{true};
 
@@ -69,14 +69,15 @@ struct InteractionContext {
 };
 
 /// Stage 5, exact reference: flatten everything and check all candidate
-/// pairs with the Fig. 12 matrix.
-report::Report checkInteractionsFlat(InteractionContext& ctx);
+/// pairs with the Fig. 12 matrix. Pair evaluation fans across the
+/// executor's workers in deterministic chunks.
+report::Report checkInteractionsFlat(InteractionContext& ctx,
+                                     const engine::Executor& exec);
 
 /// Stage 5, hierarchical: per-cell-once intra-cell pairs plus
-/// parent-element/instance and instance/instance overlap windows.
-report::Report checkInteractionsHierarchical(
-    InteractionContext& ctx,
-    const std::map<layout::CellId,
-                   std::vector<InteractionContext::Placement>>& placements);
+/// parent-element/instance and instance/instance overlap windows, each an
+/// independent work item fanned across the executor's workers.
+report::Report checkInteractionsHierarchical(InteractionContext& ctx,
+                                             const engine::Executor& exec);
 
 }  // namespace dic::drc

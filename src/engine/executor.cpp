@@ -1,0 +1,57 @@
+#include "engine/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dic::engine {
+
+Executor::Executor(int threads) {
+  if (threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads_ = hc > 0 ? static_cast<int>(hc) : 1;
+  } else {
+    threads_ = threads;
+  }
+}
+
+void Executor::parallelFor(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex errorMu;
+  auto work = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < n;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+  // Preserve the serial contract: a throwing task surfaces to the caller
+  // (the first failure wins; remaining work is abandoned).
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dic::engine

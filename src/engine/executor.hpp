@@ -1,0 +1,36 @@
+#pragma once
+/// \file executor.hpp
+/// The engine's parallel executor: a minimal fork-join fan-out used by the
+/// stage runner to spread per-cell checks and interaction windows across
+/// worker threads.
+///
+/// Determinism contract: parallelFor gives no ordering guarantee on when
+/// fn(i) runs, so callers that need serial-identical output write each
+/// index's result into its own slot and merge slots in index order after
+/// the call returns. Every parallel consumer in this codebase follows that
+/// pattern, which is why `--threads N` output is byte-identical to serial.
+
+#include <cstddef>
+#include <functional>
+
+namespace dic::engine {
+
+class Executor {
+ public:
+  /// threads <= 0 selects hardware concurrency; 1 is fully serial.
+  explicit Executor(int threads = 1);
+
+  int threads() const { return threads_; }
+
+  /// Run fn(i) for every i in [0, n), dynamically scheduled across up to
+  /// threads() workers; blocks until all complete. With one worker (or
+  /// n <= 1) runs inline, in ascending index order. fn must be safe to
+  /// call concurrently for distinct i.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int threads_{1};
+};
+
+}  // namespace dic::engine

@@ -1,0 +1,293 @@
+#include "engine/hierarchy_view.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace dic::engine {
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+std::string instanceName(const layout::Library& lib,
+                         const layout::Instance& inst, int childNo) {
+  return inst.name.empty()
+             ? lib.cell(inst.cell).name + "_" + std::to_string(childNo)
+             : inst.name;
+}
+
+}  // namespace
+
+std::string joinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "." + b;
+}
+
+geom::Coord autoGridCell(const std::vector<Rect>& rects) {
+  if (rects.empty()) return 4096;
+  // Mean of the larger bbox dimension; a grid cell spanning a few typical
+  // elements keeps both bucket occupancy and cells-per-query small.
+  double sum = 0;
+  for (const Rect& r : rects)
+    sum += static_cast<double>(std::max(r.width(), r.height()));
+  const double mean = sum / static_cast<double>(rects.size());
+  const Coord cell = static_cast<Coord>(mean * 8.0);
+  return std::clamp<Coord>(cell, 256, Coord{1} << 24);
+}
+
+const std::vector<layout::CellId>& HierarchyView::cells() const {
+  ensurePlacements();
+  return cells_;
+}
+
+const std::map<layout::CellId, std::vector<Placement>>&
+HierarchyView::placements() const {
+  ensurePlacements();
+  return placements_;
+}
+
+const std::vector<Placement>& HierarchyView::placementsOf(
+    layout::CellId id) const {
+  ensurePlacements();
+  static const std::vector<Placement> kNone;
+  auto it = placements_.find(id);
+  return it == placements_.end() ? kNone : it->second;
+}
+
+void HierarchyView::ensurePlacements() const {
+  if (placementsReady_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (placementsReady_.load(std::memory_order_relaxed)) return;
+  std::function<void(layout::CellId, const geom::Transform&,
+                     const std::string&)>
+      rec = [&](layout::CellId id, const geom::Transform& t,
+                const std::string& path) {
+        placements_[id].push_back({t, path});
+        int childNo = 0;
+        for (const layout::Instance& inst : lib_.cell(id).instances) {
+          const std::string childName = instanceName(lib_, inst, childNo);
+          ++childNo;
+          rec(inst.cell, geom::compose(inst.transform, t),
+              joinPath(path, childName));
+        }
+      };
+  rec(root_, geom::identityTransform(), "");
+  lib_.forEachCellOnce(root_, [&](layout::CellId id) {
+    cells_.push_back(id);
+  });
+  // Warm the library's recursive bbox cache while still single-threaded:
+  // cellBBox() fills a lazy map, and the root's bbox transitively caches
+  // every reachable cell, making later concurrent lookups read-only.
+  lib_.cellBBox(root_);
+  placementsReady_.store(true, std::memory_order_release);
+}
+
+std::vector<ChildRef> HierarchyView::children(layout::CellId id) const {
+  // Warm the library's bbox cache (no-op after the first call) so the
+  // unlocked cellBBox lookups below are read-only even from workers.
+  ensurePlacements();
+  const layout::Cell& c = lib_.cell(id);
+  std::vector<ChildRef> out;
+  out.reserve(c.instances.size());
+  int childNo = 0;
+  for (std::size_t k = 0; k < c.instances.size(); ++k) {
+    const layout::Instance& inst = c.instances[k];
+    ChildRef ch;
+    ch.index = k;
+    ch.cell = inst.cell;
+    ch.transform = inst.transform;
+    ch.bbox = inst.transform.apply(lib_.cellBBox(inst.cell));
+    ch.name = instanceName(lib_, inst, childNo);
+    ++childNo;
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+const HierarchyView::Flat& HierarchyView::flat(
+    bool includeDeviceGeometry) const {
+  return ensureFlat(includeDeviceGeometry);
+}
+
+void HierarchyView::prepare(bool includeDeviceGeometry) const {
+  ensureIndexes(includeDeviceGeometry);  // builds the flat view too
+}
+
+const HierarchyView::Flat& HierarchyView::ensureFlat(
+    bool includeDeviceGeometry) const {
+  const int v = includeDeviceGeometry ? 1 : 0;
+  if (flatReady_[v].load(std::memory_order_acquire)) return *flat_[v];
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!flat_[v]) {
+    auto f = std::make_unique<Flat>();
+    lib_.flatten(root_, f->elements, f->devices, includeDeviceGeometry);
+    f->bboxes.reserve(f->elements.size());
+    for (const layout::FlatElement& e : f->elements)
+      f->bboxes.push_back(e.element.bbox());
+    flat_[v] = std::move(f);
+    flatReady_[v].store(true, std::memory_order_release);
+  }
+  return *flat_[v];
+}
+
+const HierarchyView::LayerIndexes& HierarchyView::ensureIndexes(
+    bool includeDeviceGeometry) const {
+  const int v = includeDeviceGeometry ? 1 : 0;
+  if (indexesReady_[v].load(std::memory_order_acquire)) return indexes_[v];
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LayerIndexes& idx = indexes_[v];
+  if (indexesReady_[v].load(std::memory_order_relaxed)) return idx;
+  const Flat& f = ensureFlat(includeDeviceGeometry);
+  int maxLayer = -1;
+  for (const layout::FlatElement& e : f.elements)
+    maxLayer = std::max(maxLayer, e.element.layer);
+  const Coord cell = autoGridCell(f.bboxes);
+  idx.byLayer.reserve(maxLayer + 1);
+  for (int l = 0; l <= maxLayer; ++l) idx.byLayer.emplace_back(cell);
+  idx.all = std::make_unique<geom::GridIndex>(cell);
+  for (std::size_t i = 0; i < f.elements.size(); ++i) {
+    const int l = f.elements[i].element.layer;
+    if (l >= 0) idx.byLayer[l].insert(i, f.bboxes[i]);
+    idx.all->insert(i, f.bboxes[i]);
+  }
+  indexesReady_[v].store(true, std::memory_order_release);
+  return idx;
+}
+
+std::vector<std::size_t> HierarchyView::flatCandidates(
+    bool includeDeviceGeometry, int layer, const Rect& query,
+    Coord inflate) const {
+  const LayerIndexes& idx = ensureIndexes(includeDeviceGeometry);
+  const Rect q = inflate ? query.inflated(inflate) : query;
+  if (layer >= 0) {
+    if (layer >= static_cast<int>(idx.byLayer.size())) return {};
+    return idx.byLayer[layer].query(q);
+  }
+  return idx.all->query(q);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> HierarchyView::flatPairs(
+    bool includeDeviceGeometry, Coord dist) const {
+  const Flat& f = ensureFlat(includeDeviceGeometry);
+  const LayerIndexes& idx = ensureIndexes(includeDeviceGeometry);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < f.elements.size(); ++i) {
+    for (std::size_t j : idx.all->query(f.bboxes[i].inflated(dist))) {
+      if (j <= i) continue;
+      if (geom::rectDistance(f.bboxes[i], f.bboxes[j],
+                             geom::Metric::kOrthogonal) >
+          static_cast<double>(dist))
+        continue;
+      out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> pairsWithin(
+    const std::vector<Rect>& bboxes, Coord dist) {
+  geom::GridIndex grid(autoGridCell(bboxes));
+  for (std::size_t i = 0; i < bboxes.size(); ++i) grid.insert(i, bboxes[i]);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < bboxes.size(); ++i) {
+    for (std::size_t j : grid.query(bboxes[i].inflated(dist))) {
+      if (j <= i) continue;
+      if (geom::rectDistance(bboxes[i], bboxes[j],
+                             geom::Metric::kOrthogonal) >
+          static_cast<double>(dist))
+        continue;
+      out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> HierarchyView::localPairs(
+    layout::CellId id, Coord dist) const {
+  const layout::Cell& c = lib_.cell(id);
+  std::vector<Rect> bboxes;
+  bboxes.reserve(c.elements.size());
+  for (const layout::Element& e : c.elements) bboxes.push_back(e.bbox());
+  return pairsWithin(bboxes, dist);
+}
+
+void HierarchyView::ensurePorts() const {
+  if (portsReady_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (portsReady_.load(std::memory_order_relaxed)) return;
+  const Flat& f = ensureFlat(false);
+  std::vector<Rect> rects;
+  for (std::size_t d = 0; d < f.devices.size(); ++d)
+    for (std::size_t p = 0; p < f.devices[d].ports.size(); ++p) {
+      ports_.push_back({d, p});
+      rects.push_back(f.devices[d].ports[p].at);
+    }
+  portIndex_ = std::make_unique<geom::GridIndex>(autoGridCell(rects));
+  for (std::size_t pn = 0; pn < rects.size(); ++pn)
+    portIndex_->insert(pn, rects[pn]);
+  portsReady_.store(true, std::memory_order_release);
+}
+
+const std::vector<HierarchyView::PortRef>& HierarchyView::ports() const {
+  ensurePorts();
+  return ports_;
+}
+
+std::vector<std::size_t> HierarchyView::portCandidates(const Rect& query,
+                                                       Coord inflate) const {
+  ensurePorts();
+  return portIndex_->query(inflate ? query.inflated(inflate) : query);
+}
+
+void HierarchyView::collectWindow(layout::CellId id, const geom::Transform& t,
+                                  const Rect& window,
+                                  const std::string& relPath,
+                                  std::vector<WindowElement>& out) const {
+  // Warm the library's bbox cache (see children()).
+  ensurePlacements();
+  std::function<void(layout::CellId, const geom::Transform&,
+                     const std::string&, bool)>
+      rec = [&](layout::CellId cid, const geom::Transform& ct,
+                const std::string& path, bool insideDevice) {
+        const layout::Cell& c = lib_.cell(cid);
+        const bool deviceHere = insideDevice || c.isDevice();
+        for (std::size_t i = 0; i < c.elements.size(); ++i) {
+          const Rect b = ct.apply(c.elements[i].bbox());
+          if (!geom::closedTouch(b, window)) continue;
+          WindowElement we;
+          we.element = c.elements[i].transformed(ct);
+          we.sourceCell = cid;
+          we.sourceIndex = i;
+          we.path = path;
+          we.fromDevice = deviceHere;
+          out.push_back(std::move(we));
+        }
+        int childNo = 0;
+        for (const layout::Instance& inst : c.instances) {
+          const geom::Transform it = geom::compose(inst.transform, ct);
+          const Rect cb = it.apply(lib_.cellBBox(inst.cell));
+          const std::string childName = instanceName(lib_, inst, childNo);
+          ++childNo;
+          if (!geom::closedTouch(cb, window)) continue;
+          rec(inst.cell, it, joinPath(path, childName), deviceHere);
+        }
+      };
+  rec(id, t, relPath, false);
+}
+
+SpatialSet::SpatialSet(const std::vector<Rect>& rects, Coord cellHint)
+    : size_(rects.size()) {
+  grid_ = std::make_unique<geom::GridIndex>(
+      cellHint > 0 ? cellHint : autoGridCell(rects));
+  for (std::size_t i = 0; i < rects.size(); ++i) grid_->insert(i, rects[i]);
+}
+
+std::vector<std::size_t> SpatialSet::candidates(const Rect& query,
+                                                Coord inflate) const {
+  return grid_->query(inflate ? query.inflated(inflate) : query);
+}
+
+}  // namespace dic::engine

@@ -1,0 +1,215 @@
+#pragma once
+/// \file hierarchy_view.hpp
+/// The shared hierarchy-view / spatial-query engine.
+///
+/// Every checker in this codebase works on the same substrate: the set of
+/// placements of each cell under a root, flattened element/device views of
+/// the design, and grid-indexed candidate-pair queries over those views.
+/// Before this engine existed that substrate was re-implemented privately
+/// by the interaction checker, the mask-level baseline, the netlist
+/// extractor, and the structured-design checks. `HierarchyView` owns it
+/// once: placement enumeration, cached flattening (both with and without
+/// device-internal geometry), lazily built per-layer `geom::GridIndex`es,
+/// and windowed subtree collection for instance-overlap checking.
+///
+/// All lazy caches are built under a mutex, so a single view can be shared
+/// by the parallel stage runner's workers; query results reference
+/// built-once storage and are safe to read concurrently.
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/spatial.hpp"
+#include "layout/library.hpp"
+
+namespace dic::engine {
+
+/// Join two dot-notation instance-path segments. This is THE path
+/// composition rule: every consumer that builds or looks up hierarchical
+/// paths (placements, windowed collection, net maps) must use it so keys
+/// composed in one module match keys composed in another.
+std::string joinPath(const std::string& a, const std::string& b);
+
+/// One placement of a cell under the root: the composed transform and the
+/// dot-notation instance path.
+struct Placement {
+  geom::Transform transform;
+  std::string path;
+};
+
+/// A child instance of a cell with the naming and bbox bookkeeping every
+/// hierarchical traversal needs.
+struct ChildRef {
+  std::size_t index{0};        ///< index into the parent cell's instances
+  layout::CellId cell{0};
+  geom::Transform transform{}; ///< instance transform (parent coordinates)
+  geom::Rect bbox{};           ///< child bbox in parent coordinates
+  std::string name;            ///< instance name used in hierarchical paths
+};
+
+/// An element produced by a windowed subtree walk.
+struct WindowElement {
+  layout::Element element;     ///< transformed into the caller's frame
+  layout::CellId sourceCell{0};
+  std::size_t sourceIndex{0};
+  std::string path;            ///< relPath-prefixed instance path
+  bool fromDevice{false};      ///< element lives at or below a device cell
+};
+
+/// A read-only view of one hierarchy rooted at a cell.
+class HierarchyView {
+ public:
+  HierarchyView(const layout::Library& lib, layout::CellId root)
+      : lib_(lib), root_(root) {}
+
+  const layout::Library& library() const { return lib_; }
+  layout::CellId root() const { return root_; }
+
+  /// Cells reachable from root, post-order (substrates before users),
+  /// each once. This is the deterministic unit order used by the stage
+  /// runner's per-cell fan-out.
+  const std::vector<layout::CellId>& cells() const;
+
+  /// All placements of every reachable cell (enumerated once, cached).
+  const std::map<layout::CellId, std::vector<Placement>>& placements() const;
+
+  /// Placements of one cell (empty if unreachable).
+  const std::vector<Placement>& placementsOf(layout::CellId id) const;
+
+  /// Child instances of a cell with names and parent-frame bboxes.
+  std::vector<ChildRef> children(layout::CellId id) const;
+
+  /// A cached flat view of the design.
+  struct Flat {
+    std::vector<layout::FlatElement> elements;
+    std::vector<layout::FlatDevice> devices;
+    std::vector<geom::Rect> bboxes;  ///< element bboxes, parallel to elements
+  };
+
+  /// Flatten below root (cached per variant). With
+  /// includeDeviceGeometry=false device internals are omitted and devices
+  /// are reported only through Flat::devices; with true their geometry is
+  /// emitted too (the mask-level baseline's view of the world).
+  const Flat& flat(bool includeDeviceGeometry) const;
+
+  /// Build the flat view and its spatial indexes now. Callers about to
+  /// fan queries across workers use this to pay the one-time build
+  /// serially instead of queueing every worker on the first query.
+  void prepare(bool includeDeviceGeometry) const;
+
+  /// Candidate element indices (into flat(v).elements) whose grid cells
+  /// intersect `query` inflated by `inflate`, on one layer (or all layers
+  /// when layer < 0). Sorted, deduplicated; candidates only -- callers
+  /// re-test exact geometry.
+  std::vector<std::size_t> flatCandidates(bool includeDeviceGeometry,
+                                          int layer, const geom::Rect& query,
+                                          geom::Coord inflate = 0) const;
+
+  /// All pairs (i < j) of flat elements whose bboxes are within `dist`
+  /// of each other under the orthogonal metric, ordered by (i, j). This
+  /// is the one-shot reference form of the sweep (used as the test
+  /// oracle); the parallel interaction checker streams the same (i, j>i)
+  /// enumeration per worker chunk via flatCandidates to avoid
+  /// materializing the pair list.
+  std::vector<std::pair<std::size_t, std::size_t>> flatPairs(
+      bool includeDeviceGeometry, geom::Coord dist) const;
+
+  /// All pairs (i < j) of one cell's *own* elements whose bboxes are
+  /// within `dist` (orthogonal metric), ordered by (i, j). Pure: no
+  /// shared state, safe to call from any worker.
+  std::vector<std::pair<std::size_t, std::size_t>> localPairs(
+      layout::CellId id, geom::Coord dist) const;
+
+  /// Device terminal identity: flat(false).devices[device].ports[port].
+  struct PortRef {
+    std::size_t device{0};
+    std::size_t port{0};
+  };
+
+  /// All flattened device ports in (device, port) order.
+  const std::vector<PortRef>& ports() const;
+
+  /// Candidate port indices (into ports()) near `query`.
+  std::vector<std::size_t> portCandidates(const geom::Rect& query,
+                                          geom::Coord inflate = 0) const;
+
+  /// Windowed subtree collection: every element at or below `id` (device
+  /// internals included) whose transformed bbox closed-touches `window`,
+  /// transformed by `t` and path-prefixed with `relPath`. Subtrees whose
+  /// bbox misses the window are pruned -- this is the "examine only the
+  /// instance-overlap window" step of hierarchical interaction checking.
+  void collectWindow(layout::CellId id, const geom::Transform& t,
+                     const geom::Rect& window, const std::string& relPath,
+                     std::vector<WindowElement>& out) const;
+
+ private:
+  /// Per-layer grid indexes over one flat variant, plus a combined
+  /// all-layer index for layer-agnostic queries and pair sweeps.
+  struct LayerIndexes {
+    std::vector<geom::GridIndex> byLayer;
+    std::unique_ptr<geom::GridIndex> all;
+  };
+
+  // Lazy caches follow double-checked locking: the atomic ready flag is
+  // set (release) only after the cache is fully built under mu_, so the
+  // hot path from parallel workers is a single acquire load.
+  const Flat& ensureFlat(bool includeDeviceGeometry) const;
+  const LayerIndexes& ensureIndexes(bool includeDeviceGeometry) const;
+  void ensurePlacements() const;
+  void ensurePorts() const;
+
+  const layout::Library& lib_;
+  layout::CellId root_;
+
+  mutable std::recursive_mutex mu_;
+  mutable std::atomic<bool> placementsReady_{false};
+  mutable std::vector<layout::CellId> cells_;
+  mutable std::map<layout::CellId, std::vector<Placement>> placements_;
+  mutable std::unique_ptr<Flat> flat_[2];          ///< [includeDeviceGeometry]
+  mutable std::atomic<bool> flatReady_[2]{};
+  mutable LayerIndexes indexes_[2];
+  mutable std::atomic<bool> indexesReady_[2]{};
+  mutable std::atomic<bool> portsReady_{false};
+  mutable std::vector<PortRef> ports_;
+  mutable std::unique_ptr<geom::GridIndex> portIndex_;
+};
+
+/// A one-shot spatial set over arbitrary rects -- derived geometry that is
+/// not part of the hierarchy proper (mask-region rects, connected
+/// components), so it cannot be served by HierarchyView's element indexes.
+/// Wraps geom::GridIndex with an automatically chosen cell size so callers
+/// never build grids by hand.
+class SpatialSet {
+ public:
+  explicit SpatialSet(const std::vector<geom::Rect>& rects,
+                      geom::Coord cellHint = 0);
+
+  /// Candidate rect indices near `query` (sorted, deduplicated).
+  std::vector<std::size_t> candidates(const geom::Rect& query,
+                                      geom::Coord inflate = 0) const;
+
+  std::size_t size() const { return size_; }
+
+ private:
+  std::unique_ptr<geom::GridIndex> grid_;
+  std::size_t size_{0};
+};
+
+/// Grid cell size heuristic shared by the engine's indexes: a few times
+/// the mean bbox extent, clamped to a sane range.
+geom::Coord autoGridCell(const std::vector<geom::Rect>& rects);
+
+/// All pairs (i < j) of `bboxes` within `dist` of each other under the
+/// orthogonal metric, ordered by (i, j). The grid-accelerated pair sweep
+/// shared by HierarchyView::localPairs and callers that already hold
+/// precomputed bboxes.
+std::vector<std::pair<std::size_t, std::size_t>> pairsWithin(
+    const std::vector<geom::Rect>& bboxes, geom::Coord dist);
+
+}  // namespace dic::engine

@@ -1,0 +1,109 @@
+#include "engine/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace dic::engine {
+
+void Pipeline::add(Stage s) { stages_.push_back(std::move(s)); }
+
+double Pipeline::seconds(const std::string& name) const {
+  for (const StageResult& r : results_)
+    if (r.name == name) return r.seconds;
+  return 0;
+}
+
+report::Report Pipeline::run(Executor& exec) {
+  const std::size_t n = stages_.size();
+  // Resolve dependency names to indices up front.
+  std::vector<std::vector<std::size_t>> deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& d : stages_[i].deps) {
+      bool found = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (stages_[j].name == d) {
+          deps[i].push_back(j);
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw std::invalid_argument("pipeline stage '" + stages_[i].name +
+                                    "' depends on unknown stage '" + d + "'");
+    }
+  }
+
+  std::vector<report::Report> reports(n);
+  results_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) results_[i].name = stages_[i].name;
+
+  std::vector<bool> done(n, false);
+  std::size_t completed = 0;
+  auto runStage = [&](std::size_t i, Executor& stageExec) {
+    const auto t0 = std::chrono::steady_clock::now();
+    reports[i] = stages_[i].run(stageExec);
+    const auto t1 = std::chrono::steady_clock::now();
+    results_[i].seconds = std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  while (completed < n) {
+    std::vector<std::size_t> wave;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      bool ready = true;
+      for (std::size_t d : deps[i]) ready = ready && done[d];
+      if (ready) wave.push_back(i);
+    }
+    if (wave.empty())
+      throw std::invalid_argument("pipeline has a dependency cycle");
+    if (exec.threads() > 1 && wave.size() > 1) {
+      // Share the worker budget: run at most `concurrent` stages at a
+      // time, each with budget/concurrent inner workers, so total active
+      // threads never exceed the requested count. The first exception
+      // (in wave order) surfaces to the caller.
+      const int budget = exec.threads();
+      const std::size_t concurrent =
+          std::min<std::size_t>(wave.size(), static_cast<std::size_t>(budget));
+      Executor stageExec(
+          std::max<int>(1, budget / static_cast<int>(concurrent)));
+      std::vector<std::exception_ptr> errors(wave.size());
+      auto guarded = [&](std::size_t k) {
+        try {
+          runStage(wave[k], stageExec);
+        } catch (...) {
+          errors[k] = std::current_exception();
+        }
+      };
+      bool failed = false;
+      for (std::size_t batch = 0;
+           batch < wave.size() && !failed; batch += concurrent) {
+        const std::size_t end = std::min(batch + concurrent, wave.size());
+        std::vector<std::thread> ts;
+        ts.reserve(end - batch - 1);
+        for (std::size_t k = batch + 1; k < end; ++k)
+          ts.emplace_back(guarded, k);
+        guarded(batch);
+        for (std::thread& t : ts) t.join();
+        // Match the serial contract: once a stage has thrown, no further
+        // batches start.
+        for (std::size_t k = batch; k < end; ++k)
+          if (errors[k]) failed = true;
+      }
+      for (const std::exception_ptr& e : errors)
+        if (e) std::rethrow_exception(e);
+    } else {
+      for (std::size_t i : wave) runStage(i, exec);
+    }
+    for (std::size_t i : wave) done[i] = true;
+    completed += wave.size();
+  }
+
+  report::Report merged;
+  for (std::size_t i = 0; i < n; ++i) merged.merge(reports[i]);
+  return merged;
+}
+
+}  // namespace dic::engine

@@ -1,0 +1,55 @@
+#pragma once
+/// \file pipeline.hpp
+/// The stage runner: a declarative replacement for hard-wired serial
+/// stage calls. A Pipeline holds named Stages with explicit dependencies,
+/// executes them wave-by-wave (a wave is every stage whose dependencies
+/// have completed; independent stages in a wave run concurrently when the
+/// executor has more than one worker), records wall-clock per stage
+/// uniformly, and merges the stage Reports in *declaration* order so the
+/// final report is independent of the execution schedule.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "report/violation.hpp"
+
+namespace dic::engine {
+
+/// One named unit of pipeline work. `run` receives the pipeline's
+/// executor so a stage can fan its own inner work (per-cell checks,
+/// interaction windows) across the same worker budget.
+struct Stage {
+  std::string name;
+  std::vector<std::string> deps;  ///< names of stages that must finish first
+  std::function<report::Report(Executor&)> run;
+};
+
+/// Wall-clock of one completed stage.
+struct StageResult {
+  std::string name;
+  double seconds{0};
+};
+
+class Pipeline {
+ public:
+  void add(Stage s);
+
+  /// Execute all stages. Throws std::invalid_argument on an unknown or
+  /// cyclic dependency. Returns the union of all stage reports, merged in
+  /// declaration order regardless of how stages were scheduled.
+  report::Report run(Executor& exec);
+
+  /// Per-stage timings of the last run, in declaration order.
+  const std::vector<StageResult>& results() const { return results_; }
+
+  /// Seconds spent in a stage during the last run (0 if unknown).
+  double seconds(const std::string& name) const;
+
+ private:
+  std::vector<Stage> stages_;
+  std::vector<StageResult> results_;
+};
+
+}  // namespace dic::engine

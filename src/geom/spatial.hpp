@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -21,7 +22,7 @@ class GridIndex {
 
   /// Insert an item with the given bounding box; `id` is caller-defined.
   void insert(std::size_t id, const Rect& bbox) {
-    forEachCell(bbox, [&](std::int64_t key) { grid_[key].push_back(id); });
+    forEachCell(bbox, [&](std::uint64_t key) { grid_[key].push_back(id); });
     boxes_.push_back({id, bbox});
   }
 
@@ -29,7 +30,7 @@ class GridIndex {
   /// candidates only -- caller re-tests exact geometry).
   std::vector<std::size_t> query(const Rect& query) const {
     std::vector<std::size_t> out;
-    forEachCell(query, [&](std::int64_t key) {
+    forEachCell(query, [&](std::uint64_t key) {
       auto it = grid_.find(key);
       if (it != grid_.end())
         out.insert(out.end(), it->second.begin(), it->second.end());
@@ -42,13 +43,24 @@ class GridIndex {
   std::size_t size() const { return boxes_.size(); }
 
  private:
+  /// Zig-zag encoding maps signed cell coordinates to unsigned so that
+  /// small-magnitude negatives stay small; the key packs the two encoded
+  /// halves into disjoint 32-bit fields. (The previous
+  /// `(gx << 24) ^ (gy & 0xffffff)` scheme aliased negative gy rows onto
+  /// large positive ones and leaked gx bits into the gy field on wide
+  /// layouts, degenerating buckets.)
+  static constexpr std::uint64_t zigzag(Coord v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+  }
+
   template <typename F>
   void forEachCell(const Rect& r, F&& f) const {
     const Coord x0 = floorDiv(r.lo.x), x1 = floorDiv(r.hi.x);
     const Coord y0 = floorDiv(r.lo.y), y1 = floorDiv(r.hi.y);
     for (Coord gy = y0; gy <= y1; ++gy)
       for (Coord gx = x0; gx <= x1; ++gx)
-        f((gx << 24) ^ (gy & 0xffffff));
+        f((zigzag(gx) << 32) | (zigzag(gy) & 0xffffffffu));
   }
 
   Coord floorDiv(Coord v) const {
@@ -56,7 +68,7 @@ class GridIndex {
   }
 
   Coord cell_;
-  std::unordered_map<std::int64_t, std::vector<std::size_t>> grid_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid_;
   std::vector<std::pair<std::size_t, Rect>> boxes_;
 };
 

@@ -95,40 +95,6 @@ void Library::flattenRec(CellId id, const geom::Transform& t,
   }
 }
 
-void Library::flattenWindow(CellId root, const geom::Rect& window,
-                            std::vector<FlatElement>& out) const {
-  flattenWindowRec(root, geom::identityTransform(), window, "", out);
-}
-
-void Library::flattenWindowRec(CellId id, const geom::Transform& t,
-                               const geom::Rect& window, std::string path,
-                               std::vector<FlatElement>& out) const {
-  const Cell& c = cells_.at(id);
-  for (std::size_t i = 0; i < c.elements.size(); ++i) {
-    const geom::Rect b = t.apply(c.elements[i].bbox());
-    if (!geom::closedTouch(b, window)) continue;
-    FlatElement fe;
-    fe.element = c.elements[i].transformed(t);
-    fe.sourceCell = id;
-    fe.sourceIndex = i;
-    fe.path = path;
-    out.push_back(std::move(fe));
-  }
-  int childNo = 0;
-  for (const Instance& inst : c.instances) {
-    const geom::Transform ct = geom::compose(inst.transform, t);
-    const geom::Rect cb = ct.apply(cellBBox(inst.cell));
-    std::string childName =
-        inst.name.empty() ? cells_.at(inst.cell).name + "_" +
-                                std::to_string(childNo)
-                          : inst.name;
-    ++childNo;
-    if (!geom::closedTouch(cb, window)) continue;
-    flattenWindowRec(inst.cell, ct, window,
-                     path.empty() ? childName : path + "." + childName, out);
-  }
-}
-
 Library::SizeStats Library::sizeStats(CellId root) const {
   SizeStats s;
   forEachCellOnce(root, [&](CellId id) {

@@ -95,10 +95,8 @@ class Library {
                std::vector<FlatDevice>& devices,
                bool includeDeviceGeometry = false) const;
 
-  /// Windowed flattening: all elements (device internals included)
-  /// whose bbox intersects `window` (root coordinates), transformed.
-  void flattenWindow(CellId root, const geom::Rect& window,
-                     std::vector<FlatElement>& out) const;
+  // (Windowed flattening lives in engine::HierarchyView::collectWindow,
+  // which owns all hierarchical traversal beyond this primitive.)
 
   /// Count of elements in the fully instantiated (flat) design vs the
   /// hierarchical description -- the paper's complexity-management
@@ -117,9 +115,6 @@ class Library {
                   std::vector<FlatElement>& elements,
                   std::vector<FlatDevice>* devices,
                   bool includeDeviceGeometry, bool insideDevice) const;
-  void flattenWindowRec(CellId id, const geom::Transform& t,
-                        const geom::Rect& window, std::string path,
-                        std::vector<FlatElement>& out) const;
 
   std::vector<Cell> cells_;
   std::map<std::string, CellId> byName_;

@@ -1,7 +1,7 @@
 #include <algorithm>
 #include <map>
 
-#include "geom/spatial.hpp"
+#include "engine/hierarchy_view.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/unionfind.hpp"
 
@@ -22,19 +22,23 @@ bool elementTouchesPort(const layout::Element& e, const geom::Rect& port) {
 
 Netlist extract(const layout::Library& lib, layout::CellId root,
                 const tech::Technology& tech, const ExtractOptions& opts) {
+  engine::HierarchyView view(lib, root);
+  return extract(view, tech, opts);
+}
+
+Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
+                const ExtractOptions& opts) {
   Netlist out;
 
-  std::vector<layout::FlatElement> elements;
-  std::vector<layout::FlatDevice> devices;
-  lib.flatten(root, elements, devices, /*includeDeviceGeometry=*/false);
+  const engine::HierarchyView::Flat& flat = view.flat(false);
+  const std::vector<layout::FlatElement>& elements = flat.elements;
+  const std::vector<layout::FlatDevice>& devices = flat.devices;
+  const std::vector<geom::Rect>& bboxes = flat.bboxes;
 
   // Node ids: elements first, then (device, port) pairs, then one node per
   // distinct global label.
   const std::size_t ne = elements.size();
-  std::vector<std::pair<std::size_t, std::size_t>> portNodes;  // (dev, port)
-  for (std::size_t d = 0; d < devices.size(); ++d)
-    for (std::size_t p = 0; p < devices[d].ports.size(); ++p)
-      portNodes.push_back({d, p});
+  const std::vector<engine::HierarchyView::PortRef>& portNodes = view.ports();
   std::map<std::string, std::size_t> labelNode;
   if (opts.mergeByLabel) {
     for (const auto& fe : elements)
@@ -45,24 +49,21 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
   }
   UnionFind uf(ne + portNodes.size() + labelNode.size());
 
-  // Precompute skeletons, regions and bboxes.
+  // Precompute skeletons (bboxes come cached from the view).
   std::vector<geom::Skeleton> skels(ne);
-  std::vector<geom::Rect> bboxes(ne);
   for (std::size_t i = 0; i < ne; ++i) {
     const layout::Element& e = elements[i].element;
     skels[i] = e.skeleton(tech.layer(e.layer).minWidth);
-    bboxes[i] = e.bbox();
   }
 
-  // Element-element connections via the grid index.
-  const geom::Coord cell =
-      std::max<geom::Coord>(tech.lambda() * 40, 1);
-  geom::GridIndex grid(cell);
-  for (std::size_t i = 0; i < ne; ++i) grid.insert(i, bboxes[i]);
+  // Element-element connections via the engine's per-layer indexes. The
+  // layer equality re-check guards against negative layer ids, which the
+  // view's candidate API treats as the all-layers sentinel.
   for (std::size_t i = 0; i < ne; ++i) {
-    for (std::size_t j : grid.query(bboxes[i])) {
+    for (std::size_t j :
+         view.flatCandidates(false, elements[i].element.layer, bboxes[i])) {
       if (j <= i) continue;
-      if (elements[i].element.layer != elements[j].element.layer) continue;
+      if (elements[j].element.layer != elements[i].element.layer) continue;
       if (!geom::closedTouch(bboxes[i], bboxes[j])) continue;
       if (geom::skeletonsConnected(skels[i], skels[j])) uf.unite(i, j);
     }
@@ -70,18 +71,18 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
 
   // Element-port and port-port connections.
   for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
-    const auto [d, p] = portNodes[pn];
+    const std::size_t d = portNodes[pn].device;
+    const std::size_t p = portNodes[pn].port;
     const layout::Port& port = devices[d].ports[p];
     const std::size_t node = ne + pn;
-    for (std::size_t i : grid.query(port.at)) {
+    for (std::size_t i : view.flatCandidates(false, port.layer, port.at)) {
       if (elements[i].element.layer != port.layer) continue;
       if (elementTouchesPort(elements[i].element, port.at)) uf.unite(node, i);
     }
     // Internal groups connect ports of the same device.
     for (std::size_t qn = pn + 1; qn < portNodes.size(); ++qn) {
-      const auto [d2, p2] = portNodes[qn];
-      if (d2 != d) break;  // portNodes is grouped by device
-      const layout::Port& port2 = devices[d2].ports[p2];
+      if (portNodes[qn].device != d) break;  // ports are grouped by device
+      const layout::Port& port2 = devices[d].ports[portNodes[qn].port];
       if (port.internalGroup >= 0 && port.internalGroup == port2.internalGroup)
         uf.unite(node, ne + qn);
       // Abutting ports on the same layer short directly (butting devices).
@@ -90,21 +91,16 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
     }
   }
   // Port-port across devices (abutting device terminals).
-  {
-    geom::GridIndex pgrid(cell);
-    for (std::size_t pn = 0; pn < portNodes.size(); ++pn)
-      pgrid.insert(pn, devices[portNodes[pn].first].ports[portNodes[pn].second].at);
-    for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
-      const auto [d, p] = portNodes[pn];
-      const layout::Port& port = devices[d].ports[p];
-      for (std::size_t qn : pgrid.query(port.at.inflated(1))) {
-        if (qn <= pn) continue;
-        const auto [d2, p2] = portNodes[qn];
-        if (d2 == d) continue;
-        const layout::Port& port2 = devices[d2].ports[p2];
-        if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
-          uf.unite(ne + pn, ne + qn);
-      }
+  for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
+    const std::size_t d = portNodes[pn].device;
+    const layout::Port& port = devices[d].ports[portNodes[pn].port];
+    for (std::size_t qn : view.portCandidates(port.at, 1)) {
+      if (qn <= pn) continue;
+      const std::size_t d2 = portNodes[qn].device;
+      if (d2 == d) continue;
+      const layout::Port& port2 = devices[d2].ports[portNodes[qn].port];
+      if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
+        uf.unite(ne + pn, ne + qn);
     }
   }
 
@@ -163,9 +159,9 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
     out.devices.push_back(std::move(ed));
   }
   for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
-    const auto [d, p] = portNodes[pn];
+    const std::size_t d = portNodes[pn].device;
     const int id = netOf(ne + pn);
-    const std::string& portName = devices[d].ports[p].name;
+    const std::string& portName = devices[d].ports[portNodes[pn].port].name;
     out.devices[d].portNets[portName] = id;
     out.nets[id].terminals.push_back({d, portName, id});
   }

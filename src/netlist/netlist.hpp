@@ -12,6 +12,10 @@
 #include "layout/library.hpp"
 #include "tech/technology.hpp"
 
+namespace dic::engine {
+class HierarchyView;
+}  // namespace dic::engine
+
 namespace dic::netlist {
 
 /// A device terminal bound to a net.
@@ -94,6 +98,13 @@ struct ExtractOptions {
 ///  * device classes with no internal groups (FETs) keep terminals apart.
 Netlist extract(const layout::Library& lib, layout::CellId root,
                 const tech::Technology& tech, const ExtractOptions& opts = {});
+
+/// Same, on a shared engine::HierarchyView -- the flat element order (and
+/// thus Netlist::elementNet indexing) is the view's flat(false) order, so
+/// a checker that shares the view gets consistent element-net lookups for
+/// free and the flatten work is done once.
+Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
+                const ExtractOptions& opts = {});
 
 /// Compare an extracted netlist against a golden device/connection list
 /// ("check the net list against an input net list for consistency").

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "geom/spatial.hpp"
+#include "engine/hierarchy_view.hpp"
 
 namespace dic::structured {
 
@@ -22,9 +22,8 @@ struct FlatShape {
 
 std::vector<FlatShape> flattenShapes(const layout::Library& lib,
                                      layout::CellId root) {
-  std::vector<layout::FlatElement> fe;
-  std::vector<layout::FlatDevice> fd;
-  lib.flatten(root, fe, fd, /*includeDeviceGeometry=*/true);
+  engine::HierarchyView view(lib, root);
+  const auto& fe = view.flat(/*includeDeviceGeometry=*/true).elements;
   std::vector<FlatShape> out;
   out.reserve(fe.size());
   for (const layout::FlatElement& e : fe) {
@@ -68,10 +67,12 @@ report::Report checkImplicitDevices(const layout::Library& lib,
   auto crossCheck = [&](const std::vector<const FlatShape*>& ps,
                         const std::vector<const FlatShape*>& ds) {
     if (ps.empty() || ds.empty()) return;
-    geom::GridIndex grid(tech.lambda() * 64);
-    for (std::size_t k = 0; k < ds.size(); ++k) grid.insert(k, ds[k]->bbox);
+    std::vector<Rect> dBoxes;
+    dBoxes.reserve(ds.size());
+    for (const FlatShape* d : ds) dBoxes.push_back(d->bbox);
+    const engine::SpatialSet set(dBoxes, tech.lambda() * 64);
     for (const FlatShape* p : ps) {
-      for (std::size_t k : grid.query(p->bbox)) {
+      for (std::size_t k : set.candidates(p->bbox)) {
         const FlatShape* d = ds[k];
         if (!geom::overlaps(p->bbox, d->bbox)) continue;
         const Region x = intersect(p->region, d->region);

@@ -3,6 +3,7 @@
 
 #include "cif/parser.hpp"
 #include "cif/writer.hpp"
+#include "engine/hierarchy_view.hpp"
 #include "layout/cifio.hpp"
 #include "layout/library.hpp"
 #include "tech/technology.hpp"
@@ -127,11 +128,13 @@ TEST(Library, FlattenStopsAtDevices) {
   EXPECT_EQ(fd.size(), 1u);
 }
 
-TEST(Library, FlattenWindowPrunes) {
+TEST(Library, WindowedCollectionPrunes) {
   CellId top, leaf;
   Library lib = makeTwoLevel(top, leaf);
-  std::vector<FlatElement> out;
-  lib.flattenWindow(top, makeRect(19, 19, 31, 31), out);
+  engine::HierarchyView view(lib, top);
+  std::vector<engine::WindowElement> out;
+  view.collectWindow(top, geom::identityTransform(), makeRect(19, 19, 31, 31),
+                     "", out);
   // The top strip (y<=5) does not intersect; instance b does not.
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].path, "a");
