@@ -29,30 +29,57 @@ report::Report Checker::run() {
   engine::Executor exec(opt_.threads);
   engine::Pipeline pipe;
   auto nl = std::make_shared<netlist::Netlist>();
+  // Cost hints mirror the Fig. 10 breakdown (interactions and netlist
+  // generation dominate; element/symbol checks are cheap, once per
+  // definition). The ready-queue dispatcher starts costlier ready stages
+  // first, so netlist generation — the sole dependency of the dominant
+  // interaction stage — is never stuck behind the cheap checks.
   pipe.add({"elements",
             {},
-            [this](engine::Executor& e) { return checkElementsImpl(e); }});
+            [this](engine::Executor& e) { return checkElementsImpl(e); },
+            /*cost=*/1.0});
   pipe.add({"symbols",
             {},
             [this](engine::Executor& e) {
               return checkPrimitiveSymbolsImpl(e);
-            }});
+            },
+            /*cost=*/1.0});
   pipe.add({"connections",
             {},
-            [this](engine::Executor& e) { return checkConnectionsImpl(e); }});
-  pipe.add({"netlist", {}, [this, nl](engine::Executor&) {
+            [this](engine::Executor& e) { return checkConnectionsImpl(e); },
+            /*cost=*/2.0});
+  pipe.add({"netlist",
+            {},
+            [this, nl](engine::Executor&) {
               *nl = generateNetlist();
               return report::Report{};
-            }});
-  pipe.add({"interactions", {"netlist"}, [this, nl](engine::Executor& e) {
+            },
+            /*cost=*/6.0});
+  pipe.add({"interactions",
+            {"netlist"},
+            [this, nl](engine::Executor& e) {
               return checkInteractionsImpl(*nl, e);
-            }});
-  report::Report rep = pipe.run(exec);
-  times_.elements = pipe.seconds("elements");
-  times_.symbols = pipe.seconds("symbols");
-  times_.connections = pipe.seconds("connections");
-  times_.netlist = pipe.seconds("netlist");
-  times_.interactions = pipe.seconds("interactions");
+            },
+            /*cost=*/10.0});
+  // Timings are recorded on the failure path too: a caller that catches a
+  // stage exception sees how far THIS run got (never-started stages keep
+  // start = -1), not a stale copy from the previous run.
+  auto record = [&] {
+    stageResults_ = pipe.results();
+    times_.elements = pipe.seconds("elements");
+    times_.symbols = pipe.seconds("symbols");
+    times_.connections = pipe.seconds("connections");
+    times_.netlist = pipe.seconds("netlist");
+    times_.interactions = pipe.seconds("interactions");
+  };
+  report::Report rep;
+  try {
+    rep = pipe.run(exec);
+  } catch (...) {
+    record();
+    throw;
+  }
+  record();
   return rep;
 }
 

@@ -12,17 +12,21 @@
 /// descend into instance-overlap windows only.
 ///
 /// Since the engine refactor the stages run through the
-/// engine::Pipeline stage runner on a shared engine::HierarchyView:
-/// element/symbol/connection checks and netlist generation are declared
-/// independent, interaction checking depends on the netlist, and per-cell
-/// work fans across Options::threads workers with deterministic merging
-/// (threads=N output is byte-identical to threads=1).
+/// engine::Pipeline ready-queue dispatcher on a shared
+/// engine::HierarchyView: element/symbol/connection checks and netlist
+/// generation are declared independent, interaction checking depends on
+/// the netlist only — so it starts the moment netlist extraction
+/// finishes, even while other independent stages are still running — and
+/// stages plus their per-cell fan-outs share one Options::threads-sized
+/// work-stealing pool with deterministic merging (threads=N output is
+/// byte-identical to threads=1; see docs/engine.md).
 
 #include <map>
 #include <vector>
 
 #include "engine/executor.hpp"
 #include "engine/hierarchy_view.hpp"
+#include "engine/pipeline.hpp"
 #include "layout/library.hpp"
 #include "netlist/netlist.hpp"
 #include "report/violation.hpp"
@@ -46,15 +50,27 @@ struct Options {
   bool useNetInformation{true};
   /// Report each per-cell violation at every instance placement.
   bool instantiateViolations{true};
-  /// Worker threads for per-cell checks and interaction windows
-  /// (0 = hardware concurrency). Output is identical for every value.
+  /// Worker budget for the whole run: pipeline stages AND their inner
+  /// fan-outs (per-cell checks, interaction windows) share one
+  /// engine::Executor work-stealing pool of this size, so at most
+  /// `threads` workers are ever active regardless of how many stages run
+  /// concurrently. Semantics:
+  ///   - threads <= 0: use the host's hardware concurrency, resolved
+  ///     once per process (engine::Executor::hardwareThreads()).
+  ///   - threads == 1: fully serial — the deterministic reference
+  ///     schedule (ready stages dispatched by cost, then declaration).
+  ///   - threads >= 2: threads-1 pool workers plus the calling thread.
+  /// The report text is byte-identical for every value (slot-ordered
+  /// merging; see docs/engine.md for the determinism contract).
   int threads{1};
 };
 
 /// Wall-clock per stage, seconds (Fig. 10 breakdown bench). With
-/// Options::threads > 1 independent stages run concurrently, so the
-/// per-stage clocks overlap and total() can exceed the pipeline's real
-/// wall time -- time run() externally when measuring end-to-end speed.
+/// Options::threads > 1 stages run concurrently (each starts the moment
+/// its dependencies finish), so the per-stage clocks overlap and total()
+/// can exceed the pipeline's real wall time -- time run() externally when
+/// measuring end-to-end speed. Checker::stageResults() additionally
+/// carries each stage's start timestamp.
 struct StageTimes {
   double elements{0};
   double symbols{0};
@@ -108,6 +124,16 @@ class Checker {
   report::Report checkInteractions(const netlist::Netlist& nl);
 
   const StageTimes& stageTimes() const { return times_; }
+
+  /// Per-stage start/duration of the last run(), in stage-declaration
+  /// order (engine::StageResult::start is seconds from pipeline entry) --
+  /// what the dispatcher benches read to show the interaction stage
+  /// starting before independent stages drain. Populated even when run()
+  /// throws: stages that never started keep start = -1.
+  const std::vector<engine::StageResult>& stageResults() const {
+    return stageResults_;
+  }
+
   const InteractionStats& interactionStats() const { return istats_; }
 
   /// The shared hierarchy view all stages run on.
@@ -136,6 +162,7 @@ class Checker {
   Options opt_;
   engine::HierarchyView view_;
   StageTimes times_;
+  std::vector<engine::StageResult> stageResults_;
   InteractionStats istats_;
 };
 

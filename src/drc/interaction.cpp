@@ -258,7 +258,7 @@ void evaluatePair(const InteractionContext& ctx, InteractionStats& stats,
 }  // namespace
 
 report::Report checkInteractionsFlat(InteractionContext& ctx,
-                                     const engine::Executor& exec) {
+                                     engine::Executor& exec) {
   ctx.buildMaps();
   report::Report rep;
   const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
@@ -342,7 +342,7 @@ struct CellWork {
 }  // namespace
 
 report::Report checkInteractionsHierarchical(InteractionContext& ctx,
-                                             const engine::Executor& exec) {
+                                             engine::Executor& exec) {
   ctx.buildMaps();
   report::Report rep;
   const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);

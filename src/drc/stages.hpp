@@ -72,12 +72,12 @@ struct InteractionContext {
 /// pairs with the Fig. 12 matrix. Pair evaluation fans across the
 /// executor's workers in deterministic chunks.
 report::Report checkInteractionsFlat(InteractionContext& ctx,
-                                     const engine::Executor& exec);
+                                     engine::Executor& exec);
 
 /// Stage 5, hierarchical: per-cell-once intra-cell pairs plus
 /// parent-element/instance and instance/instance overlap windows, each an
 /// independent work item fanned across the executor's workers.
 report::Report checkInteractionsHierarchical(InteractionContext& ctx,
-                                             const engine::Executor& exec);
+                                             engine::Executor& exec);
 
 }  // namespace dic::drc

@@ -1,36 +1,108 @@
 #pragma once
 /// \file executor.hpp
-/// The engine's parallel executor: a minimal fork-join fan-out used by the
-/// stage runner to spread per-cell checks and interaction windows across
-/// worker threads.
+/// The engine's parallel executor: a persistent worker pool with per-worker
+/// task deques and work-stealing. It serves two layers of parallelism at
+/// once: the pipeline dispatcher submits whole stages as tasks, and a
+/// running stage's inner fan-out (`parallelFor` over per-cell checks or
+/// interaction windows) shares the same workers, so threads freed by a
+/// finished stage immediately pick up another stage's inner work instead
+/// of idling behind a barrier.
 ///
-/// Determinism contract: parallelFor gives no ordering guarantee on when
-/// fn(i) runs, so callers that need serial-identical output write each
-/// index's result into its own slot and merge slots in index order after
-/// the call returns. Every parallel consumer in this codebase follows that
-/// pattern, which is why `--threads N` output is byte-identical to serial.
+/// Determinism contract: neither `submit` nor `parallelFor` gives any
+/// ordering guarantee on when a task or fn(i) runs, so callers that need
+/// serial-identical output write each index's result into its own slot and
+/// merge slots in index order after the fan-out completes. Every parallel
+/// consumer in this codebase follows that pattern, which is why
+/// `--threads N` output is byte-identical to serial. The full contract is
+/// documented in docs/engine.md.
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
-namespace dic::engine {
+/// \namespace dic
+/// Root namespace of the DIC reproduction.
+namespace dic {
+/// \namespace dic::engine
+/// The execution engine: the shared hierarchy view, the work-stealing
+/// executor, and the ready-queue pipeline dispatcher.
+namespace engine {
 
+/// A persistent pool of `threads() - 1` worker threads plus the calling
+/// thread. With one thread no pool is spawned and every operation runs
+/// inline on the caller, in ascending index order — the serial reference
+/// schedule.
+///
+/// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+/// locality for nested fan-outs) and steals FIFO from other workers when
+/// its deque is empty, so coarse stage tasks and fine inner-loop chunks
+/// balance across the pool without a central queue bottleneck. Tasks are
+/// coarse in this codebase (a pipeline stage, or a chunk of a parallel
+/// loop), so the deques are mutex-guarded rather than lock-free.
+///
+/// The destructor stops and joins the workers; any task still queued is
+/// drained first. All internal uses wait for their tasks' completion
+/// before the executor can be destroyed.
 class Executor {
  public:
-  /// threads <= 0 selects hardware concurrency; 1 is fully serial.
+  /// threads <= 0 selects the cached hardware concurrency
+  /// (hardwareThreads()); 1 is fully serial. threads - 1 pool workers are
+  /// spawned immediately and live until destruction.
   explicit Executor(int threads = 1);
+  ~Executor();
 
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The worker budget: pool workers plus the participating caller.
   int threads() const { return threads_; }
 
+  /// std::thread::hardware_concurrency resolved once per process and
+  /// cached (the lookup can be a syscall; benches also use this to label
+  /// thread-sweep tables with the actual worker count).
+  static int hardwareThreads();
+
   /// Run fn(i) for every i in [0, n), dynamically scheduled across up to
-  /// threads() workers; blocks until all complete. With one worker (or
-  /// n <= 1) runs inline, in ascending index order. fn must be safe to
-  /// call concurrently for distinct i.
-  void parallelFor(std::size_t n,
-                   const std::function<void(std::size_t)>& fn) const;
+  /// threads() participants (the caller claims indices too); blocks until
+  /// every claimed index has completed. With one worker (or n <= 1) runs
+  /// inline, in ascending index order. fn must be safe to call
+  /// concurrently for distinct i; a throwing fn surfaces its first
+  /// exception to the caller after the loop quiesces (remaining indices
+  /// are abandoned). Safe to call from inside a pool task (a stage's
+  /// inner fan-out): the nested loop's chunks go to the worker's own
+  /// deque where idle workers steal them, and the nested caller always
+  /// drains its own loop, so progress never depends on pool capacity.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue one task for asynchronous execution. From a pool worker the
+  /// task lands on that worker's own deque (stolen by idle workers);
+  /// from any other thread deques are fed round-robin. With no pool
+  /// (threads() == 1) the task runs inline before submit returns. Tasks
+  /// must not let exceptions escape — coordinators (the pipeline
+  /// dispatcher, parallelFor) capture failures into their own state.
+  void submit(std::function<void()> task);
+
+  /// Make the calling thread a pool participant until done() returns
+  /// true: it executes queued tasks, and sleeps only when the pool is
+  /// empty. Coordinators use this so the submitting thread works instead
+  /// of blocking (the pipeline dispatcher calls it while stages drain).
+  /// done() must be monotonic (once true, stays true) and is re-checked
+  /// after every task and every wake(). Returns immediately when there is
+  /// no pool.
+  void helpUntil(const std::function<bool()>& done);
+
+  /// Wake every sleeping worker and helper so they re-check their
+  /// predicates. Coordinators call this when a completion condition
+  /// changes outside of task submission (e.g. a pipeline stage finished
+  /// and helpUntil's done() may now be true).
+  void wake();
 
  private:
+  struct Pool;  ///< worker threads, deques, and sleep/wake bookkeeping
+
   int threads_{1};
+  std::unique_ptr<Pool> pool_;  ///< null when threads_ == 1 (serial mode)
 };
 
-}  // namespace dic::engine
+}  // namespace engine
+}  // namespace dic

@@ -39,15 +39,15 @@ std::string joinPath(const std::string& a, const std::string& b);
 /// One placement of a cell under the root: the composed transform and the
 /// dot-notation instance path.
 struct Placement {
-  geom::Transform transform;
-  std::string path;
+  geom::Transform transform;  ///< composed root-to-instance transform
+  std::string path;           ///< dot-notation instance path from root
 };
 
 /// A child instance of a cell with the naming and bbox bookkeeping every
 /// hierarchical traversal needs.
 struct ChildRef {
   std::size_t index{0};        ///< index into the parent cell's instances
-  layout::CellId cell{0};
+  layout::CellId cell{0};      ///< the instantiated (child) cell
   geom::Transform transform{}; ///< instance transform (parent coordinates)
   geom::Rect bbox{};           ///< child bbox in parent coordinates
   std::string name;            ///< instance name used in hierarchical paths
@@ -55,20 +55,24 @@ struct ChildRef {
 
 /// An element produced by a windowed subtree walk.
 struct WindowElement {
-  layout::Element element;     ///< transformed into the caller's frame
-  layout::CellId sourceCell{0};
-  std::size_t sourceIndex{0};
-  std::string path;            ///< relPath-prefixed instance path
-  bool fromDevice{false};      ///< element lives at or below a device cell
+  layout::Element element;       ///< transformed into the caller's frame
+  layout::CellId sourceCell{0};  ///< defining cell the element came from
+  std::size_t sourceIndex{0};    ///< element index within the source cell
+  std::string path;              ///< relPath-prefixed instance path
+  bool fromDevice{false};        ///< element lives at or below a device cell
 };
 
 /// A read-only view of one hierarchy rooted at a cell.
 class HierarchyView {
  public:
+  /// Bind a view to one (library, root) pair. Caches build lazily on
+  /// first use; the library must outlive the view and stay unmodified.
   HierarchyView(const layout::Library& lib, layout::CellId root)
       : lib_(lib), root_(root) {}
 
+  /// The library this view reads from.
   const layout::Library& library() const { return lib_; }
+  /// The root cell the hierarchy is viewed under.
   layout::CellId root() const { return root_; }
 
   /// Cells reachable from root, post-order (substrates before users),
@@ -87,8 +91,8 @@ class HierarchyView {
 
   /// A cached flat view of the design.
   struct Flat {
-    std::vector<layout::FlatElement> elements;
-    std::vector<layout::FlatDevice> devices;
+    std::vector<layout::FlatElement> elements;  ///< flattened elements
+    std::vector<layout::FlatDevice> devices;    ///< flattened device instances
     std::vector<geom::Rect> bboxes;  ///< element bboxes, parallel to elements
   };
 
@@ -128,8 +132,8 @@ class HierarchyView {
 
   /// Device terminal identity: flat(false).devices[device].ports[port].
   struct PortRef {
-    std::size_t device{0};
-    std::size_t port{0};
+    std::size_t device{0};  ///< index into Flat::devices
+    std::size_t port{0};    ///< port index within that device
   };
 
   /// All flattened device ports in (device, port) order.
@@ -187,6 +191,7 @@ class HierarchyView {
 /// never build grids by hand.
 class SpatialSet {
  public:
+  /// Index `rects` with grid cell size `cellHint` (0 = autoGridCell).
   explicit SpatialSet(const std::vector<geom::Rect>& rects,
                       geom::Coord cellHint = 0);
 
@@ -194,6 +199,7 @@ class SpatialSet {
   std::vector<std::size_t> candidates(const geom::Rect& query,
                                       geom::Coord inflate = 0) const;
 
+  /// Number of indexed rects.
   std::size_t size() const { return size_; }
 
  private:

@@ -1,12 +1,14 @@
 #include "engine/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
-#include <thread>
 
-namespace dic::engine {
+namespace dic {
+namespace engine {
 
 void Pipeline::add(Stage s) { stages_.push_back(std::move(s)); }
 
@@ -36,69 +38,111 @@ report::Report Pipeline::run(Executor& exec) {
     }
   }
 
+  // Invert into dependents + remaining-dep counters, and reject cycles
+  // before anything runs (Kahn's count over a scratch copy).
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<int> indegree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<int>(deps[i].size());
+    for (std::size_t d : deps[i]) dependents[d].push_back(i);
+  }
+  {
+    std::vector<int> scratch = indegree;
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < n; ++i)
+      if (scratch[i] == 0) queue.push_back(i);
+    std::size_t reachable = 0;
+    while (!queue.empty()) {
+      const std::size_t i = queue.back();
+      queue.pop_back();
+      ++reachable;
+      for (std::size_t d : dependents[i])
+        if (--scratch[d] == 0) queue.push_back(d);
+    }
+    if (reachable < n)
+      throw std::invalid_argument("pipeline has a dependency cycle");
+  }
+
   std::vector<report::Report> reports(n);
   results_.assign(n, {});
   for (std::size_t i = 0; i < n; ++i) results_[i].name = stages_[i].name;
+  if (n == 0) return {};
 
-  std::vector<bool> done(n, false);
-  std::size_t completed = 0;
-  auto runStage = [&](std::size_t i, Executor& stageExec) {
+  const auto runT0 = std::chrono::steady_clock::now();
+  auto runStage = [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
-    reports[i] = stages_[i].run(stageExec);
+    results_[i].start = std::chrono::duration<double>(t0 - runT0).count();
+    reports[i] = stages_[i].run(exec);
     const auto t1 = std::chrono::steady_clock::now();
     results_[i].seconds = std::chrono::duration<double>(t1 - t0).count();
   };
+  // Costlier ready stages start first; declaration order breaks ties.
+  auto costOrder = [&](std::vector<std::size_t>& v) {
+    std::sort(v.begin(), v.end(), [&](std::size_t a, std::size_t b) {
+      if (stages_[a].cost != stages_[b].cost)
+        return stages_[a].cost > stages_[b].cost;
+      return a < b;
+    });
+  };
 
-  while (completed < n) {
-    std::vector<std::size_t> wave;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (done[i]) continue;
-      bool ready = true;
-      for (std::size_t d : deps[i]) ready = ready && done[d];
-      if (ready) wave.push_back(i);
+  std::vector<int> remaining = indegree;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (remaining[i] == 0) ready.push_back(i);
+  costOrder(ready);
+
+  if (exec.threads() <= 1) {
+    // Serial dispatch: same ready-queue discipline, fully deterministic
+    // order. Exceptions propagate directly (nothing else is in flight).
+    while (!ready.empty()) {
+      const std::size_t i = ready.front();
+      ready.erase(ready.begin());
+      runStage(i);
+      for (std::size_t d : dependents[i])
+        if (--remaining[d] == 0) ready.push_back(d);
+      costOrder(ready);
     }
-    if (wave.empty())
-      throw std::invalid_argument("pipeline has a dependency cycle");
-    if (exec.threads() > 1 && wave.size() > 1) {
-      // Share the worker budget: run at most `concurrent` stages at a
-      // time, each with budget/concurrent inner workers, so total active
-      // threads never exceed the requested count. The first exception
-      // (in wave order) surfaces to the caller.
-      const int budget = exec.threads();
-      const std::size_t concurrent =
-          std::min<std::size_t>(wave.size(), static_cast<std::size_t>(budget));
-      Executor stageExec(
-          std::max<int>(1, budget / static_cast<int>(concurrent)));
-      std::vector<std::exception_ptr> errors(wave.size());
-      auto guarded = [&](std::size_t k) {
-        try {
-          runStage(wave[k], stageExec);
-        } catch (...) {
-          errors[k] = std::current_exception();
+  } else {
+    std::mutex mu;  // guards `remaining` and `errors`
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(n);
+    // Stage tasks run on the pool; each one releases its dependents the
+    // moment it completes, so a freed worker flows straight into the
+    // next ready stage (or into another stage's inner parallelFor via
+    // work-stealing). `dispatch` stays alive for the whole drain because
+    // run() blocks in helpUntil below.
+    std::function<void(std::size_t)> dispatch = [&](std::size_t i) {
+      exec.submit([&, i] {
+        if (!failed.load()) {
+          try {
+            runStage(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(mu);
+            errors[i] = std::current_exception();
+            failed.store(true);
+          }
         }
-      };
-      bool failed = false;
-      for (std::size_t batch = 0;
-           batch < wave.size() && !failed; batch += concurrent) {
-        const std::size_t end = std::min(batch + concurrent, wave.size());
-        std::vector<std::thread> ts;
-        ts.reserve(end - batch - 1);
-        for (std::size_t k = batch + 1; k < end; ++k)
-          ts.emplace_back(guarded, k);
-        guarded(batch);
-        for (std::thread& t : ts) t.join();
-        // Match the serial contract: once a stage has thrown, no further
-        // batches start.
-        for (std::size_t k = batch; k < end; ++k)
-          if (errors[k]) failed = true;
-      }
-      for (const std::exception_ptr& e : errors)
-        if (e) std::rethrow_exception(e);
-    } else {
-      for (std::size_t i : wave) runStage(i, exec);
-    }
-    for (std::size_t i : wave) done[i] = true;
-    completed += wave.size();
+        // After a failure, dependents are still dispatched (their tasks
+        // skip the stage body) so `completed` reaches n and run()
+        // unblocks; matching the serial contract, no further stage
+        // bodies execute.
+        std::vector<std::size_t> newly;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          for (std::size_t d : dependents[i])
+            if (--remaining[d] == 0) newly.push_back(d);
+        }
+        costOrder(newly);
+        for (std::size_t d : newly) dispatch(d);
+        completed.fetch_add(1);
+        exec.wake();  // helpUntil's done() may be true now
+      });
+    };
+    for (std::size_t i : ready) dispatch(i);
+    exec.helpUntil([&] { return completed.load() == n; });
+    for (std::size_t i = 0; i < n; ++i)
+      if (errors[i]) std::rethrow_exception(errors[i]);
   }
 
   report::Report merged;
@@ -106,4 +150,5 @@ report::Report Pipeline::run(Executor& exec) {
   return merged;
 }
 
-}  // namespace dic::engine
+}  // namespace engine
+}  // namespace dic

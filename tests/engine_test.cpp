@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <random>
 
@@ -203,7 +205,7 @@ TEST(SpatialSet, CandidatesNeverMiss) {
 
 TEST(Executor, CoversEveryIndexExactlyOnce) {
   for (const int threads : {1, 4}) {
-    const engine::Executor exec(threads);
+    engine::Executor exec(threads);
     constexpr std::size_t n = 1000;
     std::vector<std::atomic<int>> hits(n);
     exec.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
@@ -213,13 +215,50 @@ TEST(Executor, CoversEveryIndexExactlyOnce) {
 
 TEST(Executor, PropagatesWorkerExceptions) {
   for (const int threads : {1, 4}) {
-    const engine::Executor exec(threads);
+    engine::Executor exec(threads);
     EXPECT_THROW(exec.parallelFor(200,
                                   [](std::size_t i) {
                                     if (i == 37)
                                       throw std::runtime_error("boom");
                                   }),
                  std::runtime_error);
+  }
+}
+
+TEST(Executor, HardwareThreadsCachedAndUsedForNonPositiveRequest) {
+  const int hw = engine::Executor::hardwareThreads();
+  EXPECT_GE(hw, 1);
+  // Cached once per process: repeated calls agree.
+  EXPECT_EQ(hw, engine::Executor::hardwareThreads());
+  engine::Executor def(0), neg(-3);
+  EXPECT_EQ(def.threads(), hw);
+  EXPECT_EQ(neg.threads(), hw);
+}
+
+TEST(Executor, NestedParallelForSharesOnePool) {
+  // A stage-like outer fan-out whose items each fan out again. The inner
+  // loops share the same pool via work-stealing; every (outer, inner)
+  // pair must run exactly once.
+  engine::Executor exec(4);
+  constexpr std::size_t outer = 8, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  exec.parallelFor(outer, [&](std::size_t o) {
+    exec.parallelFor(
+        inner, [&](std::size_t i) { hits[o * inner + i].fetch_add(1); });
+  });
+  for (std::size_t k = 0; k < outer * inner; ++k)
+    EXPECT_EQ(hits[k].load(), 1) << "slot " << k;
+}
+
+TEST(Executor, SubmitRunsTasksAndHelpUntilDrains) {
+  for (const int threads : {1, 4}) {
+    engine::Executor exec(threads);
+    constexpr int n = 100;
+    std::atomic<int> doneCount{0};
+    for (int i = 0; i < n; ++i)
+      exec.submit([&] { doneCount.fetch_add(1); });
+    exec.helpUntil([&] { return doneCount.load() == n; });
+    EXPECT_EQ(doneCount.load(), n);
   }
 }
 
@@ -278,6 +317,112 @@ TEST(Pipeline, DependencyCycleThrows) {
   EXPECT_THROW(pipe.run(exec), std::invalid_argument);
 }
 
+TEST(Pipeline, CycleIsDetectedUpFrontAndNoStageRuns) {
+  // The dispatcher rejects cycles before dispatching anything, even when
+  // the cycle sits downstream of runnable stages and even with a pool.
+  for (const int threads : {1, 4}) {
+    engine::Executor exec(threads);
+    engine::Pipeline pipe;
+    std::atomic<int> ran{0};
+    auto counting = [&](engine::Executor&) {
+      ran.fetch_add(1);
+      return report::Report{};
+    };
+    pipe.add({"root", {}, counting});
+    pipe.add({"a", {"root", "c"}, counting});
+    pipe.add({"b", {"a"}, counting});
+    pipe.add({"c", {"b"}, counting});  // a -> b -> c -> a
+    EXPECT_THROW(pipe.run(exec), std::invalid_argument);
+    EXPECT_EQ(ran.load(), 0) << "threads=" << threads;
+  }
+  // Self-dependency is the smallest cycle.
+  engine::Executor exec(1);
+  engine::Pipeline pipe;
+  pipe.add({"s", {"s"}, [](engine::Executor&) { return report::Report{}; }});
+  EXPECT_THROW(pipe.run(exec), std::invalid_argument);
+}
+
+TEST(Pipeline, ResultsStayInDeclarationOrderWhateverTheCompletionOrder) {
+  // Stages deliberately finish in an order scrambled against declaration
+  // (the last-declared stage has no deps and the cheapest cost hints push
+  // it to complete first in parallel runs); results() must still line up
+  // with declaration and carry start timestamps for every stage.
+  for (const int threads : {1, 4}) {
+    engine::Executor exec(threads);
+    engine::Pipeline pipe;
+    auto noop = [](engine::Executor&) { return report::Report{}; };
+    pipe.add({"first", {}, noop, /*cost=*/1.0});
+    pipe.add({"second", {"first"}, noop, /*cost=*/5.0});
+    pipe.add({"third", {}, noop, /*cost=*/9.0});
+    pipe.add({"fourth", {}, noop, /*cost=*/0.5});
+    pipe.run(exec);
+    const std::vector<engine::StageResult>& rs = pipe.results();
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs[0].name, "first");
+    EXPECT_EQ(rs[1].name, "second");
+    EXPECT_EQ(rs[2].name, "third");
+    EXPECT_EQ(rs[3].name, "fourth");
+    for (const engine::StageResult& r : rs) {
+      EXPECT_GE(r.start, 0.0) << r.name;
+      EXPECT_GE(r.seconds, 0.0) << r.name;
+    }
+    // A dependent can never have started before its dependency started.
+    EXPECT_GE(rs[1].start, rs[0].start);
+  }
+}
+
+TEST(Pipeline, DependentOfFastStageDoesNotWaitForSlowIndependentStage) {
+  // Diamond DAG: source fans out to a slow and a fast branch which join
+  // in a sink. Under the old wave scheduler "dep" (the fast branch's
+  // second hop) could not start until "slow" drained the wave; the
+  // ready-queue dispatcher must start it while "slow" is still running.
+  // Proved by start *ordering*, not wall-clock: "slow" blocks until it
+  // observes "dep" having started (bounded by a generous timeout so a
+  // regression fails rather than hangs).
+  engine::Executor exec(4);
+  engine::Pipeline pipe;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool depStarted = false;
+  bool slowSawDepStart = false;
+  auto noop = [](engine::Executor&) { return report::Report{}; };
+  pipe.add({"source", {}, noop});
+  pipe.add({"slow",
+            {"source"},
+            [&](engine::Executor&) {
+              std::unique_lock<std::mutex> lock(mu);
+              slowSawDepStart = cv.wait_for(
+                  lock, std::chrono::seconds(10), [&] { return depStarted; });
+              return report::Report{};
+            }});
+  pipe.add({"fast", {"source"}, noop});
+  pipe.add({"dep",
+            {"fast"},
+            [&](engine::Executor&) {
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                depStarted = true;
+              }
+              cv.notify_all();
+              return report::Report{};
+            }});
+  pipe.add({"sink", {"slow", "dep"}, noop});
+  pipe.run(exec);
+  EXPECT_TRUE(slowSawDepStart)
+      << "'dep' did not start while the slow independent stage was running "
+         "-- the dispatcher is barrier-scheduling again";
+  // And the recorded timestamps tell the same story.
+  const std::vector<engine::StageResult>& rs = pipe.results();
+  const auto find = [&](const std::string& name) {
+    for (const engine::StageResult& r : rs)
+      if (r.name == name) return r;
+    return engine::StageResult{};
+  };
+  const engine::StageResult slow = find("slow"), dep = find("dep");
+  EXPECT_LT(dep.start, slow.start + slow.seconds)
+      << "'dep' started only after 'slow' finished";
+}
+
 // --- Whole-pipeline equivalences --------------------------------------------
 
 /// Canonical text of a violation set, order-independent (sorted multiset).
@@ -318,7 +463,11 @@ TEST(EngineEquivalence, FlatAndHierarchicalProduceIdenticalViolationSets) {
   }
 }
 
-TEST(EngineEquivalence, ThreadedRunIsByteIdenticalToSerial) {
+TEST(EngineEquivalence, ThreadSweepIsByteIdenticalToSerial) {
+  // The determinism contract over the work-stealing pool: threads ∈
+  // {2, 8} (fewer and more workers than the five pipeline stages) must
+  // reproduce the threads=1 reference byte for byte, in both interaction
+  // modes.
   const tech::Technology t = tech::nmos();
   workload::GeneratedChip chip =
       workload::generateChip(t, {1, 2, 2, 3, true});
@@ -329,21 +478,24 @@ TEST(EngineEquivalence, ThreadedRunIsByteIdenticalToSerial) {
     drc::Options serial;
     serial.hierarchicalInteractions = hierarchical;
     serial.threads = 1;
-    drc::Options threaded = serial;
-    threaded.threads = 4;
-
     drc::Checker c1(chip.lib, chip.top, t, serial);
-    drc::Checker c4(chip.lib, chip.top, t, threaded);
     const std::string t1 = c1.run().text();
-    const std::string t4 = c4.run().text();
-    EXPECT_EQ(t1, t4) << "hierarchical=" << hierarchical;
-
     const drc::InteractionStats& s1 = c1.interactionStats();
-    const drc::InteractionStats& s4 = c4.interactionStats();
-    EXPECT_EQ(s1.candidatePairs, s4.candidatePairs);
-    EXPECT_EQ(s1.distanceChecks, s4.distanceChecks);
-    EXPECT_EQ(s1.connectionChecks, s4.connectionChecks);
-    EXPECT_EQ(s1.perLayerPair, s4.perLayerPair);
+
+    for (const int threads : {2, 8}) {
+      drc::Options threaded = serial;
+      threaded.threads = threads;
+      drc::Checker cn(chip.lib, chip.top, t, threaded);
+      const std::string tn = cn.run().text();
+      EXPECT_EQ(t1, tn) << "hierarchical=" << hierarchical
+                        << " threads=" << threads;
+
+      const drc::InteractionStats& sn = cn.interactionStats();
+      EXPECT_EQ(s1.candidatePairs, sn.candidatePairs);
+      EXPECT_EQ(s1.distanceChecks, sn.distanceChecks);
+      EXPECT_EQ(s1.connectionChecks, sn.connectionChecks);
+      EXPECT_EQ(s1.perLayerPair, sn.perLayerPair);
+    }
   }
 }
 
