@@ -4,8 +4,8 @@
 // worst-case rule, as a mask-level checker must assume). The difference
 // isolates the paper's core design decision from implementation details.
 #include "bench_util.hpp"
-#include "drc/checker.hpp"
 #include "report/scorer.hpp"
+#include "service/workspace.hpp"
 #include "workload/generator.hpp"
 #include "workload/inject.hpp"
 
@@ -34,18 +34,22 @@ void printAblation() {
     plan.floatingNets = 0;
     workload::inject(chip, t, plan, 5);
 
-    drc::Options aware;
-    drc::Options blind;
+    // Both ablation arms as one Workspace batch: same cached view, same
+    // shared netlist, the only difference is the useNetInformation flag.
+    const layout::CellId top = chip.top;
+    Workspace ws(std::move(chip.lib), t);
+    CheckRequest blind = CheckRequest::drc(top);
     blind.useNetInformation = false;
-
-    drc::Checker ca(chip.lib, chip.top, t, aware);
-    drc::Checker cb(chip.lib, chip.top, t, blind);
-    const auto na = ca.generateNetlist();
-    const auto nb = cb.generateNetlist();
-    const std::size_t va =
-        ca.checkInteractions(na).count(report::Category::kSpacing);
-    const std::size_t vb =
-        cb.checkInteractions(nb).count(report::Category::kSpacing);
+    const CheckRequest reqs[] = {CheckRequest::drc(top), blind};
+    const std::vector<CheckResult> results = ws.runBatch(reqs);
+    for (const CheckResult& r : results) {
+      if (!r.ok()) {
+        std::printf("request failed: %s\n", r.error.c_str());
+        return;
+      }
+    }
+    const std::size_t va = results[0].report.count(report::Category::kSpacing);
+    const std::size_t vb = results[1].report.count(report::Category::kSpacing);
     char name[32];
     std::snprintf(name, sizeof name, "2x2/2x3");
     std::printf("%-12s %10d %12zu %12zu %12zu\n", name, decoys, va, vb,

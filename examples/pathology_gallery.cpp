@@ -7,10 +7,9 @@
 #include <cstdio>
 #include <fstream>
 
-#include "baseline/flat_drc.hpp"
 #include "cif/writer.hpp"
-#include "drc/checker.hpp"
 #include "layout/cifio.hpp"
+#include "service/workspace.hpp"
 #include "structured/structured.hpp"
 #include "tech/technology.hpp"
 #include "workload/nmos_cells.hpp"
@@ -25,20 +24,35 @@ struct Gallery {
   const geom::Coord L = t.lambda();
   int shown = 0;
 
-  void show(const char* fig, const char* name, layout::Library& lib,
+  // Takes the library by value: each scenario hands its design over to
+  // the Workspace for good (call with std::move).
+  void show(const char* fig, const char* name, layout::Library lib,
             layout::CellId root, const char* truth) {
-    const report::Report base = baseline::check(lib, root, t);
-    drc::Checker checker(lib, root, t, {});
-    report::Report dic = checker.run();
-    dic.merge(structured::checkImplicitDevices(lib, root, t));
-    dic.merge(structured::checkSelfSufficiency(lib, root, t));
+    // Both checkers through the one service front door: the Workspace
+    // batch runs the mask-level baseline and the DIC pipeline over a
+    // shared hierarchy view of the scenario.
+    Workspace ws(std::move(lib), t);
+    const CheckRequest reqs[] = {CheckRequest::baseline(root),
+                                 CheckRequest::drc(root)};
+    std::vector<CheckResult> results = ws.runBatch(reqs);
+    for (const CheckResult& r : results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s request failed: %s\n",
+                     toString(r.kind).c_str(), r.error.c_str());
+        return;
+      }
+    }
+    const report::Report& base = results[0].report;
+    report::Report dic = std::move(results[1].report);
+    dic.merge(structured::checkImplicitDevices(ws.library(), root, t));
+    dic.merge(structured::checkSelfSufficiency(ws.library(), root, t));
     std::printf("%-8s %-36s baseline:%-5s DIC:%-5s truth: %s\n", fig, name,
                 base.empty() ? "pass" : "FLAG", dic.empty() ? "pass" : "FLAG",
                 truth);
     if (!dic.empty()) std::printf("%s", dic.text().c_str());
 
     const cif::CifFile file = layout::toCif(
-        lib, root, [&](int l) { return t.layer(l).cifName; });
+        ws.library(), root, [&](int l) { return t.layer(l).cifName; });
     char fname[64];
     std::snprintf(fname, sizeof fname, "pathology_%02d.cif", ++shown);
     std::ofstream(fname) << cif::write(file);
@@ -64,7 +78,7 @@ int main() {
     top.elements.push_back(
         layout::makeBox(nm, makeRect(0, 3 * L / 2, 8 * L, 3 * L)));
     const auto root = lib.addCell(std::move(top));
-    g.show("Fig2/15", "butting half-width boxes", lib, root,
+    g.show("Fig2/15", "butting half-width boxes", std::move(lib), root,
            "error (usage rule)");
   }
   {  // Fig. 5a: electrically equivalent boxes close together.
@@ -76,7 +90,7 @@ int main() {
     top.elements.push_back(
         layout::makeBox(nm, makeRect(0, 4 * L, 10 * L, 7 * L), "CLK"));
     const auto root = lib.addCell(std::move(top));
-    g.show("Fig5a", "same-net boxes 1L apart", lib, root,
+    g.show("Fig5a", "same-net boxes 1L apart", std::move(lib), root,
            "ok (baseline flags falsely)");
   }
   {  // Fig. 7: contact patch over a transistor gate.
@@ -91,7 +105,7 @@ int main() {
     top.elements.push_back(
         layout::makeBox(nm, makeRect(-2 * L, -2 * L, 2 * L, 2 * L)));
     const auto root = lib.addCell(std::move(top));
-    g.show("Fig7", "contact over active gate", lib, root,
+    g.show("Fig7", "contact over active gate", std::move(lib), root,
            "error (baseline cannot tell)");
   }
   {  // Fig. 8: accidental transistor.
@@ -102,7 +116,7 @@ int main() {
     top.elements.push_back(
         layout::makeWire(np, {{10 * L, -8 * L}, {10 * L, 8 * L}}, 2 * L));
     const auto root = lib.addCell(std::move(top));
-    g.show("Fig8", "undeclared poly/diff crossing", lib, root,
+    g.show("Fig8", "undeclared poly/diff crossing", std::move(lib), root,
            "error (implied device)");
   }
   {  // Fig. 4-ish sanity: a clean pair of legal boxes.
@@ -113,7 +127,7 @@ int main() {
     top.elements.push_back(
         layout::makeBox(nm, makeRect(0, 6 * L, 10 * L, 9 * L)));
     const auto root = lib.addCell(std::move(top));
-    g.show("control", "two legal boxes 3L apart", lib, root, "ok");
+    g.show("control", "two legal boxes 3L apart", std::move(lib), root, "ok");
   }
 
   std::printf("\nwrote %d CIF files (pathology_XX.cif)\n", g.shown);

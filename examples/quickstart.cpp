@@ -1,15 +1,15 @@
-// Quickstart: build a small NMOS layout with the public API, run the full
-// DIC pipeline (Fig. 10) plus the electrical construction rules, print
-// the report, and write the design to CIF with the 4N/4D extensions.
+// Quickstart: build a small NMOS layout with the public API, submit the
+// full DIC pipeline (Fig. 10) and the electrical construction rules as
+// one dic::Workspace batch, print the report, and write the design to
+// CIF with the 4N/4D extensions.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 #include <fstream>
 
 #include "cif/writer.hpp"
-#include "drc/checker.hpp"
-#include "erc/erc.hpp"
 #include "layout/cifio.hpp"
+#include "service/workspace.hpp"
 #include "structured/structured.hpp"
 #include "tech/technology.hpp"
 #include "workload/nmos_cells.hpp"
@@ -40,14 +40,25 @@ int main() {
       np, {{9 * L, 31 * L}, {15 * L, 31 * L}}, 2 * L));  // the mistake
   const layout::CellId root = lib.addCell(std::move(top));
 
-  // 4. Run the pipeline: elements, symbols, connections, net list,
-  //    interactions -- then the non-geometric rules on the net list.
-  drc::Checker checker(lib, root, t, {});
-  report::Report rep = checker.run();
-  const netlist::Netlist nl = checker.generateNetlist();
-  rep.merge(erc::check(nl, t));
-  rep.merge(structured::checkImplicitDevices(lib, root, t));
+  // 4. One front door for everything: a Workspace owns the library and
+  //    serves DRC and ERC as a batch -- the hierarchy view and the
+  //    extracted netlist are built once and shared between the two.
+  Workspace ws(std::move(lib), t);
+  const CheckRequest reqs[] = {CheckRequest::drc(root),
+                               CheckRequest::ercCheck(root)};
+  std::vector<CheckResult> results = ws.runBatch(reqs);
+  for (const CheckResult& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s request failed: %s\n",
+                   toString(r.kind).c_str(), r.error.c_str());
+      return 2;
+    }
+  }
+  report::Report rep = std::move(results[0].report);
+  rep.merge(results[1].report);
+  rep.merge(structured::checkImplicitDevices(ws.library(), root, t));
 
+  const netlist::Netlist& nl = *results[1].netlist;
   std::printf("\nextracted %zu nets, %zu devices\n", nl.nets.size(),
               nl.devices.size());
   for (const netlist::Net& n : nl.nets) {
@@ -61,7 +72,7 @@ int main() {
 
   // 5. Write the layout to CIF (with net and device-type extensions).
   const cif::CifFile file = layout::toCif(
-      lib, root, [&](int l) { return t.layer(l).cifName; });
+      ws.library(), root, [&](int l) { return t.layer(l).cifName; });
   std::ofstream("quickstart.cif") << cif::write(file);
   std::printf("\nwrote quickstart.cif\n");
   return rep.empty() ? 0 : 1;

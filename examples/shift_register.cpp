@@ -7,9 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "drc/checker.hpp"
-#include "erc/erc.hpp"
-#include "netlist/netlist.hpp"
+#include "service/workspace.hpp"
 #include "tech/technology.hpp"
 #include "workload/nmos_cells.hpp"
 
@@ -76,11 +74,22 @@ int main(int argc, char** argv) {
       rows, stages, st.cells, st.hierarchicalElements, st.flatElements,
       st.deviceInstancesFlat, st.maxDepth);
 
-  // DRC + ERC.
-  drc::Checker checker(lib, root, t, {});
-  report::Report rep = checker.run();
-  const netlist::Netlist nl = checker.generateNetlist();
-  rep.merge(erc::check(nl, t));
+  // DRC + ERC as one Workspace batch: the pipeline and the electrical
+  // rules share the hierarchy view and the extracted netlist.
+  Workspace ws(std::move(lib), t);
+  const CheckRequest reqs[] = {CheckRequest::drc(root),
+                               CheckRequest::ercCheck(root)};
+  std::vector<CheckResult> results = ws.runBatch(reqs);
+  for (const CheckResult& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s request failed: %s\n",
+                   toString(r.kind).c_str(), r.error.c_str());
+      return 2;
+    }
+  }
+  report::Report rep = std::move(results[0].report);
+  rep.merge(results[1].report);
+  const netlist::Netlist& nl = *results[1].netlist;
   std::printf("\nDRC+ERC: %zu violation(s)\n%s", rep.count(),
               rep.text().c_str());
 

@@ -69,12 +69,17 @@ bool setsOverlapOrTouch(const std::vector<Rect>& a,
 report::Report check(const layout::Library& lib, layout::CellId root,
                      const tech::Technology& tech, const Options& opts,
                      Stats* stats) {
+  engine::HierarchyView view(lib, root);
+  return check(view, tech, opts, stats);
+}
+
+report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
+                     const Options& opts, Stats* stats) {
   report::Report rep;
 
   // Full instantiation: all topology and device identity discarded. The
   // flat view comes from the shared engine; only mask-level geometry
   // survives past this point.
-  engine::HierarchyView view(lib, root);
   const std::vector<layout::FlatElement>& fe =
       view.flat(/*includeDeviceGeometry=*/true).elements;
   if (stats) stats->flatShapes = fe.size();

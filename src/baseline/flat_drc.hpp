@@ -19,6 +19,10 @@
 #include "report/violation.hpp"
 #include "tech/technology.hpp"
 
+namespace dic::engine {
+class HierarchyView;
+}  // namespace dic::engine
+
 namespace dic::baseline {
 
 struct Options {
@@ -43,5 +47,12 @@ struct Stats {
 report::Report check(const layout::Library& lib, layout::CellId root,
                      const tech::Technology& tech, const Options& opts = {},
                      Stats* stats = nullptr);
+
+/// Same, on a shared engine::HierarchyView: the flat
+/// (device-geometry-included) view and its grid indexes come from the
+/// view's caches instead of being rebuilt, which is how the Workspace
+/// amortizes repeated baseline runs.
+report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
+                     const Options& opts = {}, Stats* stats = nullptr);
 
 }  // namespace dic::baseline

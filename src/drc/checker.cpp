@@ -9,7 +9,16 @@ namespace dic::drc {
 
 Checker::Checker(const layout::Library& lib, layout::CellId root,
                  const tech::Technology& tech, Options options)
-    : lib_(lib), root_(root), tech_(tech), opt_(options), view_(lib, root) {}
+    : Checker(std::make_shared<engine::HierarchyView>(lib, root), tech,
+              std::move(options)) {}
+
+Checker::Checker(std::shared_ptr<engine::HierarchyView> view,
+                 const tech::Technology& tech, Options options)
+    : lib_(view->library()),
+      root_(view->root()),
+      tech_(tech),
+      opt_(std::move(options)),
+      view_(std::move(view)) {}
 
 void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
                                report::Violation v) {
@@ -17,7 +26,7 @@ void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
     rep.add(std::move(v));
     return;
   }
-  for (const engine::Placement& p : view_.placementsOf(cell)) {
+  for (const engine::Placement& p : view_->placementsOf(cell)) {
     report::Violation inst = v;
     inst.where = p.transform.apply(v.where);
     if (!p.path.empty()) inst.cell = p.path + " (" + v.cell + ")";
@@ -27,13 +36,19 @@ void Checker::emitInstantiated(report::Report& rep, layout::CellId cell,
 
 report::Report Checker::run() {
   engine::Executor exec(opt_.threads);
+  return run(exec);
+}
+
+report::Report Checker::run(engine::Executor& exec) {
   engine::Pipeline pipe;
-  auto nl = std::make_shared<netlist::Netlist>();
+  nl_ = nullptr;
   // Cost hints mirror the Fig. 10 breakdown (interactions and netlist
   // generation dominate; element/symbol checks are cheap, once per
   // definition). The ready-queue dispatcher starts costlier ready stages
   // first, so netlist generation — the sole dependency of the dominant
-  // interaction stage — is never stuck behind the cheap checks.
+  // interaction stage — is never stuck behind the cheap checks. (A
+  // supplier serving a cached netlist finishes immediately; the hint
+  // stays at the extraction cost because a hit cannot be known here.)
   pipe.add({"elements",
             {},
             [this](engine::Executor& e) { return checkElementsImpl(e); },
@@ -50,15 +65,18 @@ report::Report Checker::run() {
             /*cost=*/2.0});
   pipe.add({"netlist",
             {},
-            [this, nl](engine::Executor&) {
-              *nl = generateNetlist();
+            [this](engine::Executor& e) {
+              nl_ = supplier_ ? supplier_(e)
+                              : std::make_shared<const netlist::Netlist>(
+                                    netlist::extract(*view_, tech_, e,
+                                                     opt_.extract));
               return report::Report{};
             },
             /*cost=*/6.0});
   pipe.add({"interactions",
             {"netlist"},
-            [this, nl](engine::Executor& e) {
-              return checkInteractionsImpl(*nl, e);
+            [this](engine::Executor& e) {
+              return checkInteractionsImpl(*nl_, e);
             },
             /*cost=*/10.0});
   // Timings are recorded on the failure path too: a caller that catches a
@@ -86,8 +104,8 @@ report::Report Checker::run() {
 report::Report Checker::perCellStage(
     engine::Executor& exec,
     const std::function<void(layout::CellId, report::Report&)>& fn) {
-  const std::vector<layout::CellId>& cells = view_.cells();
-  view_.placements();  // built once, read-only for the workers below
+  const std::vector<layout::CellId>& cells = view_->cells();
+  view_->placements();  // built once, read-only for the workers below
   std::vector<report::Report> reps(cells.size());
   exec.parallelFor(cells.size(),
                    [&](std::size_t k) { fn(cells[k], reps[k]); });
@@ -148,7 +166,8 @@ report::Report Checker::checkConnectionsImpl(engine::Executor& exec) {
 }
 
 netlist::Netlist Checker::generateNetlist() {
-  return netlist::extract(view_, tech_);
+  engine::Executor exec(opt_.threads);
+  return netlist::extract(*view_, tech_, exec, opt_.extract);
 }
 
 report::Report Checker::checkInteractions(const netlist::Netlist& nl) {
@@ -158,7 +177,7 @@ report::Report Checker::checkInteractions(const netlist::Netlist& nl) {
 
 report::Report Checker::checkInteractionsImpl(const netlist::Netlist& nl,
                                               engine::Executor& exec) {
-  InteractionContext ctx{view_,       tech_,  nl,
+  InteractionContext ctx{*view_,      tech_,   nl,
                          opt_.metric, istats_, opt_.useNetInformation};
   return opt_.hierarchicalInteractions
              ? checkInteractionsHierarchical(ctx, exec)

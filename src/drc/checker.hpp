@@ -21,7 +21,9 @@
 /// work-stealing pool with deterministic merging (threads=N output is
 /// byte-identical to threads=1; see docs/engine.md).
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "engine/executor.hpp"
@@ -63,6 +65,11 @@ struct Options {
   /// The report text is byte-identical for every value (slot-ordered
   /// merging; see docs/engine.md for the determinism contract).
   int threads{1};
+  /// Options for the pipeline's netlist-generation stage (label merging,
+  /// global-name prefixes). Requests that share a hierarchy view and
+  /// equal extract options can share the extracted netlist (the
+  /// dic::Workspace cache does exactly that).
+  netlist::ExtractOptions extract{};
 };
 
 /// Wall-clock per stage, seconds (Fig. 10 breakdown bench). With
@@ -111,9 +118,24 @@ class Checker {
   Checker(const layout::Library& lib, layout::CellId root,
           const tech::Technology& tech, Options options = {});
 
+  /// Share an existing hierarchy view (and everything it has lazily
+  /// built: placements, flat views, grid indexes) instead of rebuilding
+  /// from scratch -- the Workspace's per-(root, revision) cache hands its
+  /// views to checkers through this constructor. `view` must be non-null
+  /// and its library must outlive the checker.
+  Checker(std::shared_ptr<engine::HierarchyView> view,
+          const tech::Technology& tech, Options options = {});
+
   /// Run the complete pipeline through the stage runner; returns all
-  /// violations merged in stage-declaration order.
+  /// violations merged in stage-declaration order. Creates a pool of
+  /// Options::threads workers for this run.
   report::Report run();
+
+  /// Same, on a caller-owned executor (a Workspace's persistent pool, or
+  /// a batch dispatcher's shared workers). Options::threads is ignored;
+  /// `exec` sizes all parallelism. Results are byte-identical to run()
+  /// for every pool size.
+  report::Report run(engine::Executor& exec);
 
   // Individual stages (callable independently; run() declares them as
   // pipeline stages with the same semantics).
@@ -136,8 +158,29 @@ class Checker {
 
   const InteractionStats& interactionStats() const { return istats_; }
 
+  /// Route the pipeline's netlist stage through a caller-owned producer
+  /// instead of extracting directly. The Workspace uses this to funnel
+  /// the stage through its per-view netlist cache: on a cache hit the
+  /// stage is a handoff, and on a miss a concurrent request needing the
+  /// same netlist blocks on the cache mutex and shares the one
+  /// extraction instead of duplicating it. The supplier runs inside the
+  /// netlist stage (on the pipeline's executor) and must return a
+  /// netlist equivalent to extracting this checker's view with
+  /// Options::extract -- extraction is deterministic, so the report is
+  /// byte-identical either way.
+  void setNetlistSupplier(
+      std::function<std::shared_ptr<const netlist::Netlist>(
+          engine::Executor&)> supplier) {
+    supplier_ = std::move(supplier);
+  }
+
+  /// The netlist generated (or reused) by the last run(); null before the
+  /// netlist stage has completed. Callers cache this alongside the view
+  /// so later requests skip extraction.
+  std::shared_ptr<const netlist::Netlist> lastNetlist() const { return nl_; }
+
   /// The shared hierarchy view all stages run on.
-  engine::HierarchyView& view() { return view_; }
+  engine::HierarchyView& view() { return *view_; }
 
  private:
   report::Report checkElementsImpl(engine::Executor& exec);
@@ -160,7 +203,10 @@ class Checker {
   layout::CellId root_;
   const tech::Technology& tech_;
   Options opt_;
-  engine::HierarchyView view_;
+  std::shared_ptr<engine::HierarchyView> view_;  ///< never null
+  std::function<std::shared_ptr<const netlist::Netlist>(engine::Executor&)>
+      supplier_;
+  std::shared_ptr<const netlist::Netlist> nl_;
   StageTimes times_;
   std::vector<engine::StageResult> stageResults_;
   InteractionStats istats_;

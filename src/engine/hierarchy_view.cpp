@@ -79,15 +79,15 @@ void HierarchyView::ensurePlacements() const {
     cells_.push_back(id);
   });
   // Warm the library's recursive bbox cache while still single-threaded:
-  // cellBBox() fills a lazy map, and the root's bbox transitively caches
-  // every reachable cell, making later concurrent lookups read-only.
+  // the root's bbox transitively caches every reachable cell, so workers
+  // hit the cache instead of contending on its mutex to recompute.
   lib_.cellBBox(root_);
   placementsReady_.store(true, std::memory_order_release);
 }
 
 std::vector<ChildRef> HierarchyView::children(layout::CellId id) const {
   // Warm the library's bbox cache (no-op after the first call) so the
-  // unlocked cellBBox lookups below are read-only even from workers.
+  // cellBBox lookups below are cheap cache hits even from workers.
   ensurePlacements();
   const layout::Cell& c = lib_.cell(id);
   std::vector<ChildRef> out;

@@ -1,10 +1,46 @@
 #include "layout/library.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace dic::layout {
+
+Library::Library(const Library& o) {
+  std::lock_guard<std::mutex> lock(o.bboxMu_);
+  cells_ = o.cells_;
+  byName_ = o.byName_;
+  revision_ = o.revision_;
+  bboxCache_ = o.bboxCache_;
+}
+
+Library::Library(Library&& o) noexcept {
+  std::lock_guard<std::mutex> lock(o.bboxMu_);
+  cells_ = std::move(o.cells_);
+  byName_ = std::move(o.byName_);
+  revision_ = o.revision_;
+  bboxCache_ = std::move(o.bboxCache_);
+}
+
+Library& Library::operator=(const Library& o) {
+  if (this == &o) return *this;
+  Library tmp(o);
+  return *this = std::move(tmp);
+}
+
+Library& Library::operator=(Library&& o) noexcept {
+  if (this == &o) return *this;
+  std::scoped_lock lock(bboxMu_, o.bboxMu_);
+  cells_ = std::move(o.cells_);
+  byName_ = std::move(o.byName_);
+  // The object's content changed wholesale: advance past both histories so
+  // no revision ever seen on either object can alias the new content.
+  revision_ = std::max(revision_, o.revision_) + 1;
+  bboxCache_ = std::move(o.bboxCache_);
+  return *this;
+}
 
 CellId Library::addCell(Cell cell) {
   if (byName_.count(cell.name))
@@ -23,14 +59,21 @@ std::optional<CellId> Library::findCell(const std::string& name) const {
 }
 
 geom::Rect Library::cellBBox(CellId id) const {
-  auto it = bboxCache_.find(id);
-  if (it != bboxCache_.end()) return it->second;
+  // The lock brackets only the map accesses, never the recursive descent,
+  // so concurrent cold-cache lookups from parallel workers are safe (two
+  // workers may compute the same bbox; both insert the identical value).
+  {
+    std::lock_guard<std::mutex> lock(bboxMu_);
+    auto it = bboxCache_.find(id);
+    if (it != bboxCache_.end()) return it->second;
+  }
   const Cell& c = cells_.at(id);
   geom::Rect b{{0, 0}, {0, 0}};
   for (const Element& e : c.elements) b = geom::bound(b, e.bbox());
   for (const Instance& inst : c.instances)
     b = geom::bound(b, inst.transform.apply(cellBBox(inst.cell)));
-  bboxCache_[id] = b;
+  std::lock_guard<std::mutex> lock(bboxMu_);
+  bboxCache_.emplace(id, b);
   return b;
 }
 

@@ -4,8 +4,10 @@
 /// Mirrors the paper's Fig. 9 structure -- functional blocks, subblocks,
 /// primitive device symbols, and interconnect at every level.
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,20 +69,53 @@ struct FlatDevice {
 
 class Library {
  public:
-  /// Create a cell; name must be unique.
+  Library() = default;
+  // The bbox-cache mutex is neither copyable nor movable, so the special
+  // members are spelled out: content transfers, each object keeps its own
+  // guard. Copies inherit the source's revision (they describe the same
+  // geometry); the cache is copied too, it is valid for equal content.
+  Library(const Library& o);
+  Library(Library&& o) noexcept;
+  Library& operator=(const Library& o);
+  Library& operator=(Library&& o) noexcept;
+
+  /// Create a cell; name must be unique. Bumps revision().
   CellId addCell(Cell cell);
 
   const Cell& cell(CellId id) const { return cells_.at(id); }
-  Cell& cell(CellId id) { return cells_.at(id); }
+  /// Mutable cell access. Handing out a mutable reference counts as a
+  /// mutation: the revision is bumped and the bbox cache dropped
+  /// conservatively, so persistent caches keyed by revision() (the
+  /// Workspace view cache) self-invalidate even if the caller only might
+  /// have edited the cell.
+  Cell& cell(CellId id) {
+    invalidateCaches();
+    return cells_.at(id);
+  }
   std::size_t cellCount() const { return cells_.size(); }
+
+  /// Monotonic mutation counter: bumped by addCell, mutable cell(), and
+  /// invalidateCaches. Two reads returning the same value bracket a span
+  /// in which the library was not structurally modified -- the key
+  /// persistent caches (per-(root, revision) hierarchy views) rely on.
+  std::uint64_t revision() const { return revision_; }
 
   std::optional<CellId> findCell(const std::string& name) const;
 
-  /// Recursive bounding box of a cell (cached; invalidated on addCell /
-  /// mutation via invalidateCaches()).
+  /// Recursive bounding box of a cell. Cached under an internal mutex, so
+  /// concurrent lookups from parallel workers (per-cell fan-outs,
+  /// windowed traversals) are safe even on a cold cache; invalidated on
+  /// addCell / mutation via invalidateCaches().
   geom::Rect cellBBox(CellId id) const;
 
-  void invalidateCaches() const { bboxCache_.clear(); }
+  /// Drop derived caches and bump revision(). Call after mutating cell
+  /// contents through a retained reference (mutable cell() does it for
+  /// you at access time).
+  void invalidateCaches() {
+    ++revision_;
+    std::lock_guard<std::mutex> lock(bboxMu_);
+    bboxCache_.clear();
+  }
 
   /// Depth-first visit of each cell reachable from root, once.
   void forEachCellOnce(CellId root,
@@ -118,6 +153,8 @@ class Library {
 
   std::vector<Cell> cells_;
   std::map<std::string, CellId> byName_;
+  std::uint64_t revision_{0};
+  mutable std::mutex bboxMu_;  ///< guards bboxCache_ only
   mutable std::map<CellId, geom::Rect> bboxCache_;
 };
 

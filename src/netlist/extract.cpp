@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <map>
 
+#include "engine/executor.hpp"
 #include "engine/hierarchy_view.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/unionfind.hpp"
@@ -28,8 +29,18 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
 
 Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
                 const ExtractOptions& opts) {
+  engine::Executor serial(1);
+  return extract(view, tech, serial, opts);
+}
+
+Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
+                engine::Executor& exec, const ExtractOptions& opts) {
   Netlist out;
 
+  // Build the flat view, spatial indexes, and port index up front on the
+  // calling thread, so the fan-outs below start against read-only caches
+  // instead of queueing every worker on the first lazy build.
+  view.prepare(false);
   const engine::HierarchyView::Flat& flat = view.flat(false);
   const std::vector<layout::FlatElement>& elements = flat.elements;
   const std::vector<layout::FlatDevice>& devices = flat.devices;
@@ -39,70 +50,83 @@ Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
   // distinct global label.
   const std::size_t ne = elements.size();
   const std::vector<engine::HierarchyView::PortRef>& portNodes = view.ports();
+  const std::size_t np = portNodes.size();
   std::map<std::string, std::size_t> labelNode;
   if (opts.mergeByLabel) {
     for (const auto& fe : elements)
       if (!fe.element.net.empty() && opts.isGlobalLabel(fe.element.net) &&
           !labelNode.count(fe.element.net))
-        labelNode.emplace(fe.element.net,
-                          ne + portNodes.size() + labelNode.size());
+        labelNode.emplace(fe.element.net, ne + np + labelNode.size());
   }
-  UnionFind uf(ne + portNodes.size() + labelNode.size());
+  UnionFind uf(ne + np + labelNode.size());
+
+  // The connectivity probes below are the netlist stage's critical path
+  // (skeleton construction, grid queries, region/port touch tests). Each
+  // fan-out writes only its own index's slot; the union-find itself is
+  // not thread-safe, so the collected edges replay serially afterwards in
+  // index order. Net numbering depends only on the final partition (ids
+  // are assigned in first-encounter node order when nets are built), so
+  // the result is byte-identical to serial for any pool size.
 
   // Precompute skeletons (bboxes come cached from the view).
   std::vector<geom::Skeleton> skels(ne);
-  for (std::size_t i = 0; i < ne; ++i) {
+  exec.parallelFor(ne, [&](std::size_t i) {
     const layout::Element& e = elements[i].element;
     skels[i] = e.skeleton(tech.layer(e.layer).minWidth);
-  }
+  });
 
   // Element-element connections via the engine's per-layer indexes. The
   // layer equality re-check guards against negative layer ids, which the
   // view's candidate API treats as the all-layers sentinel.
-  for (std::size_t i = 0; i < ne; ++i) {
+  std::vector<std::vector<std::size_t>> elemEdges(ne);
+  exec.parallelFor(ne, [&](std::size_t i) {
     for (std::size_t j :
          view.flatCandidates(false, elements[i].element.layer, bboxes[i])) {
       if (j <= i) continue;
       if (elements[j].element.layer != elements[i].element.layer) continue;
       if (!geom::closedTouch(bboxes[i], bboxes[j])) continue;
-      if (geom::skeletonsConnected(skels[i], skels[j])) uf.unite(i, j);
+      if (geom::skeletonsConnected(skels[i], skels[j]))
+        elemEdges[i].push_back(j);
     }
-  }
+  });
+  for (std::size_t i = 0; i < ne; ++i)
+    for (std::size_t j : elemEdges[i]) uf.unite(i, j);
 
-  // Element-port and port-port connections.
-  for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
-    const std::size_t d = portNodes[pn].device;
-    const std::size_t p = portNodes[pn].port;
-    const layout::Port& port = devices[d].ports[p];
-    const std::size_t node = ne + pn;
-    for (std::size_t i : view.flatCandidates(false, port.layer, port.at)) {
-      if (elements[i].element.layer != port.layer) continue;
-      if (elementTouchesPort(elements[i].element, port.at)) uf.unite(node, i);
-    }
-    // Internal groups connect ports of the same device.
-    for (std::size_t qn = pn + 1; qn < portNodes.size(); ++qn) {
-      if (portNodes[qn].device != d) break;  // ports are grouped by device
-      const layout::Port& port2 = devices[d].ports[portNodes[qn].port];
-      if (port.internalGroup >= 0 && port.internalGroup == port2.internalGroup)
-        uf.unite(node, ne + qn);
-      // Abutting ports on the same layer short directly (butting devices).
-      if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
-        uf.unite(node, ne + qn);
-    }
-  }
-  // Port-port across devices (abutting device terminals).
-  for (std::size_t pn = 0; pn < portNodes.size(); ++pn) {
+  // Element-port and port-port connections: probe in parallel, unite
+  // serially. portEdges[pn] holds element nodes (< ne) touching the port
+  // and same/cross-device port nodes (>= ne) shorted to it.
+  std::vector<std::vector<std::size_t>> portEdges(np);
+  exec.parallelFor(np, [&](std::size_t pn) {
     const std::size_t d = portNodes[pn].device;
     const layout::Port& port = devices[d].ports[portNodes[pn].port];
+    for (std::size_t i : view.flatCandidates(false, port.layer, port.at)) {
+      if (elements[i].element.layer != port.layer) continue;
+      if (elementTouchesPort(elements[i].element, port.at))
+        portEdges[pn].push_back(i);
+    }
+    // Internal groups connect ports of the same device.
+    for (std::size_t qn = pn + 1; qn < np; ++qn) {
+      if (portNodes[qn].device != d) break;  // ports are grouped by device
+      const layout::Port& port2 = devices[d].ports[portNodes[qn].port];
+      if ((port.internalGroup >= 0 &&
+           port.internalGroup == port2.internalGroup) ||
+          // Abutting ports on the same layer short directly (butting
+          // devices).
+          (port.layer == port2.layer && geom::closedTouch(port.at, port2.at)))
+        portEdges[pn].push_back(ne + qn);
+    }
+    // Port-port across devices (abutting device terminals).
     for (std::size_t qn : view.portCandidates(port.at, 1)) {
       if (qn <= pn) continue;
       const std::size_t d2 = portNodes[qn].device;
       if (d2 == d) continue;
       const layout::Port& port2 = devices[d2].ports[portNodes[qn].port];
       if (port.layer == port2.layer && geom::closedTouch(port.at, port2.at))
-        uf.unite(ne + pn, ne + qn);
+        portEdges[pn].push_back(ne + qn);
     }
-  }
+  });
+  for (std::size_t pn = 0; pn < np; ++pn)
+    for (std::size_t other : portEdges[pn]) uf.unite(ne + pn, other);
 
   // Global label merging.
   if (opts.mergeByLabel) {

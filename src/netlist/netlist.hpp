@@ -13,6 +13,7 @@
 #include "tech/technology.hpp"
 
 namespace dic::engine {
+class Executor;
 class HierarchyView;
 }  // namespace dic::engine
 
@@ -84,6 +85,11 @@ struct ExtractOptions {
       if (label.rfind(p, 0) == 0) return true;
     return false;
   }
+
+  /// Option equality gates netlist reuse: the Workspace caches one
+  /// extraction per hierarchy view and shares it only across requests
+  /// whose options compare equal.
+  bool operator==(const ExtractOptions&) const = default;
 };
 
 /// Extract the netlist below `root`.
@@ -105,6 +111,15 @@ Netlist extract(const layout::Library& lib, layout::CellId root,
 /// free and the flatten work is done once.
 Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
                 const ExtractOptions& opts = {});
+
+/// Same, fanning the skeleton builds and connectivity probes (the
+/// critical path at larger chips) across `exec`'s worker pool. The
+/// candidate probes are pure reads collected into per-index slots and the
+/// union-find unions replay serially in index order, so the extracted
+/// netlist -- including net numbering -- is byte-identical to the serial
+/// overloads for every pool size.
+Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
+                engine::Executor& exec, const ExtractOptions& opts = {});
 
 /// Compare an extracted netlist against a golden device/connection list
 /// ("check the net list against an input net list for consistency").

@@ -1,0 +1,221 @@
+#include "service/workspace.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "engine/pipeline.hpp"
+
+namespace dic {
+
+namespace {
+
+/// Relative stage-cost hints for batch dispatch, mirroring the Fig. 10
+/// breakdown: full DIC pipelines dominate, the flat baseline's pair sweep
+/// is next, extraction alone is mid-weight, ERC is a netlist walk.
+double costHint(CheckKind k) {
+  switch (k) {
+    case CheckKind::kHierarchicalDrc: return 10.0;
+    case CheckKind::kFlatBaselineDrc: return 6.0;
+    case CheckKind::kNetlistOnly: return 4.0;
+    case CheckKind::kErc: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::string toString(CheckKind k) {
+  switch (k) {
+    case CheckKind::kHierarchicalDrc: return "drc";
+    case CheckKind::kFlatBaselineDrc: return "baseline";
+    case CheckKind::kErc: return "erc";
+    case CheckKind::kNetlistOnly: return "netlist";
+  }
+  return "?";
+}
+
+CheckRequest CheckRequest::drc(layout::CellId root) {
+  CheckRequest r;
+  r.kind = CheckKind::kHierarchicalDrc;
+  r.root = root;
+  return r;
+}
+
+CheckRequest CheckRequest::baseline(layout::CellId root) {
+  CheckRequest r;
+  r.kind = CheckKind::kFlatBaselineDrc;
+  r.root = root;
+  r.metric = geom::Metric::kOrthogonal;
+  return r;
+}
+
+CheckRequest CheckRequest::ercCheck(layout::CellId root) {
+  CheckRequest r;
+  r.kind = CheckKind::kErc;
+  r.root = root;
+  return r;
+}
+
+CheckRequest CheckRequest::netlistOnly(layout::CellId root) {
+  CheckRequest r;
+  r.kind = CheckKind::kNetlistOnly;
+  r.root = root;
+  return r;
+}
+
+Workspace::Workspace(layout::Library lib, tech::Technology tech,
+                     WorkspaceOptions options)
+    : lib_(std::move(lib)), tech_(std::move(tech)), exec_(options.threads) {}
+
+std::shared_ptr<Workspace::Entry> Workspace::acquire(layout::CellId root,
+                                                     bool& hit) {
+  std::lock_guard<std::mutex> lock(cacheMu_);
+  std::shared_ptr<Entry>& slot = cache_[root];
+  if (slot && slot->revision == lib_.revision()) {
+    hit = true;
+    ++stats_.viewHits;
+    return slot;
+  }
+  if (slot) ++stats_.viewEvictions;
+  slot = std::make_shared<Entry>();
+  slot->revision = lib_.revision();
+  slot->view = std::make_shared<engine::HierarchyView>(lib_, root);
+  ++stats_.viewMisses;
+  hit = false;
+  return slot;
+}
+
+std::shared_ptr<engine::HierarchyView> Workspace::view(layout::CellId root) {
+  bool hit = false;
+  return acquire(root, hit)->view;
+}
+
+std::shared_ptr<const netlist::Netlist> Workspace::netlistFor(
+    Entry& e, const netlist::ExtractOptions& opts, engine::Executor& exec,
+    bool& hit) {
+  // nlMu is held across the extraction on purpose: a second request for
+  // the same netlist blocks and then shares the result instead of
+  // duplicating the critical-path work.
+  std::lock_guard<std::mutex> lock(e.nlMu);
+  if (e.netlist && e.nlOpts == opts) {
+    hit = true;
+    std::lock_guard<std::mutex> slock(cacheMu_);
+    ++stats_.netlistHits;
+    return e.netlist;
+  }
+  e.netlist = std::make_shared<const netlist::Netlist>(
+      netlist::extract(*e.view, tech_, exec, opts));
+  e.nlOpts = opts;
+  hit = false;
+  return e.netlist;
+}
+
+CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
+  CheckResult r;
+  r.kind = req.kind;
+  r.root = req.root;
+  r.tag = req.tag;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    bool viewHit = false;
+    const std::shared_ptr<Entry> entry = acquire(req.root, viewHit);
+    r.viewCacheHit = viewHit;
+    r.revision = entry->revision;
+
+    switch (req.kind) {
+      case CheckKind::kHierarchicalDrc: {
+        drc::Options o;
+        o.metric = req.metric;
+        o.checkDevices = req.checkDevices;
+        o.hierarchicalInteractions = req.hierarchicalInteractions;
+        o.useNetInformation = req.useNetInformation;
+        o.instantiateViolations = req.instantiateViolations;
+        o.extract = req.extract;
+        drc::Checker checker(entry->view, tech_, o);
+        // The pipeline's netlist stage goes through the per-view cache:
+        // on a hit it is a handoff; on a miss netlistFor extracts while
+        // holding the entry's netlist mutex, so a concurrent request for
+        // the same netlist blocks and shares the one extraction instead
+        // of duplicating the critical-path work.
+        bool netlistHit = false;
+        checker.setNetlistSupplier(
+            [this, entry, &req, &netlistHit](engine::Executor& e) {
+              return netlistFor(*entry, req.extract, e, netlistHit);
+            });
+        r.report = checker.run(exec);
+        r.netlistCacheHit = netlistHit;
+        r.stageTimes = checker.stageTimes();
+        r.stageResults = checker.stageResults();
+        r.interactionStats = checker.interactionStats();
+        r.netlist = checker.lastNetlist();
+        break;
+      }
+      case CheckKind::kFlatBaselineDrc: {
+        baseline::Options o;
+        o.metric = req.metric;
+        o.checkWidth = req.baselineWidth;
+        o.checkSpacing = req.baselineSpacing;
+        o.checkContacts = req.baselineContacts;
+        r.report = baseline::check(*entry->view, tech_, o, &r.baselineStats);
+        break;
+      }
+      case CheckKind::kErc: {
+        r.netlist = netlistFor(*entry, req.extract, exec, r.netlistCacheHit);
+        r.report = erc::check(*r.netlist, tech_, req.erc);
+        break;
+      }
+      case CheckKind::kNetlistOnly: {
+        r.netlist = netlistFor(*entry, req.extract, exec, r.netlistCacheHit);
+        break;
+      }
+    }
+  } catch (const std::exception& ex) {
+    r.error = ex.what();
+  } catch (...) {
+    r.error = "unknown failure";
+  }
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+CheckResult Workspace::run(const CheckRequest& req) {
+  if (req.threads > 0) {
+    engine::Executor dedicated(req.threads);
+    return serve(req, dedicated);
+  }
+  return serve(req, exec_);
+}
+
+std::vector<CheckResult> Workspace::runBatch(
+    std::span<const CheckRequest> reqs) {
+  std::vector<CheckResult> out(reqs.size());
+  engine::Pipeline pipe;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Independent stages (no deps): the ready-queue dispatcher starts the
+    // costliest requests first and overlaps the rest; each stage writes
+    // only its own slot, so `out` is in request order whatever the
+    // schedule was. serve() never throws, so one bad request cannot abort
+    // the batch.
+    pipe.add({"req" + std::to_string(i) + ":" + toString(reqs[i].kind),
+              {},
+              [this, &out, reqs, i](engine::Executor& e) {
+                out[i] = serve(reqs[i], e);
+                return report::Report{};
+              },
+              costHint(reqs[i].kind)});
+  }
+  pipe.run(exec_);
+  return out;
+}
+
+Workspace::CacheStats Workspace::cacheStats() const {
+  std::lock_guard<std::mutex> lock(cacheMu_);
+  CacheStats s = stats_;
+  s.cachedViews = cache_.size();
+  return s;
+}
+
+}  // namespace dic

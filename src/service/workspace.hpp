@@ -1,0 +1,245 @@
+#pragma once
+/// \file workspace.hpp
+/// The unified check-service front door.
+///
+/// The paper's thesis is that DRC, net-list generation, and electrical
+/// construction rules "should appropriately be handled by a single
+/// program". `dic::Workspace` is that single program's API: it owns the
+/// layout library and technology, keeps one persistent worker pool, and
+/// serves every kind of check through one value-typed request/result
+/// pair. Between requests it caches `engine::HierarchyView`s keyed by
+/// (root cell, library revision) -- placements, flat views, and grid
+/// indexes built for one request are reused by the next, and a netlist
+/// extracted for one request is shared with any later request on the
+/// same view with equal extract options. Any library mutation bumps
+/// `layout::Library::revision()`, so stale views self-invalidate and the
+/// next request transparently rebuilds.
+///
+/// Batches go through the same engine that runs the DIC pipeline:
+/// `runBatch` declares each request as a cost-hinted stage on the
+/// ready-queue dispatcher, so independent requests overlap on the shared
+/// pool while results stay byte-identical to running the requests one by
+/// one (slot-per-request, the engine's determinism contract; see
+/// docs/workspace.md and docs/engine.md).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/flat_drc.hpp"
+#include "drc/checker.hpp"
+#include "engine/executor.hpp"
+#include "engine/hierarchy_view.hpp"
+#include "erc/erc.hpp"
+#include "layout/library.hpp"
+#include "netlist/netlist.hpp"
+#include "report/violation.hpp"
+#include "tech/technology.hpp"
+
+namespace dic {
+
+/// What a CheckRequest asks the service to run.
+enum class CheckKind : std::uint8_t {
+  kHierarchicalDrc,  ///< the full DIC pipeline (Fig. 10)
+  kFlatBaselineDrc,  ///< the mask-level reference checker
+  kErc,              ///< electrical construction rules on the netlist
+  kNetlistOnly,      ///< netlist extraction, no checking
+};
+
+/// Human-readable kind name ("drc", "baseline", "erc", "netlist").
+std::string toString(CheckKind k);
+
+/// One unit of service traffic: which check, on which root, with which
+/// knobs. Value-typed and self-contained so requests can be queued,
+/// logged, and replayed.
+struct CheckRequest {
+  /// The check to run.
+  CheckKind kind{CheckKind::kHierarchicalDrc};
+  /// Root cell of the hierarchy to check.
+  layout::CellId root{0};
+  /// Distance metric for geometric checks. DIC's reference is Euclidean;
+  /// the mask-level baseline traditionally measures orthogonally (the
+  /// baseline() factory sets that default).
+  geom::Metric metric{geom::Metric::kEuclidean};
+
+  // -- hierarchical-DRC knobs (mirrors drc::Options) ---------------------
+  /// Check primitive device symbols (cells marked prechecked are skipped).
+  bool checkDevices{true};
+  /// Hierarchical interaction algorithm; false = flatten everything.
+  bool hierarchicalInteractions{true};
+  /// Ablation: false discards net information (mask-level worst case).
+  bool useNetInformation{true};
+  /// Report each per-cell violation at every instance placement.
+  bool instantiateViolations{true};
+
+  // -- flat-baseline knobs (mirrors baseline::Options) -------------------
+  /// Baseline: shrink-expand-compare width checking.
+  bool baselineWidth{true};
+  /// Baseline: expand-check-overlap spacing checking.
+  bool baselineSpacing{true};
+  /// Baseline: mask-level contact enclosure checking.
+  bool baselineContacts{true};
+
+  /// Electrical-rule selection (ERC requests).
+  erc::Options erc{};
+  /// Netlist extraction options (netlist / ERC / hierarchical-DRC
+  /// requests). Requests with equal options share one cached extraction
+  /// per view.
+  netlist::ExtractOptions extract{};
+
+  /// Worker budget for a single run(): 0 uses the Workspace's shared
+  /// persistent pool; N > 0 runs this request on a dedicated pool of N.
+  /// Ignored inside runBatch (the batch shares the Workspace pool).
+  /// Results are byte-identical either way.
+  int threads{0};
+
+  /// Caller correlation tag, echoed untouched in CheckResult::tag.
+  std::string tag;
+
+  /// A hierarchical-DRC request on `root` with reference settings.
+  static CheckRequest drc(layout::CellId root);
+  /// A mask-level baseline request on `root` (orthogonal metric, the
+  /// traditional checker's behavior).
+  static CheckRequest baseline(layout::CellId root);
+  /// An ERC request on `root`.
+  static CheckRequest ercCheck(layout::CellId root);
+  /// A netlist-extraction-only request on `root`.
+  static CheckRequest netlistOnly(layout::CellId root);
+};
+
+/// What came back: the report plus uniform telemetry. Every kind fills
+/// `report`, `seconds`, the cache flags, and `revision`; kind-specific
+/// fields are documented inline.
+struct CheckResult {
+  /// The kind of the originating request.
+  CheckKind kind{CheckKind::kHierarchicalDrc};
+  /// Root cell the request ran on.
+  layout::CellId root{0};
+  /// All violations (empty for kNetlistOnly).
+  report::Report report;
+  /// Per-stage wall-clock (hierarchical DRC only; zeros otherwise).
+  drc::StageTimes stageTimes;
+  /// Per-stage start/duration in declaration order (hierarchical DRC
+  /// only; empty otherwise).
+  std::vector<engine::StageResult> stageResults;
+  /// Interaction-stage statistics (hierarchical DRC only).
+  drc::InteractionStats interactionStats;
+  /// Mask-level statistics (flat baseline only).
+  baseline::Stats baselineStats;
+  /// The extracted netlist, shared with the Workspace cache (set for
+  /// kNetlistOnly, kErc, and kHierarchicalDrc; null for the baseline,
+  /// which by design discards topology).
+  std::shared_ptr<const netlist::Netlist> netlist;
+  /// True if the (root, revision) hierarchy view came from the cache --
+  /// placements, flat views, and grid indexes were NOT rebuilt.
+  bool viewCacheHit{false};
+  /// True if the netlist was reused from a previous request on this view.
+  bool netlistCacheHit{false};
+  /// Library revision this result was computed against.
+  std::uint64_t revision{0};
+  /// End-to-end wall-clock of this request, seconds. Caveat inside a
+  /// pooled runBatch: a waiting request can steal a *sibling* request's
+  /// work through the executor's help loop, so one result's clock may
+  /// include time spent on another's behalf. Use the batch's outer wall
+  /// clock for throughput, and threads=1 (or single run()s) for clean
+  /// per-request latency.
+  double seconds{0};
+  /// Request tag, echoed back.
+  std::string tag;
+  /// Empty on success; otherwise the failure description (the request
+  /// failed, the batch continued).
+  std::string error;
+
+  /// True if the request completed without error.
+  bool ok() const { return error.empty(); }
+};
+
+/// Workspace construction knobs.
+struct WorkspaceOptions {
+  /// Size of the persistent shared pool: <= 0 selects the host's
+  /// hardware concurrency, 1 is fully serial (the deterministic
+  /// reference schedule).
+  int threads{0};
+};
+
+/// A long-lived checking session over one library + technology: the
+/// service owns the data, callers send CheckRequests. Not itself
+/// thread-safe for *callers* (one thread drives run()/runBatch(); the
+/// parallelism lives inside), and the library must not be mutated while
+/// a run is in flight.
+class Workspace {
+ public:
+  /// Take ownership of the design and its technology. The pool spawns
+  /// here and persists until destruction.
+  Workspace(layout::Library lib, tech::Technology tech,
+            WorkspaceOptions options = {});
+
+  /// The owned library, read-only.
+  const layout::Library& library() const { return lib_; }
+  /// Mutable library access for edit sessions. Mutations bump
+  /// layout::Library::revision(), so cached views self-invalidate on the
+  /// next request. Do not mutate while a run is in flight.
+  layout::Library& library() { return lib_; }
+  /// The owned technology.
+  const tech::Technology& technology() const { return tech_; }
+  /// The shared persistent pool (benches size their tables off it).
+  engine::Executor& executor() { return exec_; }
+
+  /// Serve one request. Never throws for per-request failures: a failed
+  /// check returns its message in CheckResult::error.
+  CheckResult run(const CheckRequest& req);
+
+  /// Serve a batch. Each request becomes a cost-hinted stage on the
+  /// ready-queue dispatcher, so independent requests overlap on the
+  /// shared pool; requests on the same root share one view build.
+  /// Results arrive in request order and are byte-identical to calling
+  /// run() on each request sequentially.
+  std::vector<CheckResult> runBatch(std::span<const CheckRequest> reqs);
+
+  /// The cached hierarchy view for `root` at the library's current
+  /// revision (building or refreshing it if needed). Exposed so callers
+  /// embedding deeper analyses reuse the service's substrate.
+  std::shared_ptr<engine::HierarchyView> view(layout::CellId root);
+
+  /// Cache telemetry, cumulative since construction.
+  struct CacheStats {
+    std::size_t viewHits{0};       ///< requests served by a cached view
+    std::size_t viewMisses{0};     ///< requests that built a fresh view
+    std::size_t viewEvictions{0};  ///< stale views dropped after mutation
+    std::size_t netlistHits{0};    ///< requests served by a cached netlist
+    std::size_t cachedViews{0};    ///< live entries right now
+  };
+  /// Snapshot of the cache counters.
+  CacheStats cacheStats() const;
+
+ private:
+  /// One cached (root, revision) entry: the view plus the lazily shared
+  /// netlist extracted from it (default-equal extract options only).
+  struct Entry {
+    std::uint64_t revision{0};            ///< library revision at build
+    std::shared_ptr<engine::HierarchyView> view;
+    std::mutex nlMu;                      ///< guards netlist + nlOpts
+    std::shared_ptr<const netlist::Netlist> netlist;
+    netlist::ExtractOptions nlOpts;       ///< options netlist was built with
+  };
+
+  std::shared_ptr<Entry> acquire(layout::CellId root, bool& hit);
+  std::shared_ptr<const netlist::Netlist> netlistFor(
+      Entry& e, const netlist::ExtractOptions& opts, engine::Executor& exec,
+      bool& hit);
+  CheckResult serve(const CheckRequest& req, engine::Executor& exec);
+
+  layout::Library lib_;
+  tech::Technology tech_;
+  engine::Executor exec_;
+
+  mutable std::mutex cacheMu_;  ///< guards cache_ and the counters
+  std::map<layout::CellId, std::shared_ptr<Entry>> cache_;
+  CacheStats stats_;
+};
+
+}  // namespace dic

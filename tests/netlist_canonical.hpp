@@ -1,0 +1,32 @@
+#pragma once
+// Shared test helper: one canonical text form of a netlist (nets, names,
+// bboxes, terminals, devices, element-net map) so every byte-identity
+// test compares the same fields. Not part of the library API.
+
+#include <sstream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace dic::netlist::testing {
+
+inline std::string canonicalText(const Netlist& nl) {
+  std::ostringstream os;
+  for (const Net& n : nl.nets) {
+    os << n.id << '|' << n.elementCount << '|' << n.bbox.lo.x << ','
+       << n.bbox.lo.y << ',' << n.bbox.hi.x << ',' << n.bbox.hi.y << '|';
+    for (const std::string& s : n.names) os << s << ';';
+    for (const Terminal& t : n.terminals)
+      os << t.device << ':' << t.port << ':' << t.net << ';';
+    os << '\n';
+  }
+  for (const ExtractedDevice& d : nl.devices) {
+    os << d.path << '|' << d.type << '|';
+    for (const auto& [port, net] : d.portNets) os << port << '=' << net << ';';
+    os << '\n';
+  }
+  for (int id : nl.elementNet) os << id << ',';
+  return os.str();
+}
+
+}  // namespace dic::netlist::testing

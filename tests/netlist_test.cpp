@@ -2,7 +2,10 @@
 // hierarchical names, label merging, golden comparison.
 #include <gtest/gtest.h>
 
+#include "engine/executor.hpp"
+#include "engine/hierarchy_view.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist_canonical.hpp"
 #include "netlist/unionfind.hpp"
 #include "tech/technology.hpp"
 #include "workload/generator.hpp"
@@ -215,6 +218,23 @@ TEST_F(ExtractTest, GoldenComparisonAcceptsInverter) {
   std::vector<GoldenDevice> wrong = golden;
   wrong[0].ports["S"] = "VDD";
   EXPECT_FALSE(compareAgainstGolden(nl, wrong).empty());
+}
+
+TEST(ExtractParallel, ThreadSweepIsByteIdenticalToSerial) {
+  // The pooled extraction overload collects connectivity edges in
+  // per-index slots and replays the unions serially, so every pool size
+  // must reproduce the serial netlist exactly -- ids, names, terminals.
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(t, {1, 2, 2, 3, true});
+
+  engine::HierarchyView view(chip.lib, chip.top);
+  engine::Executor serial(1);
+  const std::string ref = testing::canonicalText(extract(view, t, serial));
+  EXPECT_FALSE(ref.empty());
+  for (const int threads : {2, 8}) {
+    engine::Executor pooled(threads);
+    EXPECT_EQ(ref, testing::canonicalText(extract(view, t, pooled))) << "threads=" << threads;
+  }
 }
 
 }  // namespace

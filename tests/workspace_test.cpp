@@ -1,0 +1,234 @@
+// Tests for the dic::Workspace check service: per-(root, revision) view
+// cache semantics, netlist sharing, batch determinism across pool sizes,
+// per-request failure isolation, and the thread-safety of the library's
+// bbox cache under cold concurrent lookups.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "netlist_canonical.hpp"
+#include "service/workspace.hpp"
+#include "workload/generator.hpp"
+#include "workload/inject.hpp"
+
+namespace dic {
+namespace {
+
+using netlist::testing::canonicalText;
+
+/// A small injected chip: every check kind has something to find.
+workload::GeneratedChip makeChip() {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(t, {1, 1, 2, 2, true});
+  workload::InjectionPlan plan;
+  workload::inject(chip, t, plan, /*seed=*/7);
+  return chip;
+}
+
+TEST(Workspace, RepeatedRequestHitsViewCache) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {/*threads=*/2});
+
+  const CheckRequest req = CheckRequest::drc(chip.top);
+  const CheckResult first = ws.run(req);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.viewCacheHit);
+  EXPECT_FALSE(first.report.empty());  // the injected defects
+
+  const CheckResult second = ws.run(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.viewCacheHit);
+  EXPECT_TRUE(second.netlistCacheHit);  // published by the first run
+  EXPECT_EQ(second.revision, first.revision);
+  EXPECT_EQ(first.report.text(), second.report.text());
+
+  const Workspace::CacheStats s = ws.cacheStats();
+  EXPECT_EQ(s.viewMisses, 1u);
+  EXPECT_EQ(s.viewHits, 1u);
+  EXPECT_EQ(s.viewEvictions, 0u);
+  EXPECT_EQ(s.cachedViews, 1u);
+}
+
+TEST(Workspace, MutationInvalidatesCachedView) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {2});
+
+  const CheckRequest req = CheckRequest::drc(chip.top);
+  const CheckResult before = ws.run(req);
+  ASSERT_TRUE(before.ok());
+
+  // Mutable cell access counts as a mutation: revision bumps, the cached
+  // view goes stale, and the next run transparently rebuilds.
+  ws.library().cell(chip.top);
+  const CheckResult after = ws.run(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.viewCacheHit);
+  EXPECT_GT(after.revision, before.revision);
+  EXPECT_EQ(before.report.text(), after.report.text());  // nothing changed
+
+  // A real edit: adding a cell invalidates again and changes nothing for
+  // an unrelated root's report either.
+  layout::Cell extra;
+  extra.name = "unrelated";
+  ws.library().addCell(std::move(extra));
+  const CheckResult third = ws.run(req);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.viewCacheHit);
+  EXPECT_GT(third.revision, after.revision);
+  EXPECT_EQ(before.report.text(), third.report.text());
+
+  const Workspace::CacheStats s = ws.cacheStats();
+  EXPECT_EQ(s.viewMisses, 3u);
+  EXPECT_EQ(s.viewEvictions, 2u);
+  EXPECT_EQ(s.cachedViews, 1u);
+}
+
+TEST(Workspace, NetlistSharedAcrossRequestKinds) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {2});
+
+  const CheckResult nlRes = ws.run(CheckRequest::netlistOnly(chip.top));
+  ASSERT_TRUE(nlRes.ok());
+  ASSERT_NE(nlRes.netlist, nullptr);
+  EXPECT_FALSE(nlRes.netlistCacheHit);
+  EXPECT_TRUE(nlRes.report.empty());
+
+  const CheckResult ercRes = ws.run(CheckRequest::ercCheck(chip.top));
+  ASSERT_TRUE(ercRes.ok());
+  EXPECT_TRUE(ercRes.viewCacheHit);
+  EXPECT_TRUE(ercRes.netlistCacheHit);
+  EXPECT_EQ(ercRes.netlist.get(), nlRes.netlist.get());  // shared, not copied
+  EXPECT_FALSE(ercRes.report.empty());  // injected electrical defects
+
+  const CheckResult drcRes = ws.run(CheckRequest::drc(chip.top));
+  ASSERT_TRUE(drcRes.ok());
+  EXPECT_TRUE(drcRes.viewCacheHit);
+  EXPECT_TRUE(drcRes.netlistCacheHit);  // pipeline reused the extraction
+  EXPECT_EQ(drcRes.netlist.get(), nlRes.netlist.get());
+}
+
+TEST(Workspace, BatchByteIdenticalToSequentialAcrossThreads) {
+  const tech::Technology t = tech::nmos();
+
+  // A mixed batch: the full pipeline, the mask-level baseline, ERC,
+  // extraction-only, and an ablated pipeline (net-blind, orthogonal).
+  workload::GeneratedChip proto = makeChip();
+  std::vector<CheckRequest> reqs;
+  reqs.push_back(CheckRequest::drc(proto.top));
+  reqs.push_back(CheckRequest::baseline(proto.top));
+  reqs.push_back(CheckRequest::ercCheck(proto.top));
+  reqs.push_back(CheckRequest::netlistOnly(proto.top));
+  CheckRequest ablated = CheckRequest::drc(proto.top);
+  ablated.useNetInformation = false;
+  ablated.metric = geom::Metric::kOrthogonal;
+  reqs.push_back(ablated);
+
+  // Reference: sequential single runs on a serial workspace.
+  std::vector<std::string> refText;
+  std::vector<std::string> refNl;
+  {
+    workload::GeneratedChip chip = makeChip();
+    Workspace ws(std::move(chip.lib), t, {/*threads=*/1});
+    for (const CheckRequest& r : reqs) {
+      const CheckResult res = ws.run(r);
+      ASSERT_TRUE(res.ok()) << res.error;
+      refText.push_back(res.report.text());
+      refNl.push_back(res.netlist ? canonicalText(*res.netlist) : "");
+    }
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    workload::GeneratedChip chip = makeChip();
+    Workspace ws(std::move(chip.lib), t, {threads});
+    const std::vector<CheckResult> out = ws.runBatch(reqs);
+    ASSERT_EQ(out.size(), reqs.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_TRUE(out[i].ok()) << out[i].error;
+      EXPECT_EQ(out[i].report.text(), refText[i])
+          << "threads=" << threads << " request " << i;
+      EXPECT_EQ(out[i].netlist ? canonicalText(*out[i].netlist) : "", refNl[i])
+          << "threads=" << threads << " request " << i;
+    }
+    // All five requests target one root: exactly one view build.
+    const Workspace::CacheStats s = ws.cacheStats();
+    EXPECT_EQ(s.viewMisses, 1u) << "threads=" << threads;
+    EXPECT_EQ(s.viewHits, reqs.size() - 1) << "threads=" << threads;
+  }
+}
+
+TEST(Workspace, FailedRequestDoesNotAbortBatch) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {2});
+
+  std::vector<CheckRequest> reqs;
+  reqs.push_back(CheckRequest::drc(chip.top));
+  reqs.push_back(CheckRequest::drc(/*root=*/99999));  // no such cell
+  reqs.push_back(CheckRequest::ercCheck(chip.top));
+
+  const std::vector<CheckResult> out = ws.runBatch(reqs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok()) << out[0].error;
+  EXPECT_FALSE(out[1].ok());
+  EXPECT_FALSE(out[1].error.empty());
+  EXPECT_TRUE(out[2].ok()) << out[2].error;
+}
+
+TEST(Workspace, DedicatedPoolMatchesSharedPool) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {/*threads=*/1});
+
+  const CheckResult shared = ws.run(CheckRequest::drc(chip.top));
+  CheckRequest dedicated = CheckRequest::drc(chip.top);
+  dedicated.threads = 4;  // per-request pool, same bytes out
+  const CheckResult pooled = ws.run(dedicated);
+  ASSERT_TRUE(shared.ok());
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(shared.report.text(), pooled.report.text());
+  EXPECT_TRUE(pooled.viewCacheHit);  // cache is shared regardless of pool
+}
+
+TEST(Workspace, ViewAccessorReturnsCachedView) {
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), tech::nmos(), {1});
+
+  const auto v1 = ws.view(chip.top);
+  const auto v2 = ws.view(chip.top);
+  EXPECT_EQ(v1.get(), v2.get());
+
+  ws.library().invalidateCaches();  // back-door mutation signal
+  const auto v3 = ws.view(chip.top);
+  EXPECT_NE(v1.get(), v3.get());
+}
+
+TEST(LibraryBBoxCache, ColdConcurrentLookupsMatchSerial) {
+  // ThreadSanitizer-style stress for the bbox cache: many workers resolve
+  // every cell's recursive bbox concurrently on a COLD cache (the
+  // hierarchy-view warm-up is deliberately bypassed), which exercises the
+  // mutex-guarded find/insert from all sides. Values must match a serial
+  // reference computed on a copy.
+  const tech::Technology t = tech::nmos();
+  for (int iter = 0; iter < 10; ++iter) {
+    const workload::GeneratedChip chip =
+        workload::generateChip(t, {2, 2, 2, 2, true});
+    const layout::Library copy = chip.lib;  // exercises the copy ctor too
+    const std::size_t n = copy.cellCount();
+    std::vector<geom::Rect> ref(n);
+    for (std::size_t i = 0; i < n; ++i)
+      ref[i] = copy.cellBBox(static_cast<layout::CellId>(i));
+
+    engine::Executor exec(8);
+    std::vector<geom::Rect> got(4 * n);
+    // 4 passes per cell so lookups overlap computes of the same ids; each
+    // worker writes only its own slot.
+    exec.parallelFor(got.size(), [&](std::size_t k) {
+      got[k] = chip.lib.cellBBox(static_cast<layout::CellId>(k % n));
+    });
+    for (std::size_t k = 0; k < got.size(); ++k)
+      EXPECT_EQ(got[k], ref[k % n]) << "iter " << iter << " cell " << k % n;
+  }
+}
+
+}  // namespace
+}  // namespace dic
