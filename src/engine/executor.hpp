@@ -17,6 +17,7 @@
 /// documented in docs/engine.md.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -57,6 +58,24 @@ class Executor {
   /// The worker budget: pool workers plus the participating caller.
   int threads() const { return threads_; }
 
+  /// Help-scope identity. Tasks are tagged with a scope; a *scoped*
+  /// helpUntil steals only tasks carrying its scope, so a coordinator
+  /// blocked on its own pipeline run never executes (and gets billed
+  /// for) an unrelated run's work. Scope kAnyScope (0) means untagged /
+  /// steal-anything; pool workers always run every task regardless of
+  /// its tag, so scoping never reduces throughput — it only restricts
+  /// what *helpers* pick up.
+  using ScopeId = std::uint64_t;
+
+  /// The untagged scope: tasks submitted with it are stealable by every
+  /// helper, and a helpUntil passing it steals any task (the historical
+  /// behavior).
+  static constexpr ScopeId kAnyScope = 0;
+
+  /// A process-unique scope id (never kAnyScope). Coordinators mint one
+  /// per logical run and tag that run's tasks with it.
+  static ScopeId newScope();
+
   /// std::thread::hardware_concurrency resolved once per process and
   /// cached (the lookup can be a syscall; benches also use this to label
   /// thread-sweep tables with the actual worker count).
@@ -80,7 +99,17 @@ class Executor {
   /// (threads() == 1) the task runs inline before submit returns. Tasks
   /// must not let exceptions escape — coordinators (the pipeline
   /// dispatcher, parallelFor) capture failures into their own state.
+  ///
+  /// The task inherits the scope of the task the calling thread is
+  /// currently executing (kAnyScope from outside the pool), so a stage's
+  /// inner fan-out chunks carry the stage's pipeline-run scope
+  /// automatically.
   void submit(std::function<void()> task);
+
+  /// Same, tagging the task with an explicit scope instead of the
+  /// inherited one. The pipeline dispatcher uses this to mark every
+  /// stage of one run with that run's scope.
+  void submit(std::function<void()> task, ScopeId scope);
 
   /// Make the calling thread a pool participant until done() returns
   /// true: it executes queued tasks, and sleeps only when the pool is
@@ -90,6 +119,14 @@ class Executor {
   /// after every task and every wake(). Returns immediately when there is
   /// no pool.
   void helpUntil(const std::function<bool()>& done);
+
+  /// Scoped variant: executes only tasks tagged with `scope` (pass
+  /// kAnyScope for the unrestricted form). A coordinator waiting on its
+  /// own pipeline run helps with that run's stages and their inner
+  /// chunks, but never absorbs a sibling run's work into its own wall
+  /// clock — the fix for the CheckResult::seconds caveat documented in
+  /// docs/workspace.md.
+  void helpUntil(const std::function<bool()>& done, ScopeId scope);
 
   /// Wake every sleeping worker and helper so they re-check their
   /// predicates. Coordinators call this when a completion condition

@@ -18,6 +18,38 @@ std::string instanceName(const layout::Library& lib,
              : inst.name;
 }
 
+// --- byte accounting helpers (approximate heap footprints) ------------------
+
+std::size_t bytesOf(const std::string& s) { return s.capacity(); }
+
+std::size_t bytesOf(const layout::Element& e) {
+  return sizeof(e) + bytesOf(e.net) + e.path.capacity() * sizeof(geom::Point);
+}
+
+std::size_t bytesOf(const layout::Port& p) {
+  return sizeof(p) + bytesOf(p.name);
+}
+
+std::size_t bytesOf(const layout::FlatElement& e) {
+  return sizeof(e) - sizeof(e.element) + bytesOf(e.element) + bytesOf(e.path);
+}
+
+std::size_t bytesOf(const layout::FlatDevice& d) {
+  std::size_t b = sizeof(d) + bytesOf(d.deviceType) + bytesOf(d.path);
+  for (const layout::Port& p : d.ports) b += bytesOf(p);
+  return b;
+}
+
+std::size_t bytesOf(const HierarchyView::Flat& f) {
+  std::size_t b = sizeof(f) + f.bboxes.capacity() * sizeof(geom::Rect);
+  b += (f.elements.capacity() - f.elements.size()) *
+       sizeof(layout::FlatElement);
+  for (const layout::FlatElement& e : f.elements) b += bytesOf(e);
+  b += (f.devices.capacity() - f.devices.size()) * sizeof(layout::FlatDevice);
+  for (const layout::FlatDevice& d : f.devices) b += bytesOf(d);
+  return b;
+}
+
 }  // namespace
 
 std::string joinPath(const std::string& a, const std::string& b) {
@@ -82,6 +114,14 @@ void HierarchyView::ensurePlacements() const {
   // the root's bbox transitively caches every reachable cell, so workers
   // hit the cache instead of contending on its mutex to recompute.
   lib_.cellBBox(root_);
+  std::size_t b = cells_.capacity() * sizeof(layout::CellId);
+  for (const auto& [id, v] : placements_) {
+    (void)id;
+    b += sizeof(v) + 3 * sizeof(void*);  // map node, approximate
+    b += (v.capacity() - v.size()) * sizeof(Placement);
+    for (const Placement& p : v) b += sizeof(Placement) + p.path.capacity();
+  }
+  accountedBytes_.fetch_add(b, std::memory_order_release);
   placementsReady_.store(true, std::memory_order_release);
 }
 
@@ -128,6 +168,7 @@ const HierarchyView::Flat& HierarchyView::ensureFlat(
     for (const layout::FlatElement& e : f->elements)
       f->bboxes.push_back(e.element.bbox());
     flat_[v] = std::move(f);
+    accountedBytes_.fetch_add(bytesOf(*flat_[v]), std::memory_order_release);
     flatReady_[v].store(true, std::memory_order_release);
   }
   return *flat_[v];
@@ -153,6 +194,10 @@ const HierarchyView::LayerIndexes& HierarchyView::ensureIndexes(
     if (l >= 0) idx.byLayer[l].insert(i, f.bboxes[i]);
     idx.all->insert(i, f.bboxes[i]);
   }
+  std::size_t b = idx.byLayer.capacity() * sizeof(geom::GridIndex);
+  for (const geom::GridIndex& g : idx.byLayer) b += g.memoryBytes();
+  b += sizeof(geom::GridIndex) + idx.all->memoryBytes();
+  accountedBytes_.fetch_add(b, std::memory_order_release);
   indexesReady_[v].store(true, std::memory_order_release);
   return idx;
 }
@@ -228,6 +273,10 @@ void HierarchyView::ensurePorts() const {
   portIndex_ = std::make_unique<geom::GridIndex>(autoGridCell(rects));
   for (std::size_t pn = 0; pn < rects.size(); ++pn)
     portIndex_->insert(pn, rects[pn]);
+  accountedBytes_.fetch_add(ports_.capacity() * sizeof(PortRef) +
+                                sizeof(geom::GridIndex) +
+                                portIndex_->memoryBytes(),
+                            std::memory_order_release);
   portsReady_.store(true, std::memory_order_release);
 }
 

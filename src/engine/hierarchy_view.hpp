@@ -115,6 +115,17 @@ class HierarchyView {
                                           int layer, const geom::Rect& query,
                                           geom::Coord inflate = 0) const;
 
+  /// Approximate bytes of everything this view has lazily built so far:
+  /// placements, flat element/device views, grid indexes, port tables.
+  /// Grows as caches build (a fresh view reports only its own footprint)
+  /// and is maintained incrementally by the builders, so reading it is a
+  /// single atomic load — safe from any thread, even while another
+  /// worker is mid-build. The Workspace's LRU cap is enforced against
+  /// this number.
+  std::size_t memoryBytes() const {
+    return sizeof(*this) + accountedBytes_.load(std::memory_order_acquire);
+  }
+
   /// All pairs (i < j) of flat elements whose bboxes are within `dist`
   /// of each other under the orthogonal metric, ordered by (i, j). This
   /// is the one-shot reference form of the sweep (used as the test
@@ -182,6 +193,9 @@ class HierarchyView {
   mutable std::atomic<bool> portsReady_{false};
   mutable std::vector<PortRef> ports_;
   mutable std::unique_ptr<geom::GridIndex> portIndex_;
+  /// Bytes of built lazy state; each ensureX adds its contribution once,
+  /// right before publishing its ready flag.
+  mutable std::atomic<std::size_t> accountedBytes_{0};
 };
 
 /// A one-shot spatial set over arbitrary rects -- derived geometry that is

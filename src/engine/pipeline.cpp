@@ -107,6 +107,13 @@ report::Report Pipeline::run(Executor& exec) {
     std::atomic<std::size_t> completed{0};
     std::atomic<bool> failed{false};
     std::vector<std::exception_ptr> errors(n);
+    // Every stage of this run carries one fresh help-scope tag: the
+    // coordinator blocked in helpUntil below then steals only this run's
+    // stages (and their inner fan-out chunks, which inherit the tag), so
+    // a nested pipeline run — one batch request among many — never
+    // absorbs a sibling run's work into its own wall clock. Pool workers
+    // ignore the tag, so work conservation is unaffected.
+    const Executor::ScopeId scope = Executor::newScope();
     // Stage tasks run on the pool; each one releases its dependents the
     // moment it completes, so a freed worker flows straight into the
     // next ready stage (or into another stage's inner parallelFor via
@@ -137,10 +144,10 @@ report::Report Pipeline::run(Executor& exec) {
         for (std::size_t d : newly) dispatch(d);
         completed.fetch_add(1);
         exec.wake();  // helpUntil's done() may be true now
-      });
+      }, scope);
     };
     for (std::size_t i : ready) dispatch(i);
-    exec.helpUntil([&] { return completed.load() == n; });
+    exec.helpUntil([&] { return completed.load() == n; }, scope);
     for (std::size_t i = 0; i < n; ++i)
       if (errors[i]) std::rethrow_exception(errors[i]);
   }

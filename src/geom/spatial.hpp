@@ -42,6 +42,21 @@ class GridIndex {
 
   std::size_t size() const { return boxes_.size(); }
 
+  /// Approximate heap footprint of the index, bytes: the per-cell bucket
+  /// vectors plus the insertion-order box list. Feeds the engine's
+  /// view-cache memory accounting (flat views and their grids dominate a
+  /// cached hierarchy view).
+  std::size_t memoryBytes() const {
+    std::size_t b = boxes_.capacity() * sizeof(boxes_[0]);
+    b += grid_.bucket_count() * sizeof(void*);
+    for (const auto& [key, ids] : grid_) {
+      (void)key;
+      b += sizeof(std::uint64_t) + sizeof(ids) +
+           ids.capacity() * sizeof(std::size_t);
+    }
+    return b;
+  }
+
  private:
   /// Zig-zag encoding maps signed cell coordinates to unsigned so that
   /// small-magnitude negatives stay small; the key packs the two encoded

@@ -1,0 +1,116 @@
+#pragma once
+/// \file queue.hpp
+/// The serving tier's bounded MPMC submit queue: a mutex + two-condvar
+/// ring with an explicit close protocol. Any number of producers
+/// (client threads calling Server::submit) feed any number of consumers
+/// (in practice one serving thread per shard); capacity is the
+/// backpressure boundary — tryPush gives the reject policy, pushBlocking
+/// the block policy. close() starts the drain phase of the server's
+/// two-phase shutdown: producers are turned away, consumers keep popping
+/// until the queue is empty and only then see "finished".
+///
+/// Tasks here are whole check requests (milliseconds and up), so a
+/// mutex-guarded deque is the right tool — lock-free ring machinery
+/// would buy nothing measurable and cost the close/drain semantics their
+/// simplicity.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dic::server {
+
+/// Outcome of a push attempt.
+enum class PushResult {
+  kOk,      ///< enqueued
+  kFull,    ///< bounded capacity reached (tryPush only)
+  kClosed,  ///< queue closed — the server is shutting down
+};
+
+/// A bounded multi-producer/multi-consumer FIFO of T.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 is clamped to 1 (a zero-slot queue could never
+  /// accept work).
+  explicit BoundedQueue(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Reject policy: enqueue if there is room, fail fast otherwise.
+  /// Moves from `v` only on kOk, so the caller keeps the value (and its
+  /// promise) on kFull/kClosed.
+  PushResult tryPush(T& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (q_.size() >= cap_) return PushResult::kFull;
+      q_.push_back(std::move(v));
+    }
+    notEmpty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Block policy: wait for room (or for close). Moves from `v` only on
+  /// kOk.
+  PushResult pushBlocking(T& v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      notFull_.wait(lock, [&] { return closed_ || q_.size() < cap_; });
+      if (closed_) return PushResult::kClosed;
+      q_.push_back(std::move(v));
+    }
+    notEmpty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Consumer side: blocks until an item is available or the queue is
+  /// closed AND drained. Returns false only in the latter case — after a
+  /// close, every item that was accepted is still handed out, which is
+  /// what lets shutdown drain in-flight work instead of dropping it.
+  bool pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+      if (q_.empty()) return false;  // closed and drained
+      out = std::move(q_.front());
+      q_.pop_front();
+    }
+    notFull_.notify_one();
+    return true;
+  }
+
+  /// Phase-one shutdown: no new pushes succeed; pops continue to drain
+  /// what was accepted. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  /// Items currently queued (a snapshot; the stats surface).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  /// The configured capacity.
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> q_;
+  bool closed_{false};
+};
+
+}  // namespace dic::server

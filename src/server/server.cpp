@@ -1,0 +1,330 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "server/queue.hpp"
+
+namespace dic {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A server-level failure result for one request (the check never ran).
+CheckResult errorResult(const CheckRequest& req, const char* err) {
+  CheckResult r;
+  r.kind = req.kind;
+  r.root = req.root;
+  r.tag = req.tag;
+  r.error = err;
+  return r;
+}
+
+std::vector<CheckResult> errorResults(const std::vector<CheckRequest>& reqs,
+                                      const char* err) {
+  std::vector<CheckResult> out;
+  out.reserve(reqs.size());
+  for (const CheckRequest& r : reqs) out.push_back(errorResult(r, err));
+  return out;
+}
+
+/// Latency samples kept per shard for the p50/p95 snapshot: a fixed ring
+/// of the most recent jobs, so long-running servers report current — not
+/// lifetime-averaged — tails without unbounded storage.
+constexpr std::size_t kLatencyWindow = 1024;
+
+}  // namespace
+
+std::uint64_t stableHash(const LibraryId& id) {
+  // FNV-1a 64-bit. std::hash is deliberately not used: its value may
+  // change across standard libraries and process runs, and routing must
+  // be stable so a library's shard — and its warm caches — survive.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One queue job: a single request or a whole batch, with its promise
+/// and the enqueue timestamp the wait/service split is measured from.
+struct Job {
+  LibraryId lib;
+  std::vector<CheckRequest> reqs;
+  bool isBatch{false};
+  std::promise<CheckResult> single;
+  std::promise<std::vector<CheckResult>> batch;
+  Clock::time_point enqueued{};
+
+  void fail(const char* err) {
+    if (isBatch)
+      batch.set_value(errorResults(reqs, err));
+    else
+      single.set_value(errorResult(reqs.front(), err));
+  }
+};
+
+struct Server::Shard {
+  Shard(std::size_t queueCapacity, int threads)
+      : exec(threads), queue(queueCapacity) {}
+
+  engine::Executor exec;  ///< the shard's worker pool, shared by its Workspaces
+  BoundedQueue<Job> queue;
+  std::thread thread;  ///< the serving thread (drives Workspaces serially)
+
+  mutable std::mutex mu;  ///< guards workspaces + the counters below
+  std::map<LibraryId, std::shared_ptr<Workspace>> workspaces;
+  std::size_t submitted{0};
+  std::size_t served{0};
+  std::size_t rejected{0};
+  std::size_t failed{0};  ///< accepted but library dropped before serving
+  double sumQueueWait{0};
+  double sumService{0};
+  std::size_t jobCount{0};
+  std::vector<double> latency;  ///< end-to-end ring, kLatencyWindow deep
+  std::size_t latencyNext{0};
+};
+
+Server::Server(ServerOptions options) : opts_(options) {
+  int n = opts_.shards;
+  if (n <= 0)
+    n = std::clamp(engine::Executor::hardwareThreads() / 2, 1, 8);
+  opts_.shards = n;
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>(opts_.queueCapacity,
+                                              opts_.threadsPerShard));
+  for (auto& s : shards_)
+    s->thread = std::thread([this, sh = s.get()] { serveLoop(*sh); });
+}
+
+Server::~Server() { shutdown(); }
+
+Server::Shard& Server::shardFor(const LibraryId& id) {
+  return *shards_[stableHash(id) % shards_.size()];
+}
+
+const Server::Shard& Server::shardFor(const LibraryId& id) const {
+  return *shards_[stableHash(id) % shards_.size()];
+}
+
+int Server::shardOf(const LibraryId& id) const {
+  return static_cast<int>(stableHash(id) % shards_.size());
+}
+
+bool Server::addLibrary(const LibraryId& id, layout::Library lib,
+                        tech::Technology tech) {
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+  Shard& s = shardFor(id);
+  WorkspaceOptions wopts;
+  wopts.maxCacheBytes = opts_.maxCacheBytesPerLibrary;
+  auto ws = std::make_shared<Workspace>(std::move(lib), std::move(tech),
+                                        s.exec, wopts);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.workspaces.emplace(id, std::move(ws)).second;
+}
+
+bool Server::dropLibrary(const LibraryId& id) {
+  Shard& s = shardFor(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Erasing the map reference is the whole handoff: the serving thread
+  // resolves the Workspace under this mutex per job, and an in-flight
+  // job holds its own shared_ptr, so the Workspace (and the library it
+  // owns) is destroyed only after the last in-flight request completes.
+  return s.workspaces.erase(id) > 0;
+}
+
+std::size_t Server::libraryCount() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->workspaces.size();
+  }
+  return n;
+}
+
+std::future<CheckResult> Server::submit(const LibraryId& id,
+                                        CheckRequest req) {
+  Job job;
+  job.lib = id;
+  job.reqs.push_back(std::move(req));
+  std::future<CheckResult> fut = job.single.get_future();
+  if (!accepting_.load(std::memory_order_acquire)) {
+    job.fail(kErrServerStopped);
+    return fut;
+  }
+  Shard& s = shardFor(id);
+  job.enqueued = Clock::now();
+  const PushResult pushed = opts_.overflow == OverflowPolicy::kBlock
+                                ? s.queue.pushBlocking(job)
+                                : s.queue.tryPush(job);
+  std::lock_guard<std::mutex> lock(s.mu);
+  switch (pushed) {
+    case PushResult::kOk:
+      ++s.submitted;
+      break;
+    case PushResult::kFull:
+      ++s.rejected;
+      job.fail(kErrQueueFull);
+      break;
+    case PushResult::kClosed:
+      job.fail(kErrServerStopped);
+      break;
+  }
+  return fut;
+}
+
+std::future<std::vector<CheckResult>> Server::submitBatch(
+    const LibraryId& id, std::vector<CheckRequest> reqs) {
+  Job job;
+  job.lib = id;
+  job.reqs = std::move(reqs);
+  job.isBatch = true;
+  std::future<std::vector<CheckResult>> fut = job.batch.get_future();
+  if (job.reqs.empty()) {
+    job.batch.set_value({});
+    return fut;
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    job.fail(kErrServerStopped);
+    return fut;
+  }
+  Shard& s = shardFor(id);
+  const std::size_t n = job.reqs.size();
+  job.enqueued = Clock::now();
+  const PushResult pushed = opts_.overflow == OverflowPolicy::kBlock
+                                ? s.queue.pushBlocking(job)
+                                : s.queue.tryPush(job);
+  std::lock_guard<std::mutex> lock(s.mu);
+  switch (pushed) {
+    case PushResult::kOk:
+      s.submitted += n;
+      break;
+    case PushResult::kFull:
+      s.rejected += n;
+      job.fail(kErrQueueFull);
+      break;
+    case PushResult::kClosed:
+      job.fail(kErrServerStopped);
+      break;
+  }
+  return fut;
+}
+
+void Server::serveLoop(Shard& shard) {
+  Job job;
+  while (shard.queue.pop(job)) {
+    const Clock::time_point t0 = Clock::now();
+    const std::size_t n = job.reqs.size();
+    std::shared_ptr<Workspace> ws;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.workspaces.find(job.lib);
+      if (it != shard.workspaces.end()) ws = it->second;
+    }
+    if (!ws) {
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.failed += n;
+      }
+      job.fail(kErrLibraryNotFound);
+      continue;
+    }
+    std::vector<CheckResult> batchOut;
+    CheckResult singleOut;
+    if (job.isBatch)
+      batchOut = ws->runBatch(job.reqs);
+    else
+      singleOut = ws->run(job.reqs.front());
+    const Clock::time_point t1 = Clock::now();
+    {
+      // Stats are recorded *before* the promise resolves, so a client
+      // that just observed its result never reads a served count that
+      // hasn't caught up with it yet.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.served += n;
+      shard.sumQueueWait += secondsBetween(job.enqueued, t0);
+      shard.sumService += secondsBetween(t0, t1);
+      ++shard.jobCount;
+      const double total = secondsBetween(job.enqueued, t1);
+      if (shard.latency.size() < kLatencyWindow) {
+        shard.latency.push_back(total);
+      } else {
+        shard.latency[shard.latencyNext] = total;
+        shard.latencyNext = (shard.latencyNext + 1) % kLatencyWindow;
+      }
+    }
+    if (job.isBatch)
+      job.batch.set_value(std::move(batchOut));
+    else
+      job.single.set_value(std::move(singleOut));
+  }
+}
+
+void Server::shutdown() {
+  // Phase 1: close the intake. Submissions observing this complete with
+  // kErrServerStopped; one racing past it lands in a queue that close()
+  // below turns away (kClosed) or that the drain still serves — either
+  // way its future completes.
+  accepting_.store(false, std::memory_order_release);
+  // Phase 2: drain. close() stops producers; pop() keeps handing out
+  // accepted jobs until each queue is empty, so every accepted future
+  // resolves with a real result before the serving threads exit.
+  std::call_once(shutdownOnce_, [this] {
+    for (auto& s : shards_) s->queue.close();
+    for (auto& s : shards_)
+      if (s->thread.joinable()) s->thread.join();
+  });
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    ShardStats st;
+    st.queueDepth = s.queue.size();
+    std::vector<double> lat;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      st.libraries = s.workspaces.size();
+      st.submitted = s.submitted;
+      st.served = s.served;
+      st.rejected = s.rejected;
+      st.failed = s.failed;
+      if (s.jobCount > 0) {
+        st.meanQueueWaitSeconds =
+            s.sumQueueWait / static_cast<double>(s.jobCount);
+        st.meanServiceSeconds =
+            s.sumService / static_cast<double>(s.jobCount);
+      }
+      lat = s.latency;
+      for (const auto& [id, ws] : s.workspaces) {
+        (void)id;
+        st.cacheBytes += ws->cacheStats().cacheBytes;
+      }
+    }
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end());
+      st.p50Seconds = lat[lat.size() / 2];
+      st.p95Seconds = lat[std::min(lat.size() - 1,
+                                   static_cast<std::size_t>(
+                                       static_cast<double>(lat.size()) *
+                                       0.95))];
+    }
+    out.shards.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace dic

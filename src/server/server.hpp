@@ -1,0 +1,206 @@
+#pragma once
+/// \file server.hpp
+/// The sharded multi-library check-serving tier.
+///
+/// A dic::Workspace is one library's checking session; a
+/// `dic::server::Server` is the process that serves many of them under
+/// concurrent traffic. It owns N shards — each with its own persistent
+/// engine::Executor pool, its own bounded submit queue, and one serving
+/// thread driving the shard's Workspaces — and routes every submission
+/// by a stable hash of the library id, so a library's requests always
+/// land on the same shard (its caches stay hot, and per-library
+/// determinism needs no cross-shard coordination).
+///
+/// The front door is asynchronous: `submit` returns a
+/// std::future<CheckResult>, `submitBatch` a future for the whole batch
+/// (dispatched through Workspace::runBatch, so the batch's requests
+/// overlap on the shard pool). Backpressure is explicit: each shard
+/// queue is bounded, and a full queue either blocks the submitter or
+/// rejects with a CheckResult whose error is kErrQueueFull, per
+/// ServerOptions::overflow. Shutdown is two-phase: close the intake,
+/// then drain — every accepted request completes with a real result.
+/// The full contract lives in docs/server.md.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/workspace.hpp"
+
+namespace dic {
+/// \namespace dic::server
+/// The sharded multi-library serving tier on top of dic::Workspace.
+namespace server {
+
+/// Stable identity of a registered library. Routing hashes this with a
+/// fixed function (stableHash), so a given id maps to the same shard in
+/// every process and run — unlike std::hash, which may differ per
+/// implementation.
+using LibraryId = std::string;
+
+/// FNV-1a 64-bit: the stable routing hash over LibraryId bytes.
+std::uint64_t stableHash(const LibraryId& id);
+
+/// What a full submit queue does to a new submission.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,   ///< the submitting thread waits for a queue slot
+  kReject,  ///< the future completes immediately with kErrQueueFull
+};
+
+/// Machine-checkable CheckResult::error values for server-level
+/// failures (the check itself never ran).
+inline constexpr const char* kErrQueueFull = "QueueFull";
+inline constexpr const char* kErrLibraryNotFound = "LibraryNotFound";
+inline constexpr const char* kErrServerStopped = "ServerStopped";
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// Shard count. <= 0 selects half the hardware threads, clamped to
+  /// [1, 8] — enough shards to spread libraries without starving each
+  /// shard's pool.
+  int shards{0};
+  /// Worker-pool size of each shard's executor (WorkspaceOptions
+  /// semantics: <= 0 hardware concurrency, 1 serial). Every Workspace
+  /// on the shard shares this one pool.
+  int threadsPerShard{0};
+  /// Bounded submit-queue capacity per shard, in jobs (a submitBatch
+  /// occupies one slot). The backpressure boundary.
+  std::size_t queueCapacity{256};
+  /// Full-queue behavior.
+  OverflowPolicy overflow{OverflowPolicy::kBlock};
+  /// Per-library Workspace view-cache cap, bytes
+  /// (WorkspaceOptions::maxCacheBytes; 0 = unbounded). The knob that
+  /// keeps long-running shards' memory flat.
+  std::size_t maxCacheBytesPerLibrary{0};
+};
+
+/// One shard's observability snapshot.
+struct ShardStats {
+  std::size_t libraries{0};     ///< registered libraries on this shard
+  std::size_t queueDepth{0};    ///< jobs waiting right now
+  std::size_t submitted{0};     ///< requests accepted (batch = its size)
+  std::size_t served{0};        ///< requests completed
+  std::size_t rejected{0};      ///< requests refused with kErrQueueFull
+  /// Accepted requests that completed with a server-level error instead
+  /// of being served (the library was dropped before they reached the
+  /// front). Keeps the books balanced: submitted == served + failed +
+  /// currently queued/in-flight.
+  std::size_t failed{0};
+  double p50Seconds{0};         ///< median end-to-end latency (queue + service)
+  double p95Seconds{0};         ///< tail end-to-end latency
+  double meanQueueWaitSeconds{0};  ///< mean time jobs sat queued
+  double meanServiceSeconds{0};    ///< mean time jobs spent being served
+  std::size_t cacheBytes{0};    ///< accounted view-cache bytes, all libraries
+};
+
+/// Whole-server snapshot (per shard plus totals).
+struct ServerStats {
+  std::vector<ShardStats> shards;
+
+  std::size_t totalServed() const {
+    std::size_t n = 0;
+    for (const ShardStats& s : shards) n += s.served;
+    return n;
+  }
+  std::size_t totalRejected() const {
+    std::size_t n = 0;
+    for (const ShardStats& s : shards) n += s.rejected;
+    return n;
+  }
+  std::size_t totalFailed() const {
+    std::size_t n = 0;
+    for (const ShardStats& s : shards) n += s.failed;
+    return n;
+  }
+  std::size_t totalCacheBytes() const {
+    std::size_t n = 0;
+    for (const ShardStats& s : shards) n += s.cacheBytes;
+    return n;
+  }
+};
+
+/// The sharded check server. Thread-safe for every public member:
+/// submissions, registration, and stats may race freely from any number
+/// of client threads. Results are byte-identical to running the same
+/// requests sequentially on a per-library Workspace — each library's
+/// requests execute on one shard thread over one Workspace, and the
+/// engine's determinism contract covers the pool underneath.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Destruction shuts down (two-phase: intake closed, queues drained).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register a library under `id` (takes ownership; the Workspace is
+  /// created on the owning shard). Returns false — and takes nothing —
+  /// if the id is already registered or the server is shutting down.
+  bool addLibrary(const LibraryId& id, layout::Library lib,
+                  tech::Technology tech);
+
+  /// Unregister `id`. The removal is atomic with respect to serving: a
+  /// request either sees the library and runs to completion, or
+  /// completes with kErrLibraryNotFound — never a half-dropped state.
+  /// An in-flight request on the dropped library finishes first (it
+  /// shares ownership of the Workspace); queued requests that reach the
+  /// front after the drop report kErrLibraryNotFound. Returns false if
+  /// the id was not registered.
+  bool dropLibrary(const LibraryId& id);
+
+  /// Registered library count, all shards.
+  std::size_t libraryCount() const;
+
+  /// The shard `id` routes to (stableHash(id) % shardCount()).
+  int shardOf(const LibraryId& id) const;
+  /// Number of shards.
+  int shardCount() const { return static_cast<int>(shards_.size()); }
+
+  /// Submit one request for `id`'s library. Always returns a valid
+  /// future. Server-level failures (queue full under kReject, unknown
+  /// library, stopped server) come back through the future as a
+  /// CheckResult with the corresponding kErr* string in `error` — the
+  /// same per-request error channel the Workspace uses, so callers
+  /// handle one shape.
+  std::future<CheckResult> submit(const LibraryId& id, CheckRequest req);
+
+  /// Submit a batch for `id`'s library as one queue job. The shard runs
+  /// it through Workspace::runBatch, so the batch's requests overlap on
+  /// the shard pool (with batch-wide netlist dedup) and results come
+  /// back in request order. On a server-level failure every slot of the
+  /// returned vector carries the kErr* result.
+  std::future<std::vector<CheckResult>> submitBatch(
+      const LibraryId& id, std::vector<CheckRequest> reqs);
+
+  /// Two-phase shutdown. Phase 1: the intake closes — every later (or
+  /// racing) submit completes with kErrServerStopped. Phase 2: each
+  /// shard's queue drains — all accepted jobs are served to completion —
+  /// and the serving threads join. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Observability snapshot: queue depths, served/rejected counts,
+  /// p50/p95 end-to-end latency, queue-wait vs service split, and
+  /// accounted cache bytes, per shard. Callable any time, including
+  /// after shutdown (counters freeze at their final values).
+  ServerStats stats() const;
+
+ private:
+  struct Shard;
+
+  Shard& shardFor(const LibraryId& id);
+  const Shard& shardFor(const LibraryId& id) const;
+  void serveLoop(Shard& shard);
+
+  ServerOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> accepting_{true};
+  std::once_flag shutdownOnce_;
+};
+
+}  // namespace server
+}  // namespace dic

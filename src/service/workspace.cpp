@@ -1,5 +1,6 @@
 #include "service/workspace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <utility>
@@ -21,6 +22,33 @@ double costHint(CheckKind k) {
     case CheckKind::kErc: return 1.0;
   }
   return 1.0;
+}
+
+/// Does this request kind consume (and so publish) a cached netlist?
+bool needsNetlist(CheckKind k) {
+  // The baseline by design discards topology; everything else routes
+  // through the per-view netlist cache.
+  return k != CheckKind::kFlatBaselineDrc;
+}
+
+/// Approximate heap bytes of an extracted netlist, for the LRU cap's
+/// accounting (the netlist is cached alongside its view).
+std::size_t netlistMemoryBytes(const netlist::Netlist& nl) {
+  std::size_t b = sizeof(nl) + nl.elementNet.capacity() * sizeof(int);
+  for (const netlist::Net& n : nl.nets) {
+    b += sizeof(n) + n.terminals.capacity() * sizeof(netlist::Terminal);
+    for (const netlist::Terminal& t : n.terminals) b += t.port.capacity();
+    for (const std::string& s : n.names) b += sizeof(s) + s.capacity();
+  }
+  for (const netlist::ExtractedDevice& d : nl.devices) {
+    b += sizeof(d) + d.path.capacity() + d.type.capacity();
+    // portNets: node per port, key short -- count node overhead + key.
+    for (const auto& [port, net] : d.portNets) {
+      (void)net;
+      b += 3 * sizeof(void*) + sizeof(int) + port.capacity();
+    }
+  }
+  return b;
 }
 
 }  // namespace
@@ -66,7 +94,18 @@ CheckRequest CheckRequest::netlistOnly(layout::CellId root) {
 
 Workspace::Workspace(layout::Library lib, tech::Technology tech,
                      WorkspaceOptions options)
-    : lib_(std::move(lib)), tech_(std::move(tech)), exec_(options.threads) {}
+    : lib_(std::move(lib)),
+      tech_(std::move(tech)),
+      opts_(options),
+      exec_(options.threads) {}
+
+Workspace::Workspace(layout::Library lib, tech::Technology tech,
+                     engine::Executor& exec, WorkspaceOptions options)
+    : lib_(std::move(lib)),
+      tech_(std::move(tech)),
+      opts_(options),
+      exec_(1),  // serial stub; all parallelism comes from *extExec_
+      extExec_(&exec) {}
 
 std::shared_ptr<Workspace::Entry> Workspace::acquire(layout::CellId root,
                                                      bool& hit) {
@@ -75,15 +114,52 @@ std::shared_ptr<Workspace::Entry> Workspace::acquire(layout::CellId root,
   if (slot && slot->revision == lib_.revision()) {
     hit = true;
     ++stats_.viewHits;
+    slot->lastUse = ++lruTick_;
     return slot;
   }
   if (slot) ++stats_.viewEvictions;
   slot = std::make_shared<Entry>();
   slot->revision = lib_.revision();
+  slot->lastUse = ++lruTick_;
   slot->view = std::make_shared<engine::HierarchyView>(lib_, root);
   ++stats_.viewMisses;
   hit = false;
   return slot;
+}
+
+void Workspace::enforceCacheLimit() {
+  if (opts_.maxCacheBytes == 0) return;
+  std::lock_guard<std::mutex> lock(cacheMu_);
+  const auto entryBytes = [](const Entry& e) {
+    return e.view->memoryBytes() +
+           e.netlistBytes.load(std::memory_order_acquire);
+  };
+  // Evict coldest-first until the accounted total fits, sparing the most
+  // recently acquired entry (evicting what we just served would turn a
+  // too-small cap into a cold cache on every request). Eviction only
+  // drops the map's reference: an in-flight request keeps its entry
+  // alive through its own shared_ptr, and a later request on an evicted
+  // root transparently rebuilds.
+  while (cache_.size() > 1) {
+    std::size_t total = 0;
+    std::uint64_t newest = 0;
+    for (const auto& [root, e] : cache_) {
+      (void)root;
+      total += entryBytes(*e);
+      newest = std::max(newest, e->lastUse);
+    }
+    if (total <= opts_.maxCacheBytes) return;
+    auto coldest = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second->lastUse == newest) continue;
+      if (coldest == cache_.end() ||
+          it->second->lastUse < coldest->second->lastUse)
+        coldest = it;
+    }
+    if (coldest == cache_.end()) return;
+    cache_.erase(coldest);
+    ++stats_.lruEvictions;
+  }
 }
 
 std::shared_ptr<engine::HierarchyView> Workspace::view(layout::CellId root) {
@@ -107,6 +183,8 @@ std::shared_ptr<const netlist::Netlist> Workspace::netlistFor(
   e.netlist = std::make_shared<const netlist::Netlist>(
       netlist::extract(*e.view, tech_, exec, opts));
   e.nlOpts = opts;
+  e.netlistBytes.store(netlistMemoryBytes(*e.netlist),
+                       std::memory_order_release);
   hit = false;
   return e.netlist;
 }
@@ -178,6 +256,8 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  // Cache bookkeeping is not part of the request's clock.
+  enforceCacheLimit();
   return r;
 }
 
@@ -186,28 +266,92 @@ CheckResult Workspace::run(const CheckRequest& req) {
     engine::Executor dedicated(req.threads);
     return serve(req, dedicated);
   }
-  return serve(req, exec_);
+  return serve(req, activeExec());
 }
 
 std::vector<CheckResult> Workspace::runBatch(
     std::span<const CheckRequest> reqs) {
   std::vector<CheckResult> out(reqs.size());
   engine::Pipeline pipe;
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    // Independent stages (no deps): the ready-queue dispatcher starts the
-    // costliest requests first and overlaps the rest; each stage writes
-    // only its own slot, so `out` is in request order whatever the
-    // schedule was. serve() never throws, so one bad request cannot abort
-    // the batch.
-    pipe.add({"req" + std::to_string(i) + ":" + toString(reqs[i].kind),
+
+  // Batch-wide netlist dedup: one prefetch stage per (root, extract
+  // options) pair that two or more netlist-consuming requests share. The
+  // consumers declare a dependency on it, so the extraction runs exactly
+  // once and as early as the dispatcher can schedule it — instead of
+  // every consumer racing to the per-entry netlist mutex, where the
+  // losers would block a worker each for the whole extraction. The
+  // deliberate tradeoff: a consuming DRC request's cheap geometry stages
+  // (elements/symbols/connections — a few percent of a pipeline, per the
+  // Fig. 10 breakdown) no longer overlap the extraction, in exchange for
+  // never pinning workers on the mutex and for request clocks that start
+  // after the shared work is done. A failing prefetch is swallowed here:
+  // each consumer then re-attempts and reports the failure through its
+  // own CheckResult::error.
+  struct Prefetch {
+    std::string stage;
+    layout::CellId root{0};
+    netlist::ExtractOptions opts;
+    std::size_t uses{0};
+  };
+  std::vector<Prefetch> prefetches;
+  for (const CheckRequest& r : reqs) {
+    if (!needsNetlist(r.kind)) continue;
+    auto it = std::find_if(prefetches.begin(), prefetches.end(),
+                           [&](const Prefetch& p) {
+                             return p.root == r.root && p.opts == r.extract;
+                           });
+    if (it != prefetches.end())
+      ++it->uses;
+    else
+      prefetches.push_back({"", r.root, r.extract, 1});
+  }
+  prefetches.erase(std::remove_if(prefetches.begin(), prefetches.end(),
+                                  [](const Prefetch& p) {
+                                    return p.uses < 2;
+                                  }),
+                   prefetches.end());
+  for (std::size_t k = 0; k < prefetches.size(); ++k) {
+    Prefetch& p = prefetches[k];
+    p.stage = "nl" + std::to_string(k);
+    pipe.add({p.stage,
               {},
+              [this, root = p.root, opts = p.opts](engine::Executor& e) {
+                try {
+                  bool viewHit = false;
+                  const std::shared_ptr<Entry> entry = acquire(root, viewHit);
+                  bool nlHit = false;
+                  netlistFor(*entry, opts, e, nlHit);
+                } catch (...) {
+                  // Reported per-request by the consumers.
+                }
+                return report::Report{};
+              },
+              costHint(CheckKind::kNetlistOnly)});
+  }
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Request stages write only their own slot, so `out` is in request
+    // order whatever the schedule was; serve() never throws, so one bad
+    // request cannot abort the batch. The only dependencies are the
+    // netlist prefetches — requests stay independent of each other.
+    std::vector<std::string> deps;
+    if (needsNetlist(reqs[i].kind)) {
+      auto it = std::find_if(prefetches.begin(), prefetches.end(),
+                             [&](const Prefetch& p) {
+                               return p.root == reqs[i].root &&
+                                      p.opts == reqs[i].extract;
+                             });
+      if (it != prefetches.end()) deps.push_back(it->stage);
+    }
+    pipe.add({"req" + std::to_string(i) + ":" + toString(reqs[i].kind),
+              std::move(deps),
               [this, &out, reqs, i](engine::Executor& e) {
                 out[i] = serve(reqs[i], e);
                 return report::Report{};
               },
               costHint(reqs[i].kind)});
   }
-  pipe.run(exec_);
+  pipe.run(activeExec());
   return out;
 }
 
@@ -215,6 +359,11 @@ Workspace::CacheStats Workspace::cacheStats() const {
   std::lock_guard<std::mutex> lock(cacheMu_);
   CacheStats s = stats_;
   s.cachedViews = cache_.size();
+  for (const auto& [root, e] : cache_) {
+    (void)root;
+    s.cacheBytes += e->view->memoryBytes() +
+                    e->netlistBytes.load(std::memory_order_acquire);
+  }
   return s;
 }
 

@@ -22,6 +22,7 @@
 /// one (slot-per-request, the engine's determinism contract; see
 /// docs/workspace.md and docs/engine.md).
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -141,12 +142,12 @@ struct CheckResult {
   bool netlistCacheHit{false};
   /// Library revision this result was computed against.
   std::uint64_t revision{0};
-  /// End-to-end wall-clock of this request, seconds. Caveat inside a
-  /// pooled runBatch: a waiting request can steal a *sibling* request's
-  /// work through the executor's help loop, so one result's clock may
-  /// include time spent on another's behalf. Use the batch's outer wall
-  /// clock for throughput, and threads=1 (or single run()s) for clean
-  /// per-request latency.
+  /// End-to-end wall-clock of this request, seconds — clean per
+  /// request, including inside pooled batches: each pipeline run's help
+  /// loop steals only work carrying its own scope tag (docs/engine.md,
+  /// "Help scopes"), so this clock never absorbs a sibling request's
+  /// runtime. Overlapping requests' clocks legitimately overlap; use
+  /// the batch's outer wall clock for throughput.
   double seconds{0};
   /// Request tag, echoed back.
   std::string tag;
@@ -162,8 +163,21 @@ struct CheckResult {
 struct WorkspaceOptions {
   /// Size of the persistent shared pool: <= 0 selects the host's
   /// hardware concurrency, 1 is fully serial (the deterministic
-  /// reference schedule).
+  /// reference schedule). Ignored when the Workspace is constructed on a
+  /// caller-owned executor.
   int threads{0};
+
+  /// LRU cap on the view cache, in accounted bytes (each entry's
+  /// engine::HierarchyView::memoryBytes() plus its cached netlist; flat
+  /// views and their grid indexes dominate). 0 = unbounded, the classic
+  /// editor-session behavior: one live entry per root, stale revisions
+  /// evicted on mutation. A server juggling many roots sets a cap: after
+  /// every request the coldest entries are evicted (least-recent
+  /// acquire first) until the accounted total fits. The entry serving
+  /// the most recent request is never evicted, so a single view larger
+  /// than the cap still serves (cache-of-one); evicted roots simply
+  /// rebuild on their next request — correctness is never affected.
+  std::size_t maxCacheBytes{0};
 };
 
 /// A long-lived checking session over one library + technology: the
@@ -178,6 +192,14 @@ class Workspace {
   Workspace(layout::Library lib, tech::Technology tech,
             WorkspaceOptions options = {});
 
+  /// Same, but run on a caller-owned executor instead of spawning a
+  /// private pool (WorkspaceOptions::threads is ignored; no workers are
+  /// created). This is how a dic::server::Server shard hosts many
+  /// Workspaces on one per-shard pool. `exec` must outlive the
+  /// Workspace.
+  Workspace(layout::Library lib, tech::Technology tech,
+            engine::Executor& exec, WorkspaceOptions options = {});
+
   /// The owned library, read-only.
   const layout::Library& library() const { return lib_; }
   /// Mutable library access for edit sessions. Mutations bump
@@ -186,8 +208,10 @@ class Workspace {
   layout::Library& library() { return lib_; }
   /// The owned technology.
   const tech::Technology& technology() const { return tech_; }
-  /// The shared persistent pool (benches size their tables off it).
-  engine::Executor& executor() { return exec_; }
+  /// The executor requests run on: the private persistent pool, or the
+  /// caller-owned one when constructed with the sharing constructor
+  /// (benches size their tables off it).
+  engine::Executor& executor() { return activeExec(); }
 
   /// Serve one request. Never throws for per-request failures: a failed
   /// check returns its message in CheckResult::error.
@@ -210,8 +234,14 @@ class Workspace {
     std::size_t viewHits{0};       ///< requests served by a cached view
     std::size_t viewMisses{0};     ///< requests that built a fresh view
     std::size_t viewEvictions{0};  ///< stale views dropped after mutation
+    std::size_t lruEvictions{0};   ///< cold views dropped by the byte cap
     std::size_t netlistHits{0};    ///< requests served by a cached netlist
     std::size_t cachedViews{0};    ///< live entries right now
+    /// Accounted bytes of the live entries right now (views plus cached
+    /// netlists) -- what WorkspaceOptions::maxCacheBytes is enforced
+    /// against. Maintained incrementally by the views' builders, so the
+    /// snapshot is cheap.
+    std::size_t cacheBytes{0};
   };
   /// Snapshot of the cache counters.
   CacheStats cacheStats() const;
@@ -221,24 +251,37 @@ class Workspace {
   /// netlist extracted from it (default-equal extract options only).
   struct Entry {
     std::uint64_t revision{0};            ///< library revision at build
+    std::uint64_t lastUse{0};             ///< LRU tick of the last acquire
     std::shared_ptr<engine::HierarchyView> view;
     std::mutex nlMu;                      ///< guards netlist + nlOpts
     std::shared_ptr<const netlist::Netlist> netlist;
     netlist::ExtractOptions nlOpts;       ///< options netlist was built with
+    /// Approximate bytes of the cached netlist, published after each
+    /// extraction. Atomic so the LRU accounting can read it without
+    /// taking nlMu (which is held across whole extractions).
+    std::atomic<std::size_t> netlistBytes{0};
   };
 
+  engine::Executor& activeExec() { return extExec_ ? *extExec_ : exec_; }
   std::shared_ptr<Entry> acquire(layout::CellId root, bool& hit);
   std::shared_ptr<const netlist::Netlist> netlistFor(
       Entry& e, const netlist::ExtractOptions& opts, engine::Executor& exec,
       bool& hit);
   CheckResult serve(const CheckRequest& req, engine::Executor& exec);
+  /// Evict coldest entries until the accounted bytes fit maxCacheBytes
+  /// (no-op when the cap is 0). Runs after every request; never evicts
+  /// the most recently acquired entry.
+  void enforceCacheLimit();
 
   layout::Library lib_;
   tech::Technology tech_;
+  WorkspaceOptions opts_;
   engine::Executor exec_;
+  engine::Executor* extExec_{nullptr};  ///< caller-owned pool, if sharing
 
-  mutable std::mutex cacheMu_;  ///< guards cache_ and the counters
+  mutable std::mutex cacheMu_;  ///< guards cache_, the counters, lruTick_
   std::map<layout::CellId, std::shared_ptr<Entry>> cache_;
+  std::uint64_t lruTick_{0};  ///< bumped per acquire; orders lastUse
   CacheStats stats_;
 };
 

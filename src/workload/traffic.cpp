@@ -1,0 +1,90 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dic::workload {
+
+namespace {
+
+/// splitmix64: small, seedable, and identical everywhere — the trace
+/// must not depend on the standard library's engine choices.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Weighted pick: index i with probability weights[i] / sum.
+  std::size_t pick(const std::vector<double>& weights, double total) {
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+};
+
+}  // namespace
+
+std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts) {
+  Rng rng(opts.seed);
+
+  const std::vector<double> kindWeights = {
+      opts.weightDrc, opts.weightBaseline, opts.weightErc, opts.weightNetlist};
+  constexpr CheckKind kKinds[] = {
+      CheckKind::kHierarchicalDrc, CheckKind::kFlatBaselineDrc,
+      CheckKind::kErc, CheckKind::kNetlistOnly};
+  double kindTotal = 0;
+  for (const double w : kindWeights) kindTotal += w;
+
+  const std::size_t nLibs = std::max<std::size_t>(1, opts.libraries);
+  std::vector<double> libWeights(nLibs, 1.0);
+  if (opts.zipfPopularity)
+    for (std::size_t i = 0; i < nLibs; ++i)
+      libWeights[i] = 1.0 / static_cast<double>(i + 1);
+  double libTotal = 0;
+  for (const double w : libWeights) libTotal += w;
+
+  std::vector<TrafficEvent> trace;
+  trace.reserve(opts.requests);
+  double clock = 0;
+  for (std::size_t k = 0; k < opts.requests; ++k) {
+    TrafficEvent ev;
+    ev.library = rng.pick(libWeights, libTotal);
+    ev.kind = kindTotal > 0 ? kKinds[rng.pick(kindWeights, kindTotal)]
+                            : CheckKind::kHierarchicalDrc;
+    if (opts.arrivalsPerSecond > 0) {
+      // Exponential inter-arrival (Poisson process), clamped away from
+      // log(0).
+      const double u = std::max(rng.uniform(), 1e-12);
+      clock += -std::log(u) / opts.arrivalsPerSecond;
+      ev.arrivalSeconds = clock;
+    }
+    trace.push_back(ev);
+  }
+  return trace;
+}
+
+CheckRequest materialize(const TrafficEvent& ev, layout::CellId root) {
+  switch (ev.kind) {
+    case CheckKind::kHierarchicalDrc: return CheckRequest::drc(root);
+    case CheckKind::kFlatBaselineDrc: return CheckRequest::baseline(root);
+    case CheckKind::kErc: return CheckRequest::ercCheck(root);
+    case CheckKind::kNetlistOnly: return CheckRequest::netlistOnly(root);
+  }
+  return CheckRequest::drc(root);
+}
+
+}  // namespace dic::workload

@@ -1,0 +1,59 @@
+#pragma once
+/// \file traffic.hpp
+/// Deterministic synthetic check traffic for the serving tier: a trace
+/// of (library, request-kind, arrival-time) events driving a fleet of
+/// generated chips through a dic::server::Server or a bare Workspace.
+///
+/// Everything is seeded and reproducible — the generator uses its own
+/// splitmix/LCG stream, never global randomness — so a bench or test
+/// replaying the same TrafficOptions sees the same trace. Two arrival
+/// models cover the classic serving experiments:
+///
+///  * closed loop (arrivalsPerSecond == 0): every event's arrival is 0;
+///    the driver keeps a fixed number of outstanding requests and
+///    submits the next the moment one completes (throughput-bound).
+///  * open loop (arrivalsPerSecond > 0): exponential inter-arrivals at
+///    the given rate; the driver submits on schedule regardless of
+///    completions (latency-under-load, queue growth, backpressure).
+
+#include <cstdint>
+#include <vector>
+
+#include "service/workspace.hpp"
+
+namespace dic::workload {
+
+/// One synthetic submission.
+struct TrafficEvent {
+  std::size_t library{0};   ///< index into the driver's library fleet
+  CheckKind kind{CheckKind::kHierarchicalDrc};
+  double arrivalSeconds{0}; ///< offset from trace start (0 in closed loop)
+};
+
+/// Trace shape knobs.
+struct TrafficOptions {
+  std::size_t libraries{4};  ///< fleet size events are spread over
+  std::size_t requests{64};  ///< trace length
+  /// Relative request-kind mix {drc, baseline, erc, netlist}; weights
+  /// need not sum to anything. A zero weight removes the kind.
+  double weightDrc{4};
+  double weightBaseline{2};
+  double weightErc{3};
+  double weightNetlist{1};
+  /// Open-loop arrival rate; 0 = closed-loop trace.
+  double arrivalsPerSecond{0};
+  /// Library popularity: true = 1/(rank+1) Zipf-like skew (library 0
+  /// hottest — the realistic many-tenants shape), false = uniform.
+  bool zipfPopularity{true};
+  std::uint64_t seed{1};
+};
+
+/// Generate the event trace for `opts` (deterministic in the options).
+/// Open-loop arrivals are sorted ascending.
+std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts);
+
+/// Turn an event into the concrete request for its library's root cell
+/// (reference settings per kind, via the CheckRequest factories).
+CheckRequest materialize(const TrafficEvent& ev, layout::CellId root);
+
+}  // namespace dic::workload

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <random>
+#include <thread>
 
 #include "drc/checker.hpp"
 #include "engine/executor.hpp"
@@ -260,6 +261,53 @@ TEST(Executor, SubmitRunsTasksAndHelpUntilDrains) {
     exec.helpUntil([&] { return doneCount.load() == n; });
     EXPECT_EQ(doneCount.load(), n);
   }
+}
+
+TEST(Executor, ScopedHelpStealsOnlyMatchingTasks) {
+  // One pool worker, parked on a latch so the deque piles up. The main
+  // thread then helps with scope A: it must run the A-tagged tasks (its
+  // "own pipeline run") and leave the B-tagged one for the worker —
+  // that's what keeps a blocked coordinator's wall clock free of sibling
+  // runs' work.
+  engine::Executor exec(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> parked{false};
+  exec.submit([&] {
+    parked.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  const engine::Executor::ScopeId scopeA = engine::Executor::newScope();
+  const engine::Executor::ScopeId scopeB = engine::Executor::newScope();
+  std::atomic<int> aDone{0};
+  std::atomic<bool> bDone{false};
+  exec.submit([&] { bDone.store(true); }, scopeB);
+  for (int i = 0; i < 3; ++i)
+    exec.submit(
+        [&] {
+          // A nested submit inherits the executing task's scope, so the
+          // scoped helper may pick it up too (a stage's inner fan-out).
+          exec.submit([&] { aDone.fetch_add(1); });
+          aDone.fetch_add(1);
+        },
+        scopeA);
+
+  exec.helpUntil([&] { return aDone.load() == 6; }, scopeA);
+  EXPECT_EQ(aDone.load(), 6);
+  EXPECT_FALSE(bDone.load());  // foreign scope: not stolen by the helper
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  // The worker (which ignores scopes) drains the B task.
+  exec.helpUntil([&] { return bDone.load(); });
+  EXPECT_TRUE(bDone.load());
 }
 
 TEST(Pipeline, DependenciesGateExecutionAndMergeIsDeclaredOrder) {

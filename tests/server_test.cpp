@@ -1,0 +1,467 @@
+// Tests for the dic::server serving tier: stable routing, concurrent
+// multi-shard submission byte-identical to sequential per-library
+// Workspace runs, two-phase shutdown draining queued work, the QueueFull
+// reject path, rolling dropLibrary under a submit storm, and the
+// Workspace view-cache LRU byte cap the server relies on for
+// long-running shards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/queue.hpp"
+#include "server/server.hpp"
+#include "service/workspace.hpp"
+#include "workload/generator.hpp"
+#include "workload/inject.hpp"
+#include "workload/traffic.hpp"
+
+namespace dic {
+namespace {
+
+/// A small injected chip; seed varies the defect plant per library so
+/// libraries are distinguishable by their reports.
+workload::GeneratedChip makeChip(unsigned seed,
+                                 const workload::ChipParams& p = {1, 1, 2, 2,
+                                                                  true}) {
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip chip = workload::generateChip(t, p);
+  workload::InjectionPlan plan;
+  workload::inject(chip, t, plan, seed);
+  return chip;
+}
+
+TEST(BoundedQueue, CapacityRejectAndDrainAfterClose) {
+  server::BoundedQueue<int> q(2);
+  int v = 1;
+  EXPECT_EQ(q.tryPush(v), server::PushResult::kOk);
+  v = 2;
+  EXPECT_EQ(q.tryPush(v), server::PushResult::kOk);
+  v = 3;
+  EXPECT_EQ(q.tryPush(v), server::PushResult::kFull);
+  EXPECT_EQ(v, 3);  // kept on failure
+  q.close();
+  EXPECT_EQ(q.tryPush(v), server::PushResult::kClosed);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);  // accepted items survive the close
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(Server, StableRoutingAndRegistration) {
+  server::ServerOptions opts;
+  opts.shards = 4;
+  opts.threadsPerShard = 1;
+  server::Server srv(opts);
+  EXPECT_EQ(srv.shardCount(), 4);
+
+  // Routing is a pure function of the id.
+  EXPECT_EQ(srv.shardOf("libA"), srv.shardOf("libA"));
+  EXPECT_EQ(static_cast<std::uint64_t>(srv.shardOf("libA")),
+            server::stableHash("libA") % 4u);
+
+  workload::GeneratedChip chip = makeChip(1);
+  EXPECT_TRUE(srv.addLibrary("libA", chip.lib, tech::nmos()));
+  EXPECT_FALSE(srv.addLibrary("libA", chip.lib, tech::nmos()));  // duplicate
+  EXPECT_EQ(srv.libraryCount(), 1u);
+  EXPECT_TRUE(srv.dropLibrary("libA"));
+  EXPECT_FALSE(srv.dropLibrary("libA"));
+  EXPECT_EQ(srv.libraryCount(), 0u);
+}
+
+TEST(Server, UnknownLibraryReportsNotFound) {
+  server::ServerOptions opts;
+  opts.shards = 2;
+  opts.threadsPerShard = 1;
+  server::Server srv(opts);
+  CheckResult r = srv.submit("ghost", CheckRequest::drc(0)).get();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, server::kErrLibraryNotFound);
+
+  std::vector<CheckResult> rs =
+      srv.submitBatch("ghost", {CheckRequest::drc(0), CheckRequest::ercCheck(0)})
+          .get();
+  ASSERT_EQ(rs.size(), 2u);
+  for (const CheckResult& x : rs) EXPECT_EQ(x.error, server::kErrLibraryNotFound);
+}
+
+TEST(Server, ConcurrentSubmitMatchesSequentialPerLibrary) {
+  // 4 libraries across 4 shards, hammered from 8 client threads with a
+  // deterministic mixed trace. Every result must be byte-identical to a
+  // sequential per-library Workspace run of the same request — the
+  // serving tier may reorder *scheduling*, never *results*.
+  constexpr int kLibs = 4;
+  constexpr int kClients = 8;
+
+  // Sequential reference: per library, per kind, the report text.
+  std::map<std::string, std::map<CheckKind, std::string>> ref;
+  for (int l = 0; l < kLibs; ++l) {
+    workload::GeneratedChip chip = makeChip(10 + l);
+    const layout::CellId top = chip.top;
+    Workspace ws(std::move(chip.lib), tech::nmos(), {/*threads=*/1});
+    const std::string id = "lib" + std::to_string(l);
+    for (const CheckKind k :
+         {CheckKind::kHierarchicalDrc, CheckKind::kFlatBaselineDrc,
+          CheckKind::kErc, CheckKind::kNetlistOnly}) {
+      workload::TrafficEvent ev;
+      ev.kind = k;
+      ref[id][k] = ws.run(workload::materialize(ev, top)).report.text();
+    }
+  }
+
+  server::ServerOptions opts;
+  opts.shards = 4;
+  opts.threadsPerShard = 2;
+  opts.queueCapacity = 256;
+  server::Server srv(opts);
+  std::vector<layout::CellId> tops(kLibs);
+  for (int l = 0; l < kLibs; ++l) {
+    workload::GeneratedChip chip = makeChip(10 + l);
+    tops[l] = chip.top;
+    ASSERT_TRUE(srv.addLibrary("lib" + std::to_string(l), std::move(chip.lib),
+                               tech::nmos()));
+  }
+
+  // One deterministic trace per client thread.
+  struct Submitted {
+    std::size_t library;
+    CheckKind kind;
+    std::future<CheckResult> fut;
+  };
+  std::vector<std::vector<Submitted>> perClient(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      workload::TrafficOptions topt;
+      topt.libraries = kLibs;
+      topt.requests = 12;
+      topt.seed = 100 + static_cast<std::uint64_t>(c);
+      for (const workload::TrafficEvent& ev : workload::generateTrace(topt)) {
+        const std::string id = "lib" + std::to_string(ev.library);
+        perClient[c].push_back(
+            {ev.library, ev.kind,
+             srv.submit(id, workload::materialize(ev, tops[ev.library]))});
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  std::size_t checked = 0;
+  for (auto& batch : perClient) {
+    for (Submitted& s : batch) {
+      const CheckResult r = s.fut.get();
+      ASSERT_TRUE(r.ok()) << r.error;
+      const std::string id = "lib" + std::to_string(s.library);
+      EXPECT_EQ(r.report.text(), ref[id][s.kind])
+          << id << " kind " << toString(s.kind);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, static_cast<std::size_t>(kClients) * 12u);
+
+  const server::ServerStats st = srv.stats();
+  EXPECT_EQ(st.totalServed(), checked);
+  EXPECT_EQ(st.totalRejected(), 0u);
+  EXPECT_GT(st.totalCacheBytes(), 0u);  // warm views are accounted
+}
+
+TEST(Server, ShutdownDrainsQueuedWork) {
+  // Queue up more work than one serial shard can start on immediately,
+  // then shut down: phase 2 must drain — every accepted future resolves
+  // with a real result, none with ServerStopped.
+  server::ServerOptions opts;
+  opts.shards = 1;
+  opts.threadsPerShard = 1;
+  opts.queueCapacity = 64;
+  server::Server srv(opts);
+  workload::GeneratedChip chip = makeChip(3);
+  const layout::CellId top = chip.top;
+  ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), tech::nmos()));
+
+  std::vector<std::future<CheckResult>> futs;
+  for (int k = 0; k < 16; ++k)
+    futs.push_back(srv.submit("lib", CheckRequest::drc(top)));
+  srv.shutdown();
+
+  std::string refText;
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    CheckResult r = futs[k].get();
+    ASSERT_TRUE(r.ok()) << "request " << k << ": " << r.error;
+    if (k == 0)
+      refText = r.report.text();
+    else
+      EXPECT_EQ(r.report.text(), refText) << "request " << k;
+  }
+  EXPECT_EQ(srv.stats().totalServed(), futs.size());
+
+  // Phase 1 after the fact: the intake is closed.
+  CheckResult late = srv.submit("lib", CheckRequest::drc(top)).get();
+  EXPECT_EQ(late.error, server::kErrServerStopped);
+  EXPECT_FALSE(srv.addLibrary("late", layout::Library{}, tech::nmos()));
+}
+
+TEST(Server, QueueFullRejectPath) {
+  // Reject policy, capacity 1: stuff the single shard with heavy DRC
+  // requests far faster than it can serve them. The overflow must come
+  // back as immediate QueueFull results, and accepted + rejected must
+  // account for every submission.
+  server::ServerOptions opts;
+  opts.shards = 1;
+  opts.threadsPerShard = 1;
+  opts.queueCapacity = 1;
+  opts.overflow = server::OverflowPolicy::kReject;
+  server::Server srv(opts);
+  workload::GeneratedChip chip = makeChip(4, {2, 2, 2, 4, true});
+  const layout::CellId top = chip.top;
+  ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), tech::nmos()));
+
+  constexpr int kBurst = 12;
+  std::vector<std::future<CheckResult>> futs;
+  for (int k = 0; k < kBurst; ++k)
+    futs.push_back(srv.submit("lib", CheckRequest::drc(top)));
+
+  int ok = 0, rejected = 0;
+  for (auto& f : futs) {
+    CheckResult r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.error, server::kErrQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kBurst);
+  // A cold DRC on the 2x2-block chip takes orders of magnitude longer
+  // than 12 enqueues; with one in flight and one queued slot, the burst
+  // cannot all be accepted.
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(ok, 1);  // in-flight + queued still serve
+  const server::ServerStats st = srv.stats();
+  EXPECT_EQ(st.totalRejected(), static_cast<std::size_t>(rejected));
+  EXPECT_EQ(st.totalServed(), static_cast<std::size_t>(ok));
+}
+
+TEST(Server, BatchGoesThroughWorkspaceBatchDispatch) {
+  server::ServerOptions opts;
+  opts.shards = 2;
+  opts.threadsPerShard = 2;
+  server::Server srv(opts);
+  workload::GeneratedChip chip = makeChip(5);
+  const layout::CellId top = chip.top;
+
+  // Sequential reference on an identical library.
+  workload::GeneratedChip ref = makeChip(5);
+  Workspace ws(std::move(ref.lib), tech::nmos(), {1});
+
+  ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), tech::nmos()));
+  const std::vector<CheckRequest> reqs = {
+      CheckRequest::drc(top), CheckRequest::baseline(top),
+      CheckRequest::ercCheck(top), CheckRequest::netlistOnly(top)};
+  std::vector<CheckResult> out = srv.submitBatch("lib", reqs).get();
+  ASSERT_EQ(out.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_TRUE(out[i].ok()) << out[i].error;
+    EXPECT_EQ(out[i].report.text(), ws.run(reqs[i]).report.text())
+        << "request " << i;
+  }
+  EXPECT_EQ(srv.stats().totalServed(), reqs.size());
+}
+
+TEST(Server, RollingDropLibraryUnderSubmitStorm) {
+  // The CI stress shape: clients storm two libraries while another
+  // thread rolls one of them (drop + re-add) repeatedly. Every future
+  // must resolve — to a real result or a clean LibraryNotFound — and
+  // the survivor library's results must stay byte-identical throughout.
+  server::ServerOptions opts;
+  opts.shards = 2;
+  opts.threadsPerShard = 2;
+  opts.queueCapacity = 128;
+  server::Server srv(opts);
+
+  workload::GeneratedChip stable = makeChip(6);
+  const layout::CellId stableTop = stable.top;
+  ASSERT_TRUE(srv.addLibrary("stable", std::move(stable.lib), tech::nmos()));
+  {
+    workload::GeneratedChip rolling = makeChip(7);
+    ASSERT_TRUE(
+        srv.addLibrary("rolling", std::move(rolling.lib), tech::nmos()));
+  }
+  const layout::CellId rollingTop = makeChip(7).top;
+
+  const std::string refText = [&] {
+    workload::GeneratedChip c = makeChip(6);
+    Workspace ws(std::move(c.lib), tech::nmos(), {1});
+    return ws.run(CheckRequest::ercCheck(stableTop)).report.text();
+  }();
+
+  std::atomic<bool> stop{false};
+  std::thread roller([&] {
+    for (int k = 0; k < 8; ++k) {
+      srv.dropLibrary("rolling");
+      workload::GeneratedChip c = makeChip(7);
+      srv.addLibrary("rolling", std::move(c.lib), tech::nmos());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> clients;
+  std::mutex outMu;
+  std::size_t served = 0, notFound = 0;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t myServed = 0, myNotFound = 0;
+      int k = 0;
+      while (!stop.load()) {
+        const bool toRolling = (k++ + c) % 2 == 0;
+        CheckResult r =
+            toRolling
+                ? srv.submit("rolling", CheckRequest::ercCheck(rollingTop))
+                      .get()
+                : srv.submit("stable", CheckRequest::ercCheck(stableTop))
+                      .get();
+        if (r.ok()) {
+          ++myServed;
+          if (!toRolling) EXPECT_EQ(r.report.text(), refText);
+        } else {
+          EXPECT_EQ(r.error, server::kErrLibraryNotFound);
+          ++myNotFound;
+        }
+      }
+      std::lock_guard<std::mutex> lock(outMu);
+      served += myServed;
+      notFound += myNotFound;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  roller.join();
+  EXPECT_GT(served, 0u);  // traffic flowed throughout the roll
+  srv.shutdown();
+  // Server-side accounting matches what the clients observed and
+  // reconciles after the drain: completed requests are served,
+  // accepted-but-dropped ones are failed, and nothing is left pending.
+  const server::ServerStats st = srv.stats();
+  EXPECT_EQ(st.totalServed(), served);
+  EXPECT_EQ(st.totalFailed(), notFound);
+  std::size_t submitted = 0;
+  for (const server::ShardStats& sh : st.shards) submitted += sh.submitted;
+  EXPECT_EQ(submitted, st.totalServed() + st.totalFailed());
+}
+
+// --- the Workspace LRU cap the server relies on ------------------------------
+
+TEST(WorkspaceLru, UnboundedByDefault) {
+  workload::GeneratedChip chip = makeChip(8);
+  Workspace ws(std::move(chip.lib), tech::nmos(), {1});
+  ASSERT_TRUE(ws.run(CheckRequest::drc(chip.top)).ok());
+  ASSERT_TRUE(ws.run(CheckRequest::drc(chip.block)).ok());
+  const Workspace::CacheStats s = ws.cacheStats();
+  EXPECT_EQ(s.cachedViews, 2u);
+  EXPECT_EQ(s.lruEvictions, 0u);
+  EXPECT_GT(s.cacheBytes, 0u);
+}
+
+TEST(WorkspaceLru, EvictsColdestRootAndStaysUnderCap) {
+  // Measure the two roots' accounted footprints first, then cap the
+  // cache so exactly one fits: serving the second root must evict the
+  // first (the coldest), keep accounted bytes under the cap, and a
+  // re-submit of the evicted root must rebuild byte-identically.
+  const workload::ChipParams p = {1, 1, 2, 2, true};
+  std::size_t bytesTop = 0, bytesBlock = 0;
+  std::string refTop;
+  layout::CellId top{}, block{};
+  {
+    workload::GeneratedChip chip = makeChip(9, p);
+    top = chip.top;
+    block = chip.block;
+    Workspace ws(std::move(chip.lib), tech::nmos(), {1});
+    const CheckResult r = ws.run(CheckRequest::drc(top));
+    ASSERT_TRUE(r.ok());
+    refTop = r.report.text();
+    bytesTop = ws.cacheStats().cacheBytes;
+    ASSERT_TRUE(ws.run(CheckRequest::drc(block)).ok());
+    bytesBlock = ws.cacheStats().cacheBytes - bytesTop;
+    ASSERT_GT(bytesTop, 0u);
+    ASSERT_GT(bytesBlock, 0u);
+  }
+
+  workload::GeneratedChip chip = makeChip(9, p);
+  WorkspaceOptions wopts;
+  wopts.threads = 1;
+  // Room for the larger root alone, not for both.
+  wopts.maxCacheBytes = std::max(bytesTop, bytesBlock) + bytesTop / 8;
+  ASSERT_LT(wopts.maxCacheBytes, bytesTop + bytesBlock);
+  Workspace ws(std::move(chip.lib), tech::nmos(), wopts);
+
+  ASSERT_TRUE(ws.run(CheckRequest::drc(top)).ok());
+  {
+    const Workspace::CacheStats s = ws.cacheStats();
+    EXPECT_EQ(s.cachedViews, 1u);
+    EXPECT_EQ(s.lruEvictions, 0u);
+    EXPECT_LE(s.cacheBytes, wopts.maxCacheBytes);
+  }
+
+  // Root `block` becomes MRU; `top` is the coldest and must go.
+  ASSERT_TRUE(ws.run(CheckRequest::drc(block)).ok());
+  {
+    const Workspace::CacheStats s = ws.cacheStats();
+    EXPECT_EQ(s.cachedViews, 1u);
+    EXPECT_EQ(s.lruEvictions, 1u);
+    EXPECT_LE(s.cacheBytes, wopts.maxCacheBytes);
+  }
+
+  // The evicted root rebuilds transparently and byte-identically.
+  const CheckResult again = ws.run(CheckRequest::drc(top));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.viewCacheHit);  // it was evicted, not cached
+  EXPECT_EQ(again.report.text(), refTop);
+  {
+    const Workspace::CacheStats s = ws.cacheStats();
+    EXPECT_EQ(s.lruEvictions, 2u);  // block went cold in turn
+    EXPECT_LE(s.cacheBytes, wopts.maxCacheBytes);
+  }
+}
+
+TEST(WorkspaceLru, ServerEnforcesPerLibraryCap) {
+  // End to end through the server: a shard library with a tiny cap
+  // serves alternating roots; the cache never holds both.
+  const workload::ChipParams p = {1, 1, 2, 2, true};
+  std::size_t oneRoot = 0;
+  layout::CellId top{}, block{};
+  {
+    workload::GeneratedChip chip = makeChip(11, p);
+    top = chip.top;
+    block = chip.block;
+    Workspace ws(std::move(chip.lib), tech::nmos(), {1});
+    ASSERT_TRUE(ws.run(CheckRequest::drc(top)).ok());
+    oneRoot = ws.cacheStats().cacheBytes;
+  }
+
+  server::ServerOptions opts;
+  opts.shards = 1;
+  opts.threadsPerShard = 1;
+  opts.maxCacheBytesPerLibrary = oneRoot + oneRoot / 2;
+  server::Server srv(opts);
+  workload::GeneratedChip chip = makeChip(11, p);
+  ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), tech::nmos()));
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(srv.submit("lib", CheckRequest::drc(top)).get().ok());
+    ASSERT_TRUE(srv.submit("lib", CheckRequest::drc(block)).get().ok());
+  }
+  const server::ServerStats st = srv.stats();
+  ASSERT_EQ(st.shards.size(), 1u);
+  EXPECT_LE(st.shards[0].cacheBytes, opts.maxCacheBytesPerLibrary);
+  EXPECT_EQ(st.shards[0].served, 6u);
+}
+
+}  // namespace
+}  // namespace dic
