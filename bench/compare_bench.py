@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for bench_serving_throughput.json.
+
+Compares a candidate sweep (written by ``bench_serving_throughput`` into
+its working directory) against the committed baseline
+(``bench/baselines/bench_serving_throughput.json``) and fails — exit 1 —
+if any closed-loop configuration's warm-pool req/s dropped more than
+``--tolerance`` (default 30%) below the baseline.
+
+Only *closed-loop* rows gate: they are throughput-bound, so a slower
+build shows up directly as lower req/s. Open-loop rows are
+arrival-schedule-bound (req/s ~= the configured rate whenever the server
+keeps up), so they are checked for shape only and reported
+informationally; a capacity regression there surfaces as queue growth,
+not req/s.
+
+Configurations are matched by (mode, shards, threadsPerShard,
+dispatchers). A configuration present in the baseline but missing from
+the candidate is a failure (the sweep shrank); extra candidate
+configurations are reported and ignored (refresh the baseline to start
+gating them).
+
+Usage:
+  compare_bench.py BASELINE.json CANDIDATE.json [--tolerance 0.30]
+
+Exit codes: 0 ok, 1 regression (or missing config), 2 bad input.
+
+To refresh the baseline after an intentional perf change, run the bench
+and copy its JSON over bench/baselines/ (CI uploads every run's JSON as
+the ``bench-serving-throughput`` artifact, so a runner-generated file is
+always one download away).
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(cfg):
+    return (cfg["mode"], cfg["shards"], cfg["threadsPerShard"],
+            cfg.get("dispatchers", 1))
+
+
+def fmt(k):
+    return f"{k[0]} shards={k[1]} thr/sh={k[2]} disp={k[3]}"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            sweep = json.load(f)["multi_shard_sweep"]
+    except (OSError, ValueError, KeyError) as ex:
+        print(f"compare_bench: cannot read sweep from {path}: {ex}",
+              file=sys.stderr)
+        sys.exit(2)
+    return {key(cfg): cfg for cfg in sweep}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional req/s drop on closed-loop "
+                         "rows (default 0.30)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures = []
+    print(f"{'configuration':<40} {'baseline':>10} {'candidate':>10} "
+          f"{'ratio':>7}  verdict")
+    for k, bcfg in sorted(base.items()):
+        ccfg = cand.get(k)
+        if ccfg is None:
+            failures.append(f"missing configuration: {fmt(k)}")
+            print(f"{fmt(k):<40} {bcfg['reqPerSec']:>10.1f} {'—':>10} "
+                  f"{'—':>7}  MISSING")
+            continue
+        b, c = bcfg["reqPerSec"], ccfg["reqPerSec"]
+        ratio = c / b if b > 0 else float("inf")
+        gated = k[0] == "closed"
+        ok = (not gated) or ratio >= 1.0 - args.tolerance
+        verdict = ("ok" if ok else "REGRESSION") + ("" if gated else
+                                                    " (informational)")
+        print(f"{fmt(k):<40} {b:>10.1f} {c:>10.1f} {ratio:>6.2f}x  {verdict}")
+        if not ok:
+            failures.append(
+                f"{fmt(k)}: req/s {c:.1f} < {(1 - args.tolerance):.2f} * "
+                f"baseline {b:.1f}")
+    for k in sorted(set(cand) - set(base)):
+        print(f"{fmt(k):<40} {'—':>10} {cand[k]['reqPerSec']:>10.1f} "
+              f"{'—':>7}  new (not gated)")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed "
+          f"(closed-loop req/s within {args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,10 +170,15 @@ class Server {
   std::future<CheckResult> submit(const LibraryId& id, CheckRequest req);
 
   /// Submit a batch for `id`'s library as one queue job. The shard runs
-  /// it through Workspace::runBatch, so the batch's requests overlap on
-  /// the shard pool (with batch-wide netlist dedup) and results come
-  /// back in request order. On a server-level failure every slot of the
-  /// returned vector carries the kErr* result.
+  /// it through the decomposed Workspace::runBatch: every request's
+  /// inner stages (view warm-up, netlist extraction, checks, merge)
+  /// feed the shard's batch-wide ready-queue dispatcher with shared
+  /// view/netlist prefetch stages, so one request's checks overlap
+  /// another's extraction on the shard pool and a failing request is
+  /// isolated mid-graph. Results come back in request order,
+  /// byte-identical to sequential per-request runs. On a server-level
+  /// failure every slot of the returned vector carries the kErr*
+  /// result.
   std::future<std::vector<CheckResult>> submitBatch(
       const LibraryId& id, std::vector<CheckRequest> reqs);
 

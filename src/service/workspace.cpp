@@ -271,87 +271,300 @@ CheckResult Workspace::run(const CheckRequest& req) {
 
 std::vector<CheckResult> Workspace::runBatch(
     std::span<const CheckRequest> reqs) {
-  std::vector<CheckResult> out(reqs.size());
+  const std::size_t n = reqs.size();
+  std::vector<CheckResult> out(n);
+  if (n == 0) return out;
+
+  // Decomposed batch dispatch: instead of scheduling each request as one
+  // opaque stage, every request contributes its INNER pipeline stages —
+  // view warm-up, netlist extraction, the checks, and a merge — to one
+  // batch-wide graph on the ready-queue dispatcher. Cross-request edges
+  // express exactly the shared work (one view-build stage per root, one
+  // extraction-prefetch stage per (root, ExtractOptions) pair with two or
+  // more consumers), so request B's check stages start the moment B's own
+  // dependencies finish — while request A's extraction is still running —
+  // instead of queueing behind the whole of A. One pipeline run means one
+  // help scope spanning the batch: the calling thread helps with any of
+  // the batch's stages while it waits. Results stay byte-identical to
+  // sequential per-request runs because every stage writes only its own
+  // request's slots and each request's report merges its stage slots in
+  // the request's own declaration order (the engine contract;
+  // docs/workspace.md "Batch dispatch").
   engine::Pipeline pipe;
 
-  // Batch-wide netlist dedup: one prefetch stage per (root, extract
-  // options) pair that two or more netlist-consuming requests share. The
-  // consumers declare a dependency on it, so the extraction runs exactly
-  // once and as early as the dispatcher can schedule it — instead of
-  // every consumer racing to the per-entry netlist mutex, where the
-  // losers would block a worker each for the whole extraction. The
-  // deliberate tradeoff: a consuming DRC request's cheap geometry stages
-  // (elements/symbols/connections — a few percent of a pipeline, per the
-  // Fig. 10 breakdown) no longer overlap the extraction, in exchange for
-  // never pinning workers on the mutex and for request clocks that start
-  // after the shared work is done. A failing prefetch is swallowed here:
-  // each consumer then re-attempts and reports the failure through its
-  // own CheckResult::error.
-  struct Prefetch {
-    std::string stage;
+  // ---- shared view stages: one per unique root -------------------------
+  // Entries are acquired up front (HierarchyView construction is lazy and
+  // cheap); the stage pays the shared placement build once so consumers
+  // start from a warm view. A bad root throws here and poisons exactly
+  // the requests on that root (FailurePolicy::kIsolate).
+  struct ViewShare {
+    layout::CellId root{0};
+    std::string name;
+    std::shared_ptr<Entry> entry;
+    bool hit{false};
+  };
+  std::vector<ViewShare> views;
+  for (const CheckRequest& r : reqs) {
+    if (std::find_if(views.begin(), views.end(), [&](const ViewShare& v) {
+          return v.root == r.root;
+        }) == views.end())
+      views.push_back({r.root, "view" + std::to_string(views.size()), {}, false});
+  }
+  for (ViewShare& v : views) {
+    v.entry = acquire(v.root, v.hit);
+    pipe.add({v.name,
+              {},
+              [entry = v.entry](engine::Executor&) {
+                entry->view->placements();
+                return report::Report{};
+              },
+              /*cost=*/3.0});
+  }
+  const auto viewOf = [&](layout::CellId root) -> const ViewShare& {
+    return *std::find_if(views.begin(), views.end(),
+                         [&](const ViewShare& v) { return v.root == root; });
+  };
+
+  // ---- shared netlist prefetch stages ---------------------------------
+  // One per (root, extract options) pair that two or more
+  // netlist-consuming requests share: the extraction runs exactly once,
+  // every consumer's own netlist stage becomes a cache handoff, and no
+  // worker is ever pinned blocking on the per-entry netlist mutex. With a
+  // single consumer the request's own netlist stage does the extraction
+  // directly. A failing prefetch poisons its consumers, which then report
+  // the same deterministic failure a sequential run would hit.
+  struct NlShare {
     layout::CellId root{0};
     netlist::ExtractOptions opts;
     std::size_t uses{0};
+    std::string name;
   };
-  std::vector<Prefetch> prefetches;
+  std::vector<NlShare> prefetches;
   for (const CheckRequest& r : reqs) {
     if (!needsNetlist(r.kind)) continue;
     auto it = std::find_if(prefetches.begin(), prefetches.end(),
-                           [&](const Prefetch& p) {
+                           [&](const NlShare& p) {
                              return p.root == r.root && p.opts == r.extract;
                            });
     if (it != prefetches.end())
       ++it->uses;
     else
-      prefetches.push_back({"", r.root, r.extract, 1});
+      prefetches.push_back({r.root, r.extract, 1, ""});
   }
   prefetches.erase(std::remove_if(prefetches.begin(), prefetches.end(),
-                                  [](const Prefetch& p) {
-                                    return p.uses < 2;
-                                  }),
+                                  [](const NlShare& p) { return p.uses < 2; }),
                    prefetches.end());
   for (std::size_t k = 0; k < prefetches.size(); ++k) {
-    Prefetch& p = prefetches[k];
-    p.stage = "nl" + std::to_string(k);
-    pipe.add({p.stage,
-              {},
-              [this, root = p.root, opts = p.opts](engine::Executor& e) {
-                try {
-                  bool viewHit = false;
-                  const std::shared_ptr<Entry> entry = acquire(root, viewHit);
-                  bool nlHit = false;
-                  netlistFor(*entry, opts, e, nlHit);
-                } catch (...) {
-                  // Reported per-request by the consumers.
-                }
+    NlShare& p = prefetches[k];
+    p.name = "nl" + std::to_string(k);
+    pipe.add({p.name,
+              {viewOf(p.root).name},
+              [this, entry = viewOf(p.root).entry,
+               opts = p.opts](engine::Executor& e) {
+                bool nlHit = false;
+                netlistFor(*entry, opts, e, nlHit);
                 return report::Report{};
               },
               costHint(CheckKind::kNetlistOnly)});
   }
+  const auto prefetchOf = [&](const CheckRequest& r) -> const NlShare* {
+    auto it = std::find_if(prefetches.begin(), prefetches.end(),
+                           [&](const NlShare& p) {
+                             return p.root == r.root && p.opts == r.extract;
+                           });
+    return it != prefetches.end() ? &*it : nullptr;
+  };
 
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    // Request stages write only their own slot, so `out` is in request
-    // order whatever the schedule was; serve() never throws, so one bad
-    // request cannot abort the batch. The only dependencies are the
-    // netlist prefetches — requests stay independent of each other.
-    std::vector<std::string> deps;
-    if (needsNetlist(reqs[i].kind)) {
-      auto it = std::find_if(prefetches.begin(), prefetches.end(),
-                             [&](const Prefetch& p) {
-                               return p.root == reqs[i].root &&
-                                      p.opts == reqs[i].extract;
-                             });
-      if (it != prefetches.end()) deps.push_back(it->stage);
+  // ---- per-request stages ---------------------------------------------
+  // Stable per-request state the stage bodies write into (slots only;
+  // the engine's slot-ordered-merge rule is what keeps the batch
+  // byte-identical to sequential runs).
+  struct ReqState {
+    std::unique_ptr<drc::Checker> checker;  ///< hierarchical DRC only
+    report::Report baselineRep;
+    baseline::Stats baselineStats;
+    report::Report ercRep;
+    std::shared_ptr<const netlist::Netlist> netlist;  ///< erc/netlist-only
+    bool netlistHit{false};
+    std::vector<std::string> ownStages;  ///< declaration order, incl. merge
+    const ViewShare* view{nullptr};
+    const NlShare* prefetch{nullptr};
+  };
+  std::vector<ReqState> states(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const CheckRequest& req = reqs[i];
+    ReqState& st = states[i];
+    st.view = &viewOf(req.root);
+    st.prefetch = needsNetlist(req.kind) ? prefetchOf(req) : nullptr;
+    const std::string pfx = "req" + std::to_string(i) + ":";
+    const std::vector<std::string> viewDep = {st.view->name};
+    std::vector<std::string> nlDeps = viewDep;
+    if (st.prefetch) nlDeps.push_back(st.prefetch->name);
+    const std::shared_ptr<Entry> entry = st.view->entry;
+
+    switch (req.kind) {
+      case CheckKind::kHierarchicalDrc: {
+        drc::Options o;
+        o.metric = req.metric;
+        o.checkDevices = req.checkDevices;
+        o.hierarchicalInteractions = req.hierarchicalInteractions;
+        o.useNetInformation = req.useNetInformation;
+        o.instantiateViolations = req.instantiateViolations;
+        o.extract = req.extract;
+        st.checker = std::make_unique<drc::Checker>(entry->view, tech_, o);
+        // The request's netlist stage routes through the per-view cache:
+        // after the shared prefetch (or a sibling request) published the
+        // extraction, this is a handoff.
+        st.checker->setNetlistSupplier(
+            [this, entry, opts = req.extract, &st](engine::Executor& e) {
+              return netlistFor(*entry, opts, e, st.netlistHit);
+            });
+        std::vector<std::string> prefetchDep;
+        if (st.prefetch) prefetchDep.push_back(st.prefetch->name);
+        for (engine::Stage& s :
+             st.checker->stages(pfx, viewDep, std::move(prefetchDep))) {
+          st.ownStages.push_back(s.name);
+          pipe.add(std::move(s));
+        }
+        break;
+      }
+      case CheckKind::kFlatBaselineDrc: {
+        baseline::Options o;
+        o.metric = req.metric;
+        o.checkWidth = req.baselineWidth;
+        o.checkSpacing = req.baselineSpacing;
+        o.checkContacts = req.baselineContacts;
+        st.ownStages.push_back(pfx + "baseline");
+        pipe.add(baseline::stage(pfx + "baseline", viewDep, entry->view,
+                                 tech_, o, &st.baselineRep,
+                                 &st.baselineStats));
+        break;
+      }
+      case CheckKind::kErc:
+      case CheckKind::kNetlistOnly: {
+        st.ownStages.push_back(pfx + "netlist");
+        pipe.add({pfx + "netlist", std::move(nlDeps),
+                  [this, entry, opts = req.extract, &st](engine::Executor& e) {
+                    st.netlist = netlistFor(*entry, opts, e, st.netlistHit);
+                    return report::Report{};
+                  },
+                  costHint(CheckKind::kNetlistOnly)});
+        if (req.kind == CheckKind::kErc) {
+          st.ownStages.push_back(pfx + "erc");
+          pipe.add(erc::stage(pfx + "erc", {pfx + "netlist"}, &st.netlist,
+                              tech_, req.erc, &st.ercRep));
+        }
+        break;
+      }
     }
-    pipe.add({"req" + std::to_string(i) + ":" + toString(reqs[i].kind),
-              std::move(deps),
-              [this, &out, reqs, i](engine::Executor& e) {
-                out[i] = serve(reqs[i], e);
+
+    // The merge stage assembles the request's CheckResult from the slots
+    // the moment the request's last stage finishes — it does not wait for
+    // the rest of the batch. Timing fields are filled post-run from the
+    // batch pipeline's results.
+    pipe.add({pfx + "merge", st.ownStages,
+              [this, &req, &st, &r = out[i], entry](engine::Executor&) {
+                r.kind = req.kind;
+                r.root = req.root;
+                r.tag = req.tag;
+                r.revision = entry->revision;
+                r.viewCacheHit = st.view->hit;
+                r.netlistCacheHit = st.netlistHit;
+                switch (req.kind) {
+                  case CheckKind::kHierarchicalDrc:
+                    r.report = st.checker->report();
+                    r.interactionStats = st.checker->interactionStats();
+                    r.netlist = st.checker->lastNetlist();
+                    break;
+                  case CheckKind::kFlatBaselineDrc:
+                    r.report = st.baselineRep;
+                    r.baselineStats = st.baselineStats;
+                    break;
+                  case CheckKind::kErc:
+                    r.report = st.ercRep;
+                    r.netlist = st.netlist;
+                    break;
+                  case CheckKind::kNetlistOnly:
+                    r.netlist = st.netlist;
+                    break;
+                }
                 return report::Report{};
               },
-              costHint(reqs[i].kind)});
+              /*cost=*/0.1});
+    st.ownStages.push_back(pfx + "merge");
   }
-  pipe.run(activeExec());
+
+  // One dispatcher, one help scope, the whole batch: a failing stage
+  // poisons only its transitive dependents (that request — and, for a
+  // failing shared stage, that root's requests), never its siblings.
+  pipe.run(activeExec(), engine::FailurePolicy::kIsolate);
+
+  // ---- post-run: timings and failure reporting ------------------------
+  std::map<std::string, const engine::StageResult*> byName;
+  for (const engine::StageResult& r : pipe.results()) byName[r.name] = &r;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CheckRequest& req = reqs[i];
+    ReqState& st = states[i];
+    CheckResult& r = out[i];
+    // Shared stages first so the root cause's message wins over a
+    // dependent's skip.
+    std::vector<const engine::StageResult*> chain;
+    chain.push_back(byName.at(st.view->name));
+    if (st.prefetch) chain.push_back(byName.at(st.prefetch->name));
+    for (const std::string& nm : st.ownStages) chain.push_back(byName.at(nm));
+    std::string err;
+    bool failed = false;
+    for (const engine::StageResult* sr : chain) {
+      if (sr->ok()) continue;
+      failed = true;
+      if (err.empty() && !sr->error.empty()) err = sr->error;
+    }
+    const auto spanOf = [](const std::vector<const engine::StageResult*>& c) {
+      double first = -1.0, last = 0.0;
+      for (const engine::StageResult* sr : c) {
+        if (sr->start < 0) continue;
+        if (first < 0 || sr->start < first) first = sr->start;
+        last = std::max(last, sr->start + sr->seconds);
+      }
+      return first >= 0 ? last - first : 0.0;
+    };
+    if (failed) {
+      // The merge stage was skipped; fill the identity fields here. The
+      // clock spans everything the failed request's chain actually ran
+      // (shared stages included — the failure often lives there), so a
+      // failed request is never reported as zero-cost.
+      r.kind = req.kind;
+      r.root = req.root;
+      r.tag = req.tag;
+      r.revision = st.view->entry->revision;
+      r.viewCacheHit = st.view->hit;
+      r.seconds = spanOf(chain);
+      r.error = err.empty() ? "batch stage skipped: dependency failed" : err;
+      continue;
+    }
+    // The request's clock spans its own stages (batch-relative starts);
+    // shared prefetch work is deliberately outside it, mirroring how a
+    // warm sequential run would not pay for it either.
+    std::vector<const engine::StageResult*> own;
+    for (const std::string& nm : st.ownStages) own.push_back(byName.at(nm));
+    r.seconds = spanOf(own);
+    if (req.kind == CheckKind::kHierarchicalDrc) {
+      const std::string pfx = "req" + std::to_string(i) + ":";
+      for (const char* name :
+           {"elements", "symbols", "connections", "netlist", "interactions"}) {
+        engine::StageResult sr = *byName.at(pfx + name);
+        sr.name = name;  // canonical stage names, as a standalone run
+        r.stageResults.push_back(std::move(sr));
+      }
+      r.stageTimes.elements = r.stageResults[0].seconds;
+      r.stageTimes.symbols = r.stageResults[1].seconds;
+      r.stageTimes.connections = r.stageResults[2].seconds;
+      r.stageTimes.netlist = r.stageResults[3].seconds;
+      r.stageTimes.interactions = r.stageResults[4].seconds;
+    }
+  }
+  enforceCacheLimit();
   return out;
 }
 

@@ -16,11 +16,13 @@
 /// next request transparently rebuilds.
 ///
 /// Batches go through the same engine that runs the DIC pipeline:
-/// `runBatch` declares each request as a cost-hinted stage on the
-/// ready-queue dispatcher, so independent requests overlap on the shared
-/// pool while results stay byte-identical to running the requests one by
-/// one (slot-per-request, the engine's determinism contract; see
-/// docs/workspace.md and docs/engine.md).
+/// `runBatch` decomposes every request into its inner pipeline stages
+/// (shared view warm-up, netlist extraction, checks, merge) and feeds
+/// them all to one batch-wide ready-queue dispatcher with cross-request
+/// dependency edges, so one request's checks overlap another's
+/// extraction while results stay byte-identical to running the requests
+/// one by one (slot-per-request merging, the engine's determinism
+/// contract; see docs/workspace.md and docs/engine.md).
 
 #include <atomic>
 #include <cstdint>
@@ -217,11 +219,19 @@ class Workspace {
   /// check returns its message in CheckResult::error.
   CheckResult run(const CheckRequest& req);
 
-  /// Serve a batch. Each request becomes a cost-hinted stage on the
-  /// ready-queue dispatcher, so independent requests overlap on the
-  /// shared pool; requests on the same root share one view build.
-  /// Results arrive in request order and are byte-identical to calling
-  /// run() on each request sequentially.
+  /// Serve a batch through the decomposed batch graph: every request's
+  /// inner stages (view warm-up, netlist extraction, per-check, merge)
+  /// become first-class cost-hinted stages on one ready-queue
+  /// dispatcher, with cross-request edges for shared work (one view
+  /// stage per root, one extraction-prefetch per shared (root, extract)
+  /// pair) — so request B's checks start while request A's extraction
+  /// is still running. A failing stage poisons only its own request
+  /// (engine::FailurePolicy::kIsolate); results arrive in request order
+  /// and are byte-identical to calling run() on each request
+  /// sequentially at every pool size. Batch telemetry semantics
+  /// (viewCacheHit per batch acquire, batch-relative stage starts,
+  /// seconds spanning the request's own stages) are documented in
+  /// docs/workspace.md.
   std::vector<CheckResult> runBatch(std::span<const CheckRequest> reqs);
 
   /// The cached hierarchy view for `root` at the library's current

@@ -1,7 +1,9 @@
 #include "workload/traffic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 namespace dic::workload {
 
@@ -75,6 +77,32 @@ std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts) {
     trace.push_back(ev);
   }
   return trace;
+}
+
+void driveOpenLoop(const std::vector<TrafficEvent>& trace, int dispatchers,
+                   const std::function<void(const TrafficEvent&)>& submit) {
+  using Clock = std::chrono::steady_clock;
+  const int k = std::max(1, dispatchers);
+  const Clock::time_point t0 = Clock::now();
+  auto drive = [&](std::size_t first) {
+    for (std::size_t i = first; i < trace.size();
+         i += static_cast<std::size_t>(k)) {
+      const TrafficEvent& ev = trace[i];
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(ev.arrivalSeconds)));
+      submit(ev);
+    }
+  };
+  if (k <= 1) {
+    drive(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c)
+    threads.emplace_back(drive, static_cast<std::size_t>(c));
+  for (std::thread& th : threads) th.join();
 }
 
 CheckRequest materialize(const TrafficEvent& ev, layout::CellId root) {

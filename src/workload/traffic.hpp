@@ -17,6 +17,7 @@
 ///    completions (latency-under-load, queue growth, backpressure).
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "service/workspace.hpp"
@@ -55,5 +56,21 @@ std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts);
 /// Turn an event into the concrete request for its library's root cell
 /// (reference settings per kind, via the CheckRequest factories).
 CheckRequest materialize(const TrafficEvent& ev, layout::CellId root);
+
+/// Replay `trace`'s open-loop arrival schedule from `dispatchers`
+/// submitter threads sharing the ONE deterministic trace by striding:
+/// thread c takes events c, c+K, c+2K, ... (K = dispatchers), sleeps
+/// until each event's arrivalSeconds, then calls `submit(event)`. The
+/// union covers every event exactly once and each thread submits its
+/// slice in trace order, so the workload is identical for every K — only
+/// the submission parallelism changes. One dispatcher saturates near
+/// 1/submit-latency arrivals per second (the ROADMAP's open-loop
+/// saturation caveat); striding multiplies the measurable rate range by
+/// K without perturbing the trace. `submit` must be safe to call
+/// concurrently from the K threads (dic::server::Server::submit is).
+/// Blocks until every event has been submitted; with dispatchers <= 1
+/// runs inline on the caller.
+void driveOpenLoop(const std::vector<TrafficEvent>& trace, int dispatchers,
+                   const std::function<void(const TrafficEvent&)>& submit);
 
 }  // namespace dic::workload

@@ -275,6 +275,30 @@ TEST(Server, BatchGoesThroughWorkspaceBatchDispatch) {
   EXPECT_EQ(srv.stats().totalServed(), reqs.size());
 }
 
+TEST(Server, BatchFailureIsolatedInsideDecomposedGraph) {
+  // submitBatch rides the decomposed runBatch path: a bad-root request
+  // fails inside the shard's batch graph without touching its siblings,
+  // and the whole batch still resolves through one future.
+  server::ServerOptions opts;
+  opts.shards = 2;
+  opts.threadsPerShard = 2;
+  server::Server srv(opts);
+  workload::GeneratedChip chip = makeChip(6);
+  const layout::CellId top = chip.top;
+  ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), tech::nmos()));
+
+  const std::vector<CheckRequest> reqs = {
+      CheckRequest::drc(top), CheckRequest::drc(/*root=*/99999),
+      CheckRequest::ercCheck(top)};
+  std::vector<CheckResult> out = srv.submitBatch("lib", reqs).get();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok()) << out[0].error;
+  EXPECT_FALSE(out[1].ok());
+  EXPECT_FALSE(out[1].error.empty());
+  EXPECT_TRUE(out[2].ok()) << out[2].error;
+  EXPECT_EQ(srv.stats().totalServed(), reqs.size());
+}
+
 TEST(Server, RollingDropLibraryUnderSubmitStorm) {
   // The CI stress shape: clients storm two libraries while another
   // thread rolls one of them (drop + re-add) repeatedly. Every future
@@ -330,7 +354,9 @@ TEST(Server, RollingDropLibraryUnderSubmitStorm) {
                       .get();
         if (r.ok()) {
           ++myServed;
-          if (!toRolling) EXPECT_EQ(r.report.text(), refText);
+          if (!toRolling) {
+            EXPECT_EQ(r.report.text(), refText);
+          }
         } else {
           EXPECT_EQ(r.error, server::kErrLibraryNotFound);
           ++myNotFound;

@@ -4,11 +4,13 @@
 // bbox cache under cold concurrent lookups.
 #include <gtest/gtest.h>
 
+#include <future>
 #include <string>
 #include <vector>
 
 #include "engine/executor.hpp"
 #include "netlist_canonical.hpp"
+#include "server/server.hpp"
 #include "service/workspace.hpp"
 #include "workload/generator.hpp"
 #include "workload/inject.hpp"
@@ -151,12 +153,13 @@ TEST(Workspace, BatchByteIdenticalToSequentialAcrossThreads) {
       EXPECT_EQ(out[i].netlist ? canonicalText(*out[i].netlist) : "", refNl[i])
           << "threads=" << threads << " request " << i;
     }
-    // All five requests target one root: exactly one view build. The
-    // batch's netlist-prefetch stage performs one extra (counted)
-    // acquire, so hits = requests + prefetch - the single miss.
+    // All five requests target one root: the decomposed batch acquires
+    // each unique root exactly once (the shared view stage), so a cold
+    // batch is one miss and zero per-request hits.
     const Workspace::CacheStats s = ws.cacheStats();
     EXPECT_EQ(s.viewMisses, 1u) << "threads=" << threads;
-    EXPECT_EQ(s.viewHits, reqs.size()) << "threads=" << threads;
+    EXPECT_EQ(s.viewHits, 0u) << "threads=" << threads;
+    EXPECT_EQ(s.cachedViews, 1u) << "threads=" << threads;
   }
 }
 
@@ -187,20 +190,133 @@ TEST(Workspace, BatchDedupsNetlistExtractionAcrossRequests) {
 }
 
 TEST(Workspace, FailedRequestDoesNotAbortBatch) {
+  // Failed-request isolation MID-GRAPH: the bad roots' shared view stages
+  // fail inside the decomposed batch graph and poison exactly their own
+  // requests' subgraphs (kIsolate). The healthy requests — declared
+  // before, between, and after the failures — complete byte-identically
+  // to sequential runs.
+  const tech::Technology t = tech::nmos();
+  std::vector<std::string> refText(5);
+  {
+    workload::GeneratedChip chip = makeChip();
+    Workspace ws(std::move(chip.lib), t, {/*threads=*/1});
+    refText[0] = ws.run(CheckRequest::drc(chip.top)).report.text();
+    refText[2] = ws.run(CheckRequest::ercCheck(chip.top)).report.text();
+    refText[4] = ws.run(CheckRequest::baseline(chip.top)).report.text();
+  }
+
+  workload::GeneratedChip chip = makeChip();
+  Workspace ws(std::move(chip.lib), t, {4});
+
+  std::vector<CheckRequest> reqs;
+  reqs.push_back(CheckRequest::drc(chip.top));
+  reqs.push_back(CheckRequest::drc(/*root=*/99999));      // no such cell
+  reqs.push_back(CheckRequest::ercCheck(chip.top));
+  reqs.push_back(CheckRequest::ercCheck(/*root=*/88888));  // no such cell
+  reqs.push_back(CheckRequest::baseline(chip.top));
+
+  const std::vector<CheckResult> out = ws.runBatch(reqs);
+  ASSERT_EQ(out.size(), 5u);
+  for (const std::size_t bad : {std::size_t{1}, std::size_t{3}}) {
+    EXPECT_FALSE(out[bad].ok());
+    EXPECT_FALSE(out[bad].error.empty());
+    EXPECT_EQ(out[bad].root, reqs[bad].root);  // identity fields survive
+    EXPECT_EQ(out[bad].kind, reqs[bad].kind);
+  }
+  for (const std::size_t good :
+       {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    ASSERT_TRUE(out[good].ok()) << out[good].error;
+    EXPECT_EQ(out[good].report.text(), refText[good]) << "request " << good;
+  }
+}
+
+TEST(Workspace, DecomposedBatchFillsPerRequestStageTelemetry) {
   workload::GeneratedChip chip = makeChip();
   Workspace ws(std::move(chip.lib), tech::nmos(), {2});
 
   std::vector<CheckRequest> reqs;
   reqs.push_back(CheckRequest::drc(chip.top));
-  reqs.push_back(CheckRequest::drc(/*root=*/99999));  // no such cell
   reqs.push_back(CheckRequest::ercCheck(chip.top));
-
   const std::vector<CheckResult> out = ws.runBatch(reqs);
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_TRUE(out[0].ok()) << out[0].error;
-  EXPECT_FALSE(out[1].ok());
-  EXPECT_FALSE(out[1].error.empty());
-  EXPECT_TRUE(out[2].ok()) << out[2].error;
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_TRUE(out[0].ok()) << out[0].error;
+
+  // The DRC request's five stages are sliced out of the batch graph under
+  // their canonical names, every one started, and the request's clock
+  // spans its own stages.
+  ASSERT_EQ(out[0].stageResults.size(), 5u);
+  const char* names[] = {"elements", "symbols", "connections", "netlist",
+                         "interactions"};
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(out[0].stageResults[s].name, names[s]);
+    EXPECT_TRUE(out[0].stageResults[s].ok()) << names[s];
+    EXPECT_GE(out[0].stageResults[s].start, 0.0) << names[s];
+  }
+  EXPECT_GT(out[0].seconds, 0.0);
+  EXPECT_GT(out[0].stageTimes.total(), 0.0);
+  EXPECT_GT(out[0].interactionStats.candidatePairs, 0u);
+  // Non-DRC requests keep empty stage telemetry, as in sequential runs.
+  EXPECT_TRUE(out[1].stageResults.empty());
+}
+
+TEST(Workspace, DecomposedBatchByteIdenticalAcrossThreadAndShardSweep) {
+  // The acceptance sweep: decomposed batches must reproduce sequential
+  // per-request bytes for Workspace pool sizes {1, 2, 8} and, through the
+  // serving tier's submitBatch, shard counts {1, 4}.
+  const tech::Technology t = tech::nmos();
+  workload::GeneratedChip proto = makeChip();
+  std::vector<CheckRequest> reqs;
+  reqs.push_back(CheckRequest::drc(proto.top));
+  reqs.push_back(CheckRequest::baseline(proto.top));
+  reqs.push_back(CheckRequest::ercCheck(proto.top));
+  reqs.push_back(CheckRequest::netlistOnly(proto.top));
+  reqs.push_back(CheckRequest::drc(proto.top));  // duplicate: shares stages
+
+  std::vector<std::string> refText;
+  std::vector<std::string> refNl;
+  {
+    workload::GeneratedChip chip = makeChip();
+    Workspace ws(std::move(chip.lib), t, {/*threads=*/1});
+    for (const CheckRequest& r : reqs) {
+      const CheckResult res = ws.run(r);
+      ASSERT_TRUE(res.ok()) << res.error;
+      refText.push_back(res.report.text());
+      refNl.push_back(res.netlist ? canonicalText(*res.netlist) : "");
+    }
+  }
+  const auto expectMatch = [&](const std::vector<CheckResult>& out,
+                               const std::string& what) {
+    ASSERT_EQ(out.size(), reqs.size()) << what;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_TRUE(out[i].ok()) << what << " request " << i << ": "
+                               << out[i].error;
+      EXPECT_EQ(out[i].report.text(), refText[i])
+          << what << " request " << i;
+      EXPECT_EQ(out[i].netlist ? canonicalText(*out[i].netlist) : "",
+                refNl[i])
+          << what << " request " << i;
+    }
+  };
+
+  for (const int threads : {1, 2, 8}) {
+    workload::GeneratedChip chip = makeChip();
+    Workspace ws(std::move(chip.lib), t, {threads});
+    expectMatch(ws.runBatch(reqs), "threads=" + std::to_string(threads));
+  }
+
+  for (const int shards : {1, 4}) {
+    for (const int threadsPerShard : {1, 2, 8}) {
+      server::ServerOptions opts;
+      opts.shards = shards;
+      opts.threadsPerShard = threadsPerShard;
+      server::Server srv(opts);
+      workload::GeneratedChip chip = makeChip();
+      ASSERT_TRUE(srv.addLibrary("lib", std::move(chip.lib), t));
+      expectMatch(srv.submitBatch("lib", reqs).get(),
+                  "shards=" + std::to_string(shards) +
+                      " thr/sh=" + std::to_string(threadsPerShard));
+    }
+  }
 }
 
 TEST(Workspace, DedicatedPoolMatchesSharedPool) {
