@@ -1,34 +1,40 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for bench_serving_throughput.json.
+"""CI perf-regression gate for the machine-readable bench JSONs.
 
-Compares a candidate sweep (written by ``bench_serving_throughput`` into
-its working directory) against the committed baseline
-(``bench/baselines/bench_serving_throughput.json``) and fails — exit 1 —
-if any closed-loop configuration's warm-pool req/s dropped more than
-``--tolerance`` (default 30%) below the baseline.
+Compares a candidate run (written by a bench into its working directory)
+against the committed baseline under ``bench/baselines/`` and fails —
+exit 1 — if any gated row's throughput metric dropped more than
+``--tolerance`` (default 30%) below the baseline. Two schemas are
+understood, keyed by the JSON's top-level name:
 
-Only *closed-loop* rows gate: they are throughput-bound, so a slower
-build shows up directly as lower req/s. Open-loop rows are
-arrival-schedule-bound (req/s ~= the configured rate whenever the server
-keeps up), so they are checked for shape only and reported
-informationally; a capacity regression there surfaces as queue growth,
-not req/s.
+``multi_shard_sweep`` (bench_serving_throughput)
+    Rows keyed by (mode, shards, threadsPerShard, dispatchers); metric is
+    warm-pool ``reqPerSec``. Only *closed-loop* rows gate: they are
+    throughput-bound, so a slower build shows up directly as lower
+    req/s. Open-loop rows are arrival-schedule-bound (req/s ~= the
+    configured rate whenever the server keeps up), so they are checked
+    for shape only and reported informationally; a capacity regression
+    there surfaces as queue growth, not req/s.
 
-Configurations are matched by (mode, shards, threadsPerShard,
-dispatchers). A configuration present in the baseline but missing from
-the candidate is a failure (the sweep shrank); extra candidate
-configurations are reported and ignored (refresh the baseline to start
-gating them).
+``geom_kernels`` (bench_geom_kernels)
+    Rows keyed by (kernel, size, variant); metric is ``opsPerSec``
+    (input rects processed per second). Rows gate iff their own
+    ``gated`` flag is true — the committed table gates both the SoA and
+    scalar variants at 1e4/1e5 rects and leaves the 1e6 soa-only
+    headroom rows informational.
+
+In both schemas a row present in the baseline but missing from the
+candidate is a failure (the sweep shrank); extra candidate rows are
+reported and ignored (refresh the baseline to start gating them).
 
 Usage:
   compare_bench.py BASELINE.json CANDIDATE.json [--tolerance 0.30]
 
-Exit codes: 0 ok, 1 regression (or missing config), 2 bad input.
+Exit codes: 0 ok, 1 regression (or missing row), 2 bad input.
 
-To refresh the baseline after an intentional perf change, run the bench
+To refresh a baseline after an intentional perf change, run the bench
 and copy its JSON over bench/baselines/ (CI uploads every run's JSON as
-the ``bench-serving-throughput`` artifact, so a runner-generated file is
-always one download away).
+an artifact, so a runner-generated file is always one download away).
 """
 
 import argparse
@@ -36,24 +42,52 @@ import json
 import sys
 
 
-def key(cfg):
-    return (cfg["mode"], cfg["shards"], cfg["threadsPerShard"],
-            cfg.get("dispatchers", 1))
+class Schema:
+    """How to key, label, gate, and read the metric of one JSON shape."""
+
+    def __init__(self, top, metric, key, fmt, gated):
+        self.top = top        # top-level JSON key
+        self.metric = metric  # row field holding the gated throughput
+        self.key = key        # row -> hashable identity
+        self.fmt = fmt        # key -> human label
+        self.gated = gated    # row -> bool
 
 
-def fmt(k):
-    return f"{k[0]} shards={k[1]} thr/sh={k[2]} disp={k[3]}"
+SCHEMAS = [
+    Schema(
+        top="multi_shard_sweep",
+        metric="reqPerSec",
+        key=lambda r: (r["mode"], r["shards"], r["threadsPerShard"],
+                       r.get("dispatchers", 1)),
+        fmt=lambda k: f"{k[0]} shards={k[1]} thr/sh={k[2]} disp={k[3]}",
+        gated=lambda r: r["mode"] == "closed",
+    ),
+    Schema(
+        top="geom_kernels",
+        metric="opsPerSec",
+        key=lambda r: (r["kernel"], r["size"], r["variant"]),
+        fmt=lambda k: f"{k[0]} n={k[1]} {k[2]}",
+        gated=lambda r: bool(r.get("gated", True)),
+    ),
+]
 
 
-def load(path):
+def load(path, schema=None):
+    """Return (schema, {key: row}); the schema is sniffed from the
+    top-level key on first load and pinned for the candidate load."""
     try:
         with open(path) as f:
-            sweep = json.load(f)["multi_shard_sweep"]
-    except (OSError, ValueError, KeyError) as ex:
-        print(f"compare_bench: cannot read sweep from {path}: {ex}",
-              file=sys.stderr)
+            doc = json.load(f)
+    except (OSError, ValueError) as ex:
+        print(f"compare_bench: cannot read {path}: {ex}", file=sys.stderr)
         sys.exit(2)
-    return {key(cfg): cfg for cfg in sweep}
+    candidates = [schema] if schema else SCHEMAS
+    for s in candidates:
+        if s.top in doc:
+            return s, {s.key(r): r for r in doc[s.top]}
+    print(f"compare_bench: {path} has none of the known top-level keys "
+          f"({', '.join(s.top for s in candidates)})", file=sys.stderr)
+    sys.exit(2)
 
 
 def main():
@@ -61,36 +95,37 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("candidate")
     ap.add_argument("--tolerance", type=float, default=0.30,
-                    help="allowed fractional req/s drop on closed-loop "
-                         "rows (default 0.30)")
+                    help="allowed fractional drop of the gated metric "
+                         "(default 0.30)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    schema, base = load(args.baseline)
+    _, cand = load(args.candidate, schema)
+    fmt, metric = schema.fmt, schema.metric
 
     failures = []
-    print(f"{'configuration':<40} {'baseline':>10} {'candidate':>10} "
+    print(f"{'row':<40} {'baseline':>12} {'candidate':>12} "
           f"{'ratio':>7}  verdict")
-    for k, bcfg in sorted(base.items()):
-        ccfg = cand.get(k)
-        if ccfg is None:
-            failures.append(f"missing configuration: {fmt(k)}")
-            print(f"{fmt(k):<40} {bcfg['reqPerSec']:>10.1f} {'—':>10} "
+    for k, brow in sorted(base.items()):
+        crow = cand.get(k)
+        if crow is None:
+            failures.append(f"missing row: {fmt(k)}")
+            print(f"{fmt(k):<40} {brow[metric]:>12.1f} {'—':>12} "
                   f"{'—':>7}  MISSING")
             continue
-        b, c = bcfg["reqPerSec"], ccfg["reqPerSec"]
+        b, c = brow[metric], crow[metric]
         ratio = c / b if b > 0 else float("inf")
-        gated = k[0] == "closed"
+        gated = schema.gated(brow)
         ok = (not gated) or ratio >= 1.0 - args.tolerance
         verdict = ("ok" if ok else "REGRESSION") + ("" if gated else
                                                     " (informational)")
-        print(f"{fmt(k):<40} {b:>10.1f} {c:>10.1f} {ratio:>6.2f}x  {verdict}")
+        print(f"{fmt(k):<40} {b:>12.1f} {c:>12.1f} {ratio:>6.2f}x  {verdict}")
         if not ok:
             failures.append(
-                f"{fmt(k)}: req/s {c:.1f} < {(1 - args.tolerance):.2f} * "
+                f"{fmt(k)}: {metric} {c:.1f} < {(1 - args.tolerance):.2f} * "
                 f"baseline {b:.1f}")
     for k in sorted(set(cand) - set(base)):
-        print(f"{fmt(k):<40} {'—':>10} {cand[k]['reqPerSec']:>10.1f} "
+        print(f"{fmt(k):<40} {'—':>12} {cand[k][metric]:>12.1f} "
               f"{'—':>7}  new (not gated)")
 
     if failures:
@@ -98,8 +133,8 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("\nperf gate passed "
-          f"(closed-loop req/s within {args.tolerance:.0%} of baseline)")
+    print(f"\nperf gate passed (gated {metric} within "
+          f"{args.tolerance:.0%} of baseline)")
     return 0
 
 

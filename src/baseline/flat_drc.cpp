@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "engine/arena.hpp"
 #include "engine/hierarchy_view.hpp"
 #include "geom/spacing.hpp"
 #include "geom/width.hpp"
@@ -22,9 +23,12 @@ std::vector<std::vector<Rect>> components(const Region& layer) {
   const std::vector<Rect>& rects = layer.rects();
   netlist::UnionFind uf(rects.size());
   const engine::SpatialSet set(rects);
-  for (std::size_t i = 0; i < rects.size(); ++i)
-    for (std::size_t j : set.candidates(rects[i], 1))
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    set.candidatesInto(rects[i], 1, cand);
+    for (std::size_t j : cand)
       if (j > i && geom::closedTouch(rects[i], rects[j])) uf.unite(i, j);
+  }
   std::map<std::size_t, std::size_t> rootToComp;
   std::vector<std::vector<Rect>> out;
   for (std::size_t i = 0; i < rects.size(); ++i) {
@@ -86,7 +90,14 @@ report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
 
   std::vector<Region> mask(tech.layerCount());
   {
-    std::vector<std::vector<Rect>> rects(tech.layerCount());
+    // Per-layer staging rects live in the thread's scratch arena: the
+    // whole batch is reclaimed in one release when this block exits.
+    engine::Arena& arena = engine::scratchArena();
+    engine::ArenaScope scratch(arena);
+    const engine::ArenaAllocator<Rect> alloc(arena);
+    std::vector<engine::ArenaVector<Rect>> rects(
+        static_cast<std::size_t>(tech.layerCount()),
+        engine::ArenaVector<Rect>(alloc));
     for (const layout::FlatElement& e : fe) {
       const Region region = e.element.region();
       for (const Rect& r : region.rects())
@@ -131,8 +142,10 @@ report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
       std::vector<Rect> bbs(cs.size());
       for (std::size_t i = 0; i < cs.size(); ++i) bbs[i] = bboxOf(cs[i]);
       const engine::SpatialSet set(bbs, 16 * s);
+      std::vector<std::size_t> cand;
       for (std::size_t i = 0; i < cs.size(); ++i) {
-        for (std::size_t j : set.candidates(bbs[i], s)) {
+        set.candidatesInto(bbs[i], s, cand);
+        for (std::size_t j : cand) {
           if (j <= i) continue;
           if (stats) ++stats->pairChecks;
           const double d = setDistance(cs[i], cs[j], opts.metric);
@@ -165,9 +178,11 @@ report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
         std::vector<Rect> bbs(cb.size());
         for (std::size_t j = 0; j < cb.size(); ++j) bbs[j] = bboxOf(cb[j]);
         const engine::SpatialSet set(bbs, 16 * s);
+        std::vector<std::size_t> cand;
         for (std::size_t i = 0; i < ca.size(); ++i) {
           const Rect ba = bboxOf(ca[i]);
-          for (std::size_t j : set.candidates(ba, s)) {
+          set.candidatesInto(ba, s, cand);
+          for (std::size_t j : cand) {
             if (stats) ++stats->pairChecks;
             if (setsOverlapOrTouch(ca[i], cb[j])) continue;  // "a device"
             const double d = setDistance(ca[i], cb[j], opts.metric);

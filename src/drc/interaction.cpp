@@ -61,6 +61,12 @@ struct PairGeometry {
   Coord maxRule{0};
 };
 
+/// Integer interaction-distance filter: equivalent to the orthogonal
+/// rectDistance comparison but with no double round-trip.
+bool bboxesWithin(const Rect& a, const Rect& b, Coord d) {
+  return geom::chebyshev(geom::rectGap(a, b)) <= d;
+}
+
 }  // namespace
 
 void InteractionContext::buildMaps() {
@@ -154,15 +160,9 @@ PairGeometry pairGeometry(const InteractionContext& ctx, const Shape& a,
   const tech::SpacingRule& rule = ctx.tech.spacing(a.elem.layer, b.elem.layer);
   g.maxRule = std::max({rule.sameNet, rule.diffNet, rule.related});
   if (g.sameLayer || g.maxRule > 0) {
-    bool touch = false;
-    for (const Rect& ra : a.region.rects()) {
-      for (const Rect& rb : b.region.rects())
-        if (geom::closedTouch(ra, rb)) {
-          touch = true;
-          break;
-        }
-      if (touch) break;
-    }
+    // SoA-vectorized closed-touch scan (byte-equivalent to the quadratic
+    // closedTouch loop over both rect lists).
+    const bool touch = geom::regionsTouch(a.region, b.region);
     g.touching = touch;
     if (g.sameLayer && touch)
       g.skeletallyConnected = geom::skeletonsConnected(a.skel, b.skel);
@@ -292,14 +292,14 @@ report::Report checkInteractionsFlat(InteractionContext& ctx,
   exec.parallelFor(nChunks, [&](std::size_t c) {
     const std::size_t lo = shapes.size() * c / nChunks;
     const std::size_t hi = shapes.size() * (c + 1) / nChunks;
+    // One candidate buffer per chunk, reused across every query in the
+    // range: no per-element vector churn on the hot path.
+    std::vector<std::size_t> cand;
     for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t j :
-           ctx.view.flatCandidates(true, -1, shapes[i].bbox, dmax)) {
+      ctx.view.flatCandidatesInto(true, -1, shapes[i].bbox, dmax, cand);
+      for (std::size_t j : cand) {
         if (j <= i) continue;
-        if (geom::rectDistance(shapes[i].bbox, shapes[j].bbox,
-                               geom::Metric::kOrthogonal) >
-            static_cast<double>(dmax))
-          continue;
+        if (!bboxesWithin(shapes[i].bbox, shapes[j].bbox, dmax)) continue;
         ++chunkStats[c].candidatePairs;
         const PairGeometry g = pairGeometry(ctx, shapes[i], shapes[j]);
         // Same-cell-instance pairs had their connection legality checked
@@ -378,9 +378,7 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
       items.push_back({HierItem::kElemChild, wi, k, 0});
     for (std::size_t i = 0; i < w.children.size(); ++i)
       for (std::size_t j = i + 1; j < w.children.size(); ++j) {
-        if (geom::rectDistance(w.children[i].bbox, w.children[j].bbox,
-                               geom::Metric::kOrthogonal) >
-            static_cast<double>(dmax))
+        if (!bboxesWithin(w.children[i].bbox, w.children[j].bbox, dmax))
           continue;
         items.push_back({HierItem::kChildPair, wi, i, j});
       }
@@ -413,22 +411,20 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
       }
       case HierItem::kElemChild: {
         // (b) Local elements vs one child instance's overlap windows.
+        // The window buffer is hoisted out of the element loop and
+        // reused (cleared per query), not reallocated.
         const engine::ChildRef& ch = w.children[item.childA];
+        std::vector<engine::WindowElement> inner;
         for (const Shape& e : w.local) {
-          if (geom::rectDistance(e.bbox, ch.bbox, geom::Metric::kOrthogonal) >
-              static_cast<double>(dmax))
-            continue;
+          if (!bboxesWithin(e.bbox, ch.bbox, dmax)) continue;
           const Rect window = geom::intersect(e.bbox.inflated(dmax),
                                               ch.bbox.inflated(dmax));
-          std::vector<engine::WindowElement> inner;
+          inner.clear();
           ctx.view.collectWindow(ch.cell, ch.transform, window, ch.name,
                                  inner);
           for (const engine::WindowElement& we : inner) {
             const Shape x = makeShape(we, ctx.tech);
-            if (geom::rectDistance(e.bbox, x.bbox,
-                                   geom::Metric::kOrthogonal) >
-                static_cast<double>(dmax))
-              continue;
+            if (!bboxesWithin(e.bbox, x.bbox, dmax)) continue;
             ++stats.candidatePairs;
             const PairGeometry g = pairGeometry(ctx, e, x);
             for (const auto& p : *w.places)
@@ -454,10 +450,7 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
         for (const auto& we : wj) sj.push_back(makeShape(we, ctx.tech));
         for (const Shape& a : si) {
           for (const Shape& b : sj) {
-            if (geom::rectDistance(a.bbox, b.bbox,
-                                   geom::Metric::kOrthogonal) >
-                static_cast<double>(dmax))
-              continue;
+            if (!bboxesWithin(a.bbox, b.bbox, dmax)) continue;
             ++stats.candidatePairs;
             const PairGeometry g = pairGeometry(ctx, a, b);
             for (const auto& p : *w.places)

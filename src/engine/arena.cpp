@@ -1,0 +1,76 @@
+#include "engine/arena.hpp"
+
+#include <algorithm>
+
+namespace dic {
+namespace engine {
+
+namespace {
+
+/// Process-wide reserved-byte counter; arenas add on block growth and
+/// subtract on destruction (thread exit for the scratch arenas).
+std::atomic<std::size_t>& globalReserved() {
+  static std::atomic<std::size_t> bytes{0};
+  return bytes;
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  globalReserved().fetch_sub(reserved_, std::memory_order_relaxed);
+}
+
+std::size_t Arena::totalReservedBytes() {
+  return globalReserved().load(std::memory_order_relaxed);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t at = (base + offset_ + (align - 1)) & ~(align - 1);
+    const std::size_t off = static_cast<std::size_t>(at - base);
+    if (off + bytes <= b.size) {
+      used_ += off + bytes - offset_;
+      offset_ = off + bytes;
+      return reinterpret_cast<void*>(at);
+    }
+  }
+  return allocateSlow(bytes, align);
+}
+
+void* Arena::allocateSlow(std::size_t bytes, std::size_t align) {
+  // Walk to the next block that fits; reserve a new one when none does.
+  // Fragmentation left at the end of the abandoned block counts as used.
+  for (;;) {
+    if (cur_ < blocks_.size()) {
+      used_ += blocks_[cur_].size - std::min(offset_, blocks_[cur_].size);
+      ++cur_;
+      offset_ = 0;
+    }
+    if (cur_ == blocks_.size()) {
+      const std::size_t want = std::max(blockBytes_, bytes + align);
+      blocks_.push_back({std::make_unique<std::byte[]>(want), want});
+      reserved_ += want;
+      globalReserved().fetch_add(want, std::memory_order_relaxed);
+    }
+    Block& b = blocks_[cur_];
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t at = (base + offset_ + (align - 1)) & ~(align - 1);
+    const std::size_t off = static_cast<std::size_t>(at - base);
+    if (off + bytes <= b.size) {
+      used_ += off + bytes - offset_;
+      offset_ = off + bytes;
+      return reinterpret_cast<void*>(at);
+    }
+  }
+}
+
+Arena& scratchArena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace engine
+}  // namespace dic

@@ -1,0 +1,154 @@
+#pragma once
+/// \file arena.hpp
+/// Bump-pointer arena for per-check scratch geometry.
+///
+/// The serving hot path allocates short-lived vectors (candidate id lists,
+/// window element buffers, gap masks) on every check request. An Arena
+/// turns each of those into a pointer bump: blocks are retained at their
+/// high-water mark and handed back wholesale at stage (or loop-index)
+/// boundaries, so steady-state serving does no heap traffic for scratch.
+///
+/// Contract (see docs/geom.md):
+///  * thread-confined -- an Arena may only be used from one thread at a
+///    time; the per-thread `scratchArena()` instance never crosses threads.
+///  * stack discipline -- `mark()`/`release()` pairs nest; `ArenaScope` is
+///    the RAII form. The engine resets the scratch arena around every
+///    pipeline stage body and every parallelFor index.
+///  * byte-accounted -- every block an arena reserves is counted in the
+///    process-wide `Arena::totalReservedBytes()`, which the workspace
+///    surfaces beside its cache accounting.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dic {
+namespace engine {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
+
+  explicit Arena(std::size_t blockBytes = kDefaultBlockBytes)
+      : blockBytes_(blockBytes ? blockBytes : kDefaultBlockBytes) {}
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (any power of two).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array allocation (uninitialized storage).
+  template <class T>
+  T* allocateArray(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// A rewind point. Marks nest with stack discipline: release in reverse
+  /// order of mark. Blocks reserved after the mark stay reserved (the
+  /// high-water pool), only the bump cursor rewinds.
+  struct Mark {
+    std::size_t block{0};
+    std::size_t offset{0};
+    std::size_t used{0};
+  };
+  Mark mark() const { return {cur_, offset_, used_}; }
+  void release(const Mark& m) {
+    cur_ = m.block;
+    offset_ = m.offset;
+    used_ = m.used;
+  }
+
+  /// Rewind to empty (blocks retained).
+  void reset() {
+    cur_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset, including alignment padding
+  /// and fragmentation at block boundaries.
+  std::size_t usedBytes() const { return used_; }
+
+  /// Total bytes of backing blocks this arena holds (high-water mark).
+  std::size_t reservedBytes() const { return reserved_; }
+
+  std::size_t blockCount() const { return blocks_.size(); }
+
+  /// Process-wide sum of reservedBytes() over all live arenas. This is
+  /// what workspace cache accounting reports as scratch memory.
+  static std::size_t totalReservedBytes();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  void* allocateSlow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_{0};     ///< index of the block the cursor is in
+  std::size_t offset_{0};  ///< bump offset within blocks_[cur_]
+  std::size_t used_{0};
+  std::size_t reserved_{0};
+  std::size_t blockBytes_;
+};
+
+/// RAII mark/release over an arena: everything allocated inside the scope
+/// is reclaimed (for reuse, not to the heap) when the scope ends.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a) : arena_(a), mark_(a.mark()) {}
+  ~ArenaScope() { arena_.release(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// The calling thread's scratch arena. The engine releases it around every
+/// pipeline stage body and parallelFor index, so any code running under
+/// the executor may allocate per-check scratch here without cleanup.
+Arena& scratchArena();
+
+/// Minimal STL allocator over an Arena. deallocate is a no-op: memory
+/// comes back at release/reset. Suitable for scratch containers whose
+/// lifetime is bracketed by an ArenaScope.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& a) : arena_(&a) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  Arena* arena() const { return arena_; }
+
+  template <class U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return a.arena_ == b.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Scratch vector living in an arena.
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace engine
+}  // namespace dic

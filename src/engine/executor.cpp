@@ -1,6 +1,8 @@
 #include "engine/executor.hpp"
 
 #include <algorithm>
+
+#include "engine/arena.hpp"
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -295,7 +297,10 @@ void Executor::parallelFor(std::size_t n,
                            const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (!pool_ || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      ArenaScope scratch(scratchArena());
+      fn(i);
+    }
     return;
   }
   auto st = std::make_shared<ForState>();
@@ -305,6 +310,9 @@ void Executor::parallelFor(std::size_t n,
     for (std::size_t i; (i = st->next.fetch_add(1)) < st->n;) {
       if (!st->failed.load(std::memory_order_relaxed)) {
         try {
+          // Per-index scratch lifetime on whichever thread claims the
+          // index: a mark/release pair, no heap traffic.
+          ArenaScope scratch(scratchArena());
           (*st->fn)(i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(st->mu);

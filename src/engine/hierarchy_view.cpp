@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "engine/arena.hpp"
+
 namespace dic::engine {
 
 namespace {
@@ -205,13 +207,25 @@ const HierarchyView::LayerIndexes& HierarchyView::ensureIndexes(
 std::vector<std::size_t> HierarchyView::flatCandidates(
     bool includeDeviceGeometry, int layer, const Rect& query,
     Coord inflate) const {
+  std::vector<std::size_t> out;
+  flatCandidatesInto(includeDeviceGeometry, layer, query, inflate, out);
+  return out;
+}
+
+void HierarchyView::flatCandidatesInto(bool includeDeviceGeometry, int layer,
+                                       const Rect& query, Coord inflate,
+                                       std::vector<std::size_t>& out) const {
   const LayerIndexes& idx = ensureIndexes(includeDeviceGeometry);
   const Rect q = inflate ? query.inflated(inflate) : query;
   if (layer >= 0) {
-    if (layer >= static_cast<int>(idx.byLayer.size())) return {};
-    return idx.byLayer[layer].query(q);
+    if (layer >= static_cast<int>(idx.byLayer.size())) {
+      out.clear();
+      return;
+    }
+    idx.byLayer[layer].queryInto(q, out);
+    return;
   }
-  return idx.all->query(q);
+  idx.all->queryInto(q, out);
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> HierarchyView::flatPairs(
@@ -233,6 +247,92 @@ std::vector<std::pair<std::size_t, std::size_t>> HierarchyView::flatPairs(
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> pairsWithin(
+    const std::vector<Rect>& bboxes, Coord dist) {
+  const std::size_t n = bboxes.size();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (n == 0) return out;
+  geom::GridIndex grid(autoGridCell(bboxes));
+  for (std::size_t i = 0; i < n; ++i) grid.insert(i, bboxes[i]);
+
+  Arena& arena = scratchArena();
+  ArenaScope scope(arena);
+  // SoA copy of the boxes: the per-candidate gather below reads these
+  // four contiguous arrays instead of strided Rect fields.
+  Coord* xlo = arena.allocateArray<Coord>(n);
+  Coord* ylo = arena.allocateArray<Coord>(n);
+  Coord* xhi = arena.allocateArray<Coord>(n);
+  Coord* yhi = arena.allocateArray<Coord>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xlo[i] = bboxes[i].lo.x;
+    ylo[i] = bboxes[i].lo.y;
+    xhi[i] = bboxes[i].hi.x;
+    yhi[i] = bboxes[i].hi.y;
+  }
+
+  // The scalar loop pays a sort+unique inside every grid.query() just to
+  // canonicalize candidate order before the distance test throws most of
+  // them away. Here the raw (unsorted, possibly duplicated) bucket
+  // contents are gathered straight into SoA lanes, the branchless
+  // Chebyshev-gap mask prunes them, and only the few SURVIVORS get the
+  // sort+unique that fixes the output order -- so the expensive
+  // canonicalization runs on the kept pairs instead of every candidate.
+  static thread_local std::vector<std::size_t> cand;
+  static thread_local std::vector<std::size_t> hits;
+  std::size_t cap = 0;
+  Coord *cx1 = nullptr, *cy1 = nullptr, *cx2 = nullptr, *cy2 = nullptr;
+  std::uint8_t* keep = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    cand.clear();
+    grid.queryRaw(bboxes[i].inflated(dist), cand);
+    const std::size_t m = cand.size();
+    if (m == 0) continue;
+    if (m > cap) {
+      cap = std::max(m, 2 * cap);
+      cx1 = arena.allocateArray<Coord>(cap);
+      cy1 = arena.allocateArray<Coord>(cap);
+      cx2 = arena.allocateArray<Coord>(cap);
+      cy2 = arena.allocateArray<Coord>(cap);
+      keep = arena.allocateArray<std::uint8_t>(cap);
+    }
+    const std::size_t* js = cand.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t j = js[k];
+      cx1[k] = xlo[j];
+      cy1[k] = ylo[j];
+      cx2[k] = xhi[j];
+      cy2[k] = yhi[j];
+    }
+    const Coord ax1 = xlo[i], ay1 = ylo[i], ax2 = xhi[i], ay2 = yhi[i];
+    // Integer Chebyshev-gap test: exactly the scalar double rectDistance
+    // comparison for exact int64 coordinates, branchless so it
+    // autovectorizes. The j <= i half the scalar loop skips is folded
+    // into the same mask.
+#pragma GCC ivdep
+    for (std::size_t k = 0; k < m; ++k) {
+      Coord gx = cx1[k] - ax2;
+      const Coord gx2 = ax1 - cx2[k];
+      gx = gx > gx2 ? gx : gx2;
+      Coord gy = cy1[k] - ay2;
+      const Coord gy2 = ay1 - cy2[k];
+      gy = gy > gy2 ? gy : gy2;
+      Coord g = gx > gy ? gx : gy;
+      g = g > 0 ? g : 0;
+      keep[k] = static_cast<std::uint8_t>((g <= dist) & (js[k] > i));
+    }
+    hits.clear();
+    for (std::size_t k = 0; k < m; ++k)
+      if (keep[k]) hits.push_back(js[k]);
+    // Canonical (i, j)-ascending order, duplicates (rects spanning
+    // several grid cells) collapsed -- byte-identical to the scalar
+    // loop's sorted-unique candidate walk.
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    for (const std::size_t j : hits) out.push_back({i, j});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> pairsWithinScalar(
     const std::vector<Rect>& bboxes, Coord dist) {
   geom::GridIndex grid(autoGridCell(bboxes));
   for (std::size_t i = 0; i < bboxes.size(); ++i) grid.insert(i, bboxes[i]);
@@ -337,6 +437,11 @@ SpatialSet::SpatialSet(const std::vector<Rect>& rects, Coord cellHint)
 std::vector<std::size_t> SpatialSet::candidates(const Rect& query,
                                                 Coord inflate) const {
   return grid_->query(inflate ? query.inflated(inflate) : query);
+}
+
+void SpatialSet::candidatesInto(const Rect& query, Coord inflate,
+                                std::vector<std::size_t>& out) const {
+  grid_->queryInto(inflate ? query.inflated(inflate) : query, out);
 }
 
 }  // namespace dic::engine

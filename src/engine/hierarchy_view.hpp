@@ -115,6 +115,13 @@ class HierarchyView {
                                           int layer, const geom::Rect& query,
                                           geom::Coord inflate = 0) const;
 
+  /// flatCandidates() into a caller-owned buffer (cleared first; result
+  /// sorted, deduplicated). The hot-path form: per-check loops reuse one
+  /// buffer across thousands of queries instead of allocating each time.
+  void flatCandidatesInto(bool includeDeviceGeometry, int layer,
+                          const geom::Rect& query, geom::Coord inflate,
+                          std::vector<std::size_t>& out) const;
+
   /// Approximate bytes of everything this view has lazily built so far:
   /// placements, flat element/device views, grid indexes, port tables.
   /// Grows as caches build (a fresh view reports only its own footprint)
@@ -213,6 +220,10 @@ class SpatialSet {
   std::vector<std::size_t> candidates(const geom::Rect& query,
                                       geom::Coord inflate = 0) const;
 
+  /// candidates() into a caller-owned buffer (cleared first).
+  void candidatesInto(const geom::Rect& query, geom::Coord inflate,
+                      std::vector<std::size_t>& out) const;
+
   /// Number of indexed rects.
   std::size_t size() const { return size_; }
 
@@ -229,7 +240,16 @@ geom::Coord autoGridCell(const std::vector<geom::Rect>& rects);
 /// orthogonal metric, ordered by (i, j). The grid-accelerated pair sweep
 /// shared by HierarchyView::localPairs and callers that already hold
 /// precomputed bboxes.
+///
+/// Vectorized: candidate boxes are gathered into SoA scratch (arena) and
+/// filtered with a branchless integer Chebyshev-gap mask; for exact int64
+/// coordinates that compare equals the scalar double rectDistance test,
+/// so output matches pairsWithinScalar pair for pair.
 std::vector<std::pair<std::size_t, std::size_t>> pairsWithin(
+    const std::vector<geom::Rect>& bboxes, geom::Coord dist);
+
+/// Scalar reference for pairsWithin (differential-test oracle).
+std::vector<std::pair<std::size_t, std::size_t>> pairsWithinScalar(
     const std::vector<geom::Rect>& bboxes, geom::Coord dist);
 
 }  // namespace dic::engine

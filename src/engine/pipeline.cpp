@@ -1,6 +1,8 @@
 #include "engine/pipeline.hpp"
 
 #include <algorithm>
+
+#include "engine/arena.hpp"
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -72,7 +74,14 @@ report::Report Pipeline::run(Executor& exec, FailurePolicy policy) {
   auto runStage = [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
     results_[i].start = std::chrono::duration<double>(t0 - runT0).count();
-    reports[i] = stages_[i].run(exec);
+    {
+      // Per-stage scratch lifetime: anything the stage bump-allocates on
+      // this thread is reclaimed when the body returns. Worker threads
+      // running the stage's inner parallelFor chunks get the same
+      // treatment per index inside the executor.
+      ArenaScope scratch(scratchArena());
+      reports[i] = stages_[i].run(exec);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     results_[i].seconds = std::chrono::duration<double>(t1 - t0).count();
   };

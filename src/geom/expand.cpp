@@ -9,7 +9,7 @@ std::vector<Corner> regionCorners(const Region& r) {
   // A corner exists wherever a vertical and a horizontal boundary edge
   // share an endpoint. Convexity: interior occupies exactly one quadrant.
   std::vector<Corner> out;
-  const std::vector<Edge> es = r.edges();
+  const std::vector<Edge>& es = r.edges();
   std::vector<std::pair<Point, const Edge*>> vEnds, hEnds;
   for (const Edge& e : es) {
     if (e.vertical()) {

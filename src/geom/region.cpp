@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <map>
+#include <memory>
 
 namespace dic::geom {
 
@@ -20,19 +21,20 @@ struct Column {
   Coord x1, x2, y1;
 };
 
-bool evalOp(bool a, bool b, int op) {
+bool evalOp(bool a, bool b, BoolOp op) {
   switch (op) {
-    case 0: return a || b;   // Or
-    case 1: return a && b;   // And
-    case 2: return a && !b;  // Sub
+    case BoolOp::kOr: return a || b;
+    case BoolOp::kAnd: return a && b;
+    case BoolOp::kSub: return a && !b;
     default: return a != b;  // Xor
   }
 }
 
-/// Core scanline boolean over two (possibly overlapping, unnormalized)
-/// rect sets. Returns the canonical maximal-column decomposition.
-std::vector<Rect> sweep(const std::vector<Rect>& ra,
-                        const std::vector<Rect>& rb, int op) {
+/// Scalar reference scanline boolean: per slab the active rect set is
+/// re-filtered and its x-events rebuilt and sorted from scratch. Retained
+/// verbatim as the differential-test oracle for the incremental kernel.
+std::vector<Rect> sweepScalar(std::span<const Rect> ra,
+                              std::span<const Rect> rb, BoolOp op) {
   // Collect slab boundaries.
   std::vector<Coord> ys;
   ys.reserve(2 * (ra.size() + rb.size()));
@@ -73,7 +75,7 @@ std::vector<Rect> sweep(const std::vector<Rect>& ra,
     int da, db;
   };
   std::vector<XEv> xev;
-  std::vector<Iv> cur, prev;
+  std::vector<Iv> cur;
   std::vector<Column> open, nextOpen;
   std::vector<Rect> out;
 
@@ -169,15 +171,302 @@ std::vector<Rect> sweep(const std::vector<Rect>& ra,
   return out;
 }
 
+/// Thread-confined reusable scratch for the incremental sweep: the whole
+/// point of the SoA kernel is that no per-call vectors are heap-churned,
+/// so every buffer lives here and is high-water-mark sized per thread.
+struct SweepScratch {
+  std::vector<Coord> ys;
+  /// One input rect prepared for activation (sorted by loY). da/db is its
+  /// +1 contribution to the A or B coverage counter.
+  struct Src {
+    Coord loY, hiY, loX, hiX;
+    std::int8_t da, db;
+  };
+  std::vector<Src> src;
+  /// The active x-event list, SoA, kept sorted by x across slabs.
+  /// Ping-pong buffers: compaction edits in place, merges write the
+  /// other buffer.
+  std::vector<Coord> evX[2], evYhi[2];
+  std::vector<std::int8_t> evDa[2], evDb[2];
+  /// Events of rects activated this slab (sorted, then merged).
+  struct NewEv {
+    Coord x, yhi;
+    std::int8_t da, db;
+  };
+  std::vector<NewEv> fresh;
+  std::vector<Iv> cur;
+  std::vector<Column> open, nextOpen;
+};
+
+SweepScratch& sweepScratch() {
+  static thread_local SweepScratch s;
+  return s;
+}
+
+/// Incremental SoA scanline boolean. Identical slab/column structure to
+/// sweepScalar, but the per-slab O(A log A) event rebuild+sort is replaced
+/// by O(A) stable compaction of expired events plus an O(A + k log k)
+/// merge of the k newly activated ones — the event list stays sorted by x
+/// across slabs. Output is byte-identical to the scalar oracle (the
+/// canonical decomposition is unique and the final sort has no ties).
+std::vector<Rect> sweepFast(std::span<const Rect> ra, std::span<const Rect> rb,
+                            BoolOp op) {
+  SweepScratch& s = sweepScratch();
+  s.ys.clear();
+  s.src.clear();
+  for (const Rect& r : ra) {
+    if (r.empty()) continue;
+    s.ys.push_back(r.lo.y);
+    s.ys.push_back(r.hi.y);
+    s.src.push_back({r.lo.y, r.hi.y, r.lo.x, r.hi.x, 1, 0});
+  }
+  for (const Rect& r : rb) {
+    if (r.empty()) continue;
+    s.ys.push_back(r.lo.y);
+    s.ys.push_back(r.hi.y);
+    s.src.push_back({r.lo.y, r.hi.y, r.lo.x, r.hi.x, 0, 1});
+  }
+  if (s.ys.empty()) return {};
+  std::sort(s.ys.begin(), s.ys.end());
+  s.ys.erase(std::unique(s.ys.begin(), s.ys.end()), s.ys.end());
+  std::sort(s.src.begin(), s.src.end(),
+            [](const SweepScratch::Src& a, const SweepScratch::Src& b) {
+              return a.loY < b.loY;
+            });
+
+  int buf = 0;        // active ping-pong buffer
+  std::size_t m = 0;  // active event count
+  std::size_t next = 0;
+  s.open.clear();
+  std::vector<Rect> out;
+
+  Coord prevY = 0;
+  bool first = true;
+  for (std::size_t si = 0; si + 1 <= s.ys.size(); ++si) {
+    const Coord y0 = s.ys[si];
+    if (!first && prevY != y0) {
+      for (const Column& c : s.open)
+        out.push_back({{c.x1, c.y1}, {c.x2, prevY}});
+      s.open.clear();
+    }
+    first = false;
+    if (si + 1 == s.ys.size()) break;
+    const Coord y1 = s.ys[si + 1];
+
+    // Expire events whose rect ends at or before y0: stable compaction
+    // keeps the surviving events sorted by x.
+    {
+      Coord* X = s.evX[buf].data();
+      Coord* Y = s.evYhi[buf].data();
+      std::int8_t* DA = s.evDa[buf].data();
+      std::int8_t* DB = s.evDb[buf].data();
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (Y[r] > y0) {
+          X[w] = X[r];
+          Y[w] = Y[r];
+          DA[w] = DA[r];
+          DB[w] = DB[r];
+          ++w;
+        }
+      }
+      m = w;
+    }
+
+    // Activate rects whose slab range starts here.
+    s.fresh.clear();
+    while (next < s.src.size() && s.src[next].loY <= y0) {
+      const SweepScratch::Src& r = s.src[next];
+      if (r.hiY > y0) {
+        s.fresh.push_back({r.loX, r.hiY, r.da, r.db});
+        s.fresh.push_back(
+            {r.hiX, r.hiY, static_cast<std::int8_t>(-r.da),
+             static_cast<std::int8_t>(-r.db)});
+      }
+      ++next;
+    }
+    if (!s.fresh.empty()) {
+      std::sort(s.fresh.begin(), s.fresh.end(),
+                [](const SweepScratch::NewEv& a, const SweepScratch::NewEv& b) {
+                  return a.x < b.x;
+                });
+      const int o = buf ^ 1;
+      const std::size_t total = m + s.fresh.size();
+      if (s.evX[o].size() < total) {
+        s.evX[o].resize(total);
+        s.evYhi[o].resize(total);
+        s.evDa[o].resize(total);
+        s.evDb[o].resize(total);
+      }
+      const Coord* X = s.evX[buf].data();
+      const Coord* Y = s.evYhi[buf].data();
+      const std::int8_t* DA = s.evDa[buf].data();
+      const std::int8_t* DB = s.evDb[buf].data();
+      Coord* OX = s.evX[o].data();
+      Coord* OY = s.evYhi[o].data();
+      std::int8_t* ODA = s.evDa[o].data();
+      std::int8_t* ODB = s.evDb[o].data();
+      std::size_t i = 0, j = 0, w = 0;
+      while (i < m || j < s.fresh.size()) {
+        if (j == s.fresh.size() || (i < m && X[i] <= s.fresh[j].x)) {
+          OX[w] = X[i];
+          OY[w] = Y[i];
+          ODA[w] = DA[i];
+          ODB[w] = DB[i];
+          ++i;
+        } else {
+          OX[w] = s.fresh[j].x;
+          OY[w] = s.fresh[j].yhi;
+          ODA[w] = s.fresh[j].da;
+          ODB[w] = s.fresh[j].db;
+          ++j;
+        }
+        ++w;
+      }
+      buf = o;
+      m = total;
+    }
+
+    // 1-D counter sweep over the sorted event list (counters group all
+    // events at equal x, so intra-group order is immaterial).
+    s.cur.clear();
+    {
+      const Coord* X = s.evX[buf].data();
+      const std::int8_t* DA = s.evDa[buf].data();
+      const std::int8_t* DB = s.evDb[buf].data();
+      int ca = 0, cb = 0;
+      bool inside = false;
+      Coord start = 0;
+      std::size_t k = 0;
+      while (k < m) {
+        const Coord x = X[k];
+        while (k < m && X[k] == x) {
+          ca += DA[k];
+          cb += DB[k];
+          ++k;
+        }
+        const bool now = evalOp(ca > 0, cb > 0, op);
+        if (now && !inside) {
+          start = x;
+          inside = true;
+        } else if (!now && inside) {
+          if (x > start) s.cur.push_back({start, x});
+          inside = false;
+        }
+      }
+      assert(!inside && ca == 0 && cb == 0);
+      (void)sizeof(ca);
+    }
+
+    // Merge with open columns (identical to the scalar oracle).
+    s.nextOpen.clear();
+    std::size_t oi = 0, ci = 0;
+    while (oi < s.open.size() || ci < s.cur.size()) {
+      if (oi < s.open.size() && ci < s.cur.size() &&
+          s.open[oi].x1 == s.cur[ci].lo && s.open[oi].x2 == s.cur[ci].hi) {
+        s.nextOpen.push_back(s.open[oi]);  // column continues
+        ++oi;
+        ++ci;
+      } else if (oi < s.open.size() &&
+                 (ci == s.cur.size() || s.open[oi].x1 < s.cur[ci].lo ||
+                  (s.open[oi].x1 == s.cur[ci].lo &&
+                   s.open[oi].x2 != s.cur[ci].hi))) {
+        out.push_back({{s.open[oi].x1, s.open[oi].y1}, {s.open[oi].x2, y0}});
+        ++oi;
+      } else {
+        s.nextOpen.push_back({s.cur[ci].lo, s.cur[ci].hi, y0});
+        ++ci;
+      }
+    }
+    std::swap(s.open, s.nextOpen);
+    prevY = y1;
+  }
+  for (const Column& c : s.open) out.push_back({{c.x1, c.y1}, {c.x2, prevY}});
+
+  // No ties: output columns are disjoint, so (lo.y, lo.x) is a total order
+  // and the sort is deterministic.
+  std::sort(out.begin(), out.end(), [](const Rect& a, const Rect& b) {
+    return a.lo.y != b.lo.y ? a.lo.y < b.lo.y : a.lo.x < b.lo.x;
+  });
+  return out;
+}
+
 }  // namespace
+
+std::vector<Rect> booleanSweep(std::span<const Rect> a, std::span<const Rect> b,
+                               BoolOp op) {
+  return sweepFast(a, b, op);
+}
+
+std::vector<Rect> booleanSweepScalar(std::span<const Rect> a,
+                                     std::span<const Rect> b, BoolOp op) {
+  return sweepScalar(a, b, op);
+}
 
 Region::Region(const Rect& r) {
   if (!r.empty()) rects_.push_back(r);
 }
 
+Region::~Region() { dropCaches(); }
+
+void Region::dropCaches() noexcept {
+  delete soa_.exchange(nullptr, std::memory_order_acq_rel);
+  delete edges_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+Region::Region(const Region& o) : rects_(o.rects_) {}
+
+Region::Region(Region&& o) noexcept : rects_(std::move(o.rects_)) {
+  soa_.store(o.soa_.exchange(nullptr, std::memory_order_acq_rel),
+             std::memory_order_release);
+  edges_.store(o.edges_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_release);
+}
+
+Region& Region::operator=(const Region& o) {
+  if (this != &o) {
+    rects_ = o.rects_;
+    dropCaches();
+  }
+  return *this;
+}
+
+Region& Region::operator=(Region&& o) noexcept {
+  if (this != &o) {
+    rects_ = std::move(o.rects_);
+    dropCaches();
+    soa_.store(o.soa_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_release);
+    edges_.store(o.edges_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+  }
+  return *this;
+}
+
+const Region::SoA& Region::soa() const {
+  if (const SoA* p = soa_.load(std::memory_order_acquire)) return *p;
+  auto fresh = std::make_unique<SoA>();
+  const std::size_t n = rects_.size();
+  fresh->xlo.resize(n);
+  fresh->ylo.resize(n);
+  fresh->xhi.resize(n);
+  fresh->yhi.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fresh->xlo[i] = rects_[i].lo.x;
+    fresh->ylo[i] = rects_[i].lo.y;
+    fresh->xhi[i] = rects_[i].hi.x;
+    fresh->yhi[i] = rects_[i].hi.y;
+  }
+  const SoA* expected = nullptr;
+  if (soa_.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+    return *fresh.release();
+  return *expected;  // another thread published first
+}
+
 Region Region::fromRects(std::span<const Rect> rects) {
-  std::vector<Rect> raw(rects.begin(), rects.end());
-  return Region(sweep(raw, {}, 0));
+  return Region(sweepFast(rects, {}, BoolOp::kOr));
 }
 
 Coord Region::area() const {
@@ -214,21 +503,21 @@ bool Region::overlaps(const Region& o) const {
   return false;
 }
 
-Region Region::boolop(const Region& a, const Region& b, Op op) {
-  return Region(sweep(a.rects_, b.rects_, static_cast<int>(op)));
+Region Region::boolop(const Region& a, const Region& b, BoolOp op) {
+  return Region(sweepFast(a.rects_, b.rects_, op));
 }
 
 Region unite(const Region& a, const Region& b) {
-  return Region::boolop(a, b, Region::Op::kOr);
+  return Region::boolop(a, b, BoolOp::kOr);
 }
 Region intersect(const Region& a, const Region& b) {
-  return Region::boolop(a, b, Region::Op::kAnd);
+  return Region::boolop(a, b, BoolOp::kAnd);
 }
 Region subtract(const Region& a, const Region& b) {
-  return Region::boolop(a, b, Region::Op::kSub);
+  return Region::boolop(a, b, BoolOp::kSub);
 }
 Region exclusiveOr(const Region& a, const Region& b) {
-  return Region::boolop(a, b, Region::Op::kXor);
+  return Region::boolop(a, b, BoolOp::kXor);
 }
 
 Region Region::expanded(Coord d) const {
@@ -306,16 +595,14 @@ void appendSorted(std::vector<Iv>& v) {
   v = std::move(m);
 }
 
-}  // namespace
-
-std::vector<Edge> Region::edges() const {
+std::vector<Edge> buildEdges(const std::vector<Rect>& rects) {
   std::vector<Edge> out;
   // Vertical boundaries: at each x, "starts" (lo.x, interior right) minus
   // "ends" (hi.x, interior left); where they coincide the rects abut and
   // there is no boundary.
   {
     std::map<Coord, std::pair<std::vector<Iv>, std::vector<Iv>>> at;
-    for (const Rect& r : rects_) {
+    for (const Rect& r : rects) {
       at[r.lo.x].first.push_back({r.lo.y, r.hi.y});
       at[r.hi.x].second.push_back({r.lo.y, r.hi.y});
     }
@@ -331,7 +618,7 @@ std::vector<Edge> Region::edges() const {
   // Horizontal boundaries.
   {
     std::map<Coord, std::pair<std::vector<Iv>, std::vector<Iv>>> at;
-    for (const Rect& r : rects_) {
+    for (const Rect& r : rects) {
       at[r.lo.y].first.push_back({r.lo.x, r.hi.x});
       at[r.hi.y].second.push_back({r.lo.x, r.hi.x});
     }
@@ -347,6 +634,20 @@ std::vector<Edge> Region::edges() const {
   return out;
 }
 
+}  // namespace
+
+const std::vector<Edge>& Region::edges() const {
+  if (const std::vector<Edge>* p = edges_.load(std::memory_order_acquire))
+    return *p;
+  auto fresh = std::make_unique<std::vector<Edge>>(buildEdges(rects_));
+  const std::vector<Edge>* expected = nullptr;
+  if (edges_.compare_exchange_strong(expected, fresh.get(),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+    return *fresh.release();
+  return *expected;
+}
+
 double regionDistance(const Region& a, const Region& b, Metric m) {
   if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
   double best = std::numeric_limits<double>::infinity();
@@ -360,6 +661,40 @@ double regionDistance(const Region& a, const Region& b, Metric m) {
     }
   }
   return best;
+}
+
+bool regionsTouch(const Region& a, const Region& b) {
+  if (a.empty() || b.empty()) return false;
+  if (!closedTouch(a.bbox(), b.bbox())) return false;
+  // Tiny operands (1-4 rect element regions) cannot amortize the SoA
+  // view's four heap allocations; the quadratic early-exit walk is both
+  // faster there and the semantic oracle, so identity is free.
+  if (a.rects().size() * b.rects().size() < 64)
+    return regionsTouchScalar(a, b);
+  const Region::SoA& sb = b.soa();
+  const std::size_t nb = sb.size();
+  const Coord* bxlo = sb.xlo.data();
+  const Coord* bylo = sb.ylo.data();
+  const Coord* bxhi = sb.xhi.data();
+  const Coord* byhi = sb.yhi.data();
+  for (const Rect& ra : a.rects()) {
+    const Coord ax1 = ra.lo.x, ax2 = ra.hi.x, ay1 = ra.lo.y, ay2 = ra.hi.y;
+    std::uint8_t any = 0;
+    // Branchless closed-touch mask; the |= reduction autovectorizes.
+    for (std::size_t j = 0; j < nb; ++j) {
+      any |= static_cast<std::uint8_t>((ax1 <= bxhi[j]) & (bxlo[j] <= ax2) &
+                                       (ay1 <= byhi[j]) & (bylo[j] <= ay2));
+    }
+    if (any) return true;
+  }
+  return false;
+}
+
+bool regionsTouchScalar(const Region& a, const Region& b) {
+  for (const Rect& ra : a.rects())
+    for (const Rect& rb : b.rects())
+      if (closedTouch(ra, rb)) return true;
+  return false;
 }
 
 }  // namespace dic::geom

@@ -8,7 +8,16 @@
 /// plane is cut at every y where the slab interval structure changes, and
 /// columns with identical x-extent are merged vertically. Two equal point
 /// sets always produce the same rect vector, so operator== is set equality.
+///
+/// Hot-loop storage: beside the canonical AoS `rects()` vector every
+/// Region can lazily materialize a struct-of-arrays view (`soa()`) and its
+/// boundary edge list (`edges()`). Both are built at most once per Region
+/// (thread-safe publication, safe to race from parallel workers) and are
+/// what the vectorized spacing/width/touch predicates iterate. See
+/// docs/geom.md for the kernel contract.
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,19 +27,55 @@
 
 namespace dic::geom {
 
+/// Boolean operation selector for the scanline sweep kernels.
+enum class BoolOp : std::uint8_t { kOr, kAnd, kSub, kXor };
+
+/// Core scanline boolean over two (possibly overlapping, unnormalized)
+/// rect sets. Returns the canonical maximal-column decomposition. This is
+/// the optimized kernel: the active x-event list is kept sorted across
+/// slabs in struct-of-arrays scratch and merged incrementally, replacing
+/// the per-slab rebuild-and-sort of the scalar reference.
+std::vector<Rect> booleanSweep(std::span<const Rect> a,
+                               std::span<const Rect> b, BoolOp op);
+
+/// Scalar reference implementation of booleanSweep, retained as the
+/// differential-test oracle. The optimized kernel's output contract is
+/// byte-identical rect vectors for every input.
+std::vector<Rect> booleanSweepScalar(std::span<const Rect> a,
+                                     std::span<const Rect> b, BoolOp op);
+
 class Region {
  public:
+  /// Struct-of-arrays view of the canonical rects: four parallel
+  /// contiguous coordinate arrays (`rects()[i]` == `{{xlo[i], ylo[i]},
+  /// {xhi[i], yhi[i]}}`). The vectorized predicates stream these spans so
+  /// the inner gap/touch comparisons autovectorize.
+  struct SoA {
+    std::vector<Coord> xlo, ylo, xhi, yhi;
+    std::size_t size() const { return xlo.size(); }
+  };
+
   /// Empty region.
   Region() = default;
 
   /// Region of a single rectangle (empty rect -> empty region).
   explicit Region(const Rect& r);
 
+  ~Region();
+  Region(const Region& o);
+  Region(Region&& o) noexcept;
+  Region& operator=(const Region& o);
+  Region& operator=(Region&& o) noexcept;
+
   /// Region from arbitrary (possibly overlapping) rects.
   static Region fromRects(std::span<const Rect> rects);
 
   /// The canonical disjoint rectangles, sorted by (lo.y, lo.x).
   const std::vector<Rect>& rects() const { return rects_; }
+
+  /// The SoA view of rects(), built lazily on first use (thread-safe;
+  /// concurrent callers all observe the same fully built arrays).
+  const SoA& soa() const;
 
   bool empty() const { return rects_.empty(); }
 
@@ -49,7 +94,10 @@ class Region {
   /// True if the interiors intersect.
   bool overlaps(const Region& o) const;
 
-  friend bool operator==(const Region&, const Region&) = default;
+  /// Set equality (canonical forms compare directly).
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.rects_ == b.rects_;
+  }
 
   /// Boolean operations (canonical results).
   friend Region unite(const Region& a, const Region& b);
@@ -76,16 +124,23 @@ class Region {
 
   /// Boundary edges; see edge.hpp. Every point of the region boundary is
   /// covered by exactly one edge, with its interior side annotated.
-  std::vector<Edge> edges() const;
+  /// Built at most once per Region and cached (thread-safe), so repeated
+  /// predicate invocations (width walks, corner scans) do not rebuild it.
+  const std::vector<Edge>& edges() const;
 
  private:
-  enum class Op { kOr, kAnd, kSub, kXor };
-  static Region boolop(const Region& a, const Region& b, Op op);
-  static std::vector<Rect> normalizeCounted(std::vector<Rect> raw);
+  static Region boolop(const Region& a, const Region& b, BoolOp op);
 
   explicit Region(std::vector<Rect> normalized) : rects_(std::move(normalized)) {}
 
+  void dropCaches() noexcept;
+
   std::vector<Rect> rects_;
+  // Lazily built derived views. Raw pointers published by compare-exchange:
+  // the winning builder's value is observed by everyone, losers delete
+  // their copy. Copies/assignments of a Region drop (do not share) caches.
+  mutable std::atomic<const SoA*> soa_{nullptr};
+  mutable std::atomic<const std::vector<Edge>*> edges_{nullptr};
 };
 
 Region unite(const Region& a, const Region& b);
@@ -96,5 +151,13 @@ Region exclusiveOr(const Region& a, const Region& b);
 /// Euclidean distance between two regions (min over rect pairs; exact for
 /// unions of rects). Returns +inf if either is empty.
 double regionDistance(const Region& a, const Region& b, Metric m);
+
+/// True if any rect of a closed-touches any rect of b (overlap, abutment,
+/// or corner contact). SoA-vectorized candidate mask plus exact
+/// confirmation; equivalent to the quadratic closedTouch scan.
+bool regionsTouch(const Region& a, const Region& b);
+
+/// Scalar reference for regionsTouch (differential-test oracle).
+bool regionsTouchScalar(const Region& a, const Region& b);
 
 }  // namespace dic::geom

@@ -1,11 +1,113 @@
 #include "geom/spacing.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dic::geom {
 
+namespace {
+
+/// Thread-confined reusable gap buffers for the SoA prefilter passes.
+struct GapScratch {
+  std::vector<Coord> gx, gy;
+  std::vector<std::uint8_t> mask;
+  void ensure(std::size_t n) {
+    if (gx.size() < n) {
+      gx.resize(n);
+      gy.resize(n);
+      mask.resize(n);
+    }
+  }
+};
+
+GapScratch& gapScratch() {
+  static thread_local GapScratch s;
+  return s;
+}
+
+/// Branchless closed-interval gap: identical to axisGap (at most one of
+/// the two differences is positive), written as max-of-three so the SoA
+/// loops below autovectorize.
+inline Coord gapOf(Coord alo, Coord ahi, Coord blo, Coord bhi) {
+  const Coord g1 = blo - ahi;
+  const Coord g2 = alo - bhi;
+  Coord g = g1 > g2 ? g1 : g2;
+  return g > 0 ? g : 0;
+}
+
+/// Fill gx/gy with the per-axis gaps between rect a and every rect of the
+/// SoA view. Pure integer compares and selects: the loop vectorizes.
+void fillGaps(const Rect& a, const Region::SoA& s, Coord* gx, Coord* gy) {
+  const Coord ax1 = a.lo.x, ax2 = a.hi.x, ay1 = a.lo.y, ay2 = a.hi.y;
+  const Coord* bxlo = s.xlo.data();
+  const Coord* bylo = s.ylo.data();
+  const Coord* bxhi = s.xhi.data();
+  const Coord* byhi = s.yhi.data();
+  const std::size_t n = s.size();
+#pragma GCC ivdep
+  for (std::size_t j = 0; j < n; ++j) {
+    gx[j] = gapOf(ax1, ax2, bxlo[j], bxhi[j]);
+    gy[j] = gapOf(ay1, ay2, bylo[j], byhi[j]);
+  }
+}
+
+}  // namespace
+
+/// Below this many rects in the SoA operand the vector path cannot win:
+/// materializing the SoA view costs four heap allocations, which never
+/// amortize on the tiny transient regions (1-4 rects per element) the
+/// checkers stream through. The scalar oracle IS the semantics, so
+/// falling back preserves byte-identity by construction.
+constexpr std::size_t kSoAMinRects = 32;
+
 std::vector<SpacingViolation> checkSpacing(const Region& a, const Region& b,
                                            Coord minSpacing, Metric m) {
+  std::vector<SpacingViolation> out;
+  if (a.empty() || b.empty()) return out;
+  if (b.rects().size() < kSoAMinRects)
+    return checkSpacingScalar(a, b, minSpacing, m);
+  const Rect bb = b.bbox().inflated(minSpacing);
+  const Region::SoA& sb = b.soa();
+  const std::size_t nb = sb.size();
+  GapScratch& s = gapScratch();
+  s.ensure(nb);
+  std::uint8_t* mask = s.mask.data();
+  const std::vector<Rect>& brects = b.rects();
+  const Coord* bxlo = sb.xlo.data();
+  const Coord* bylo = sb.ylo.data();
+  const Coord* bxhi = sb.xhi.data();
+  const Coord* byhi = sb.yhi.data();
+  for (const Rect& ra : a.rects()) {
+    if (!overlaps(ra.inflated(minSpacing), bb)) continue;
+    // Prefilter pass: exactly the scalar skip condition, branchless so
+    // it vectorizes. Only the 1-byte verdict is stored -- the survivors
+    // are rare, so their gaps are recomputed exactly in the tail rather
+    // than streamed through 16 bytes of per-candidate scratch.
+    const Coord ax1 = ra.lo.x, ax2 = ra.hi.x, ay1 = ra.lo.y, ay2 = ra.hi.y;
+#pragma GCC ivdep
+    for (std::size_t j = 0; j < nb; ++j) {
+      const Coord x = gapOf(ax1, ax2, bxlo[j], bxhi[j]);
+      const Coord y = gapOf(ay1, ay2, bylo[j], byhi[j]);
+      mask[j] = static_cast<std::uint8_t>((x < minSpacing) & (y < minSpacing));
+    }
+    // Exact tail in original pair order, with the scalar path's own gap
+    // computation -> byte-identical output.
+    for (std::size_t j = 0; j < nb; ++j) {
+      if (!mask[j]) continue;
+      const Point g = rectGap(ra, brects[j]);
+      const double d = m == Metric::kEuclidean
+                           ? std::hypot(static_cast<double>(g.x),
+                                        static_cast<double>(g.y))
+                           : static_cast<double>(chebyshev(g));
+      if (d < static_cast<double>(minSpacing)) out.push_back({ra, brects[j], d});
+    }
+  }
+  return out;
+}
+
+std::vector<SpacingViolation> checkSpacingScalar(const Region& a,
+                                                 const Region& b,
+                                                 Coord minSpacing, Metric m) {
   std::vector<SpacingViolation> out;
   if (a.empty() || b.empty()) return out;
   const Rect bb = b.bbox().inflated(minSpacing);
@@ -26,6 +128,60 @@ std::vector<SpacingViolation> checkSpacing(const Region& a, const Region& b,
 
 std::optional<double> distanceBelow(const Region& a, const Region& b,
                                     Coord bound, Metric m) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  if (b.rects().size() < kSoAMinRects)
+    return distanceBelowScalar(a, b, bound, m);
+  const Region::SoA& sb = b.soa();
+  const std::size_t nb = sb.size();
+  GapScratch& s = gapScratch();
+  s.ensure(nb);
+  Coord* gx = s.gx.data();
+  Coord* gy = s.gy.data();
+
+  if (m == Metric::kOrthogonal) {
+    // Chebyshev distance is the integer gap maximum: a pure integer min
+    // reduction over all pairs. min is order-independent, so this equals
+    // the scalar fold exactly.
+    Coord best = bound;
+    for (const Rect& ra : a.rects()) {
+      fillGaps(ra, sb, gx, gy);
+      Coord rowMin = best;
+#pragma GCC ivdep
+      for (std::size_t j = 0; j < nb; ++j) {
+        const Coord c = gx[j] > gy[j] ? gx[j] : gy[j];
+        rowMin = c < rowMin ? c : rowMin;
+      }
+      best = rowMin;
+      if (best == 0 && bound > 0) return 0.0;  // touching pair, below bound
+    }
+    return best < bound ? std::optional<double>(static_cast<double>(best))
+                        : std::nullopt;
+  }
+
+  // Euclidean: Chebyshev <= Euclidean, so `max(gx,gy) >= bound` proves the
+  // pair is irrelevant -- the surviving pairs get the exact hypot, and the
+  // running min over them is the same value the scalar loop folds to.
+  double best = static_cast<double>(bound);
+  bool found = false;
+  for (const Rect& ra : a.rects()) {
+    fillGaps(ra, sb, gx, gy);
+    for (std::size_t j = 0; j < nb; ++j) {
+      const Coord cheb = gx[j] > gy[j] ? gx[j] : gy[j];
+      if (cheb >= bound) continue;
+      const double d = std::hypot(static_cast<double>(gx[j]),
+                                  static_cast<double>(gy[j]));
+      if (d < best) {
+        best = d;
+        found = true;
+        if (best == 0) return 0.0;
+      }
+    }
+  }
+  return found ? std::optional<double>(best) : std::nullopt;
+}
+
+std::optional<double> distanceBelowScalar(const Region& a, const Region& b,
+                                          Coord bound, Metric m) {
   double best = static_cast<double>(bound);
   bool found = false;
   for (const Rect& ra : a.rects()) {

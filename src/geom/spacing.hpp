@@ -30,12 +30,30 @@ struct SpacingViolation {
 /// All rect pairs of a and b closer than `minSpacing` under metric m.
 /// Touching/overlapping pairs report distance 0 (callers decide whether
 /// touching is legal -- e.g. connected elements on the same net).
+///
+/// Vectorized: a branchless integer gap mask over b's SoA view prefilters
+/// candidate pairs, then the surviving pairs get the exact scalar distance
+/// in original pair order -- output is byte-identical to checkSpacingScalar.
 std::vector<SpacingViolation> checkSpacing(const Region& a, const Region& b,
                                            Coord minSpacing, Metric m);
 
+/// Scalar reference for checkSpacing (differential-test oracle).
+std::vector<SpacingViolation> checkSpacingScalar(const Region& a,
+                                                 const Region& b,
+                                                 Coord minSpacing, Metric m);
+
 /// Minimum distance between regions under metric m with an early-out
 /// threshold: returns nullopt if provably >= `bound`.
+///
+/// Vectorized: integer Chebyshev gaps over the SoA view bound the metric
+/// from below; exact doubles are only evaluated on surviving pairs. The
+/// min is order-independent, so the result is bit-identical to the scalar
+/// reference.
 std::optional<double> distanceBelow(const Region& a, const Region& b,
                                     Coord bound, Metric m);
+
+/// Scalar reference for distanceBelow (differential-test oracle).
+std::optional<double> distanceBelowScalar(const Region& a, const Region& b,
+                                          Coord bound, Metric m);
 
 }  // namespace dic::geom

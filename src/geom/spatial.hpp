@@ -30,14 +30,29 @@ class GridIndex {
   /// candidates only -- caller re-tests exact geometry).
   std::vector<std::size_t> query(const Rect& query) const {
     std::vector<std::size_t> out;
+    queryInto(query, out);
+    return out;
+  }
+
+  /// query() into a caller-owned buffer (cleared first): the hot-path
+  /// form, letting per-check loops reuse one allocation across calls.
+  /// Result is sorted and deduplicated, same as query().
+  void queryInto(const Rect& query, std::vector<std::size_t>& out) const {
+    out.clear();
+    queryRaw(query, out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+  /// Append raw bucket contents for every cell `query` touches, without
+  /// sorting or deduplication -- ids spanning several cells appear once
+  /// per cell. For callers that dedup as part of a later exact test.
+  void queryRaw(const Rect& query, std::vector<std::size_t>& out) const {
     forEachCell(query, [&](std::uint64_t key) {
       auto it = grid_.find(key);
       if (it != grid_.end())
         out.insert(out.end(), it->second.begin(), it->second.end());
     });
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
   }
 
   std::size_t size() const { return boxes_.size(); }

@@ -2,12 +2,115 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace dic::geom {
 
+namespace {
+
+/// Thread-confined SoA scratch for the vectorized edge walk.
+struct WidthScratch {
+  std::vector<Coord> pos, lo, hi;        // gathered candidate edges (unsorted)
+  std::vector<Coord> sPos, sLo, sHi;     // sorted-by-pos SoA arrays
+  std::vector<std::uint32_t> idx;
+  std::vector<std::uint8_t> mask;
+};
+
+WidthScratch& widthScratch() {
+  static thread_local WidthScratch s;
+  return s;
+}
+
+}  // namespace
+
 std::vector<WidthViolation> checkWidthEdges(const Region& r, Coord minWidth) {
   std::vector<WidthViolation> out;
-  const std::vector<Edge> es = r.edges();
+  const std::vector<Edge>& es = r.edges();
+  WidthScratch& ws = widthScratch();
+
+  // One side of the walk: gather matching edges into SoA arrays sorted by
+  // pos. Sorting an index vector with the scalar's pos-only comparator
+  // reproduces the scalar sort's permutation (the comparator never sees
+  // the element type), which keeps the emission order byte-identical.
+  auto gather = [&](bool vertical, bool loSide, std::vector<Coord>& pos,
+                    std::vector<Coord>& lo, std::vector<Coord>& hi) {
+    ws.pos.clear();
+    ws.lo.clear();
+    ws.hi.clear();
+    for (const Edge& e : es) {
+      if (e.vertical() != vertical) continue;
+      const bool isLo = e.interior == InteriorSide::kRight ||
+                        e.interior == InteriorSide::kAbove;
+      if (isLo != loSide) continue;
+      ws.pos.push_back(e.pos);
+      ws.lo.push_back(e.lo);
+      ws.hi.push_back(e.hi);
+    }
+    const std::size_t n = ws.pos.size();
+    ws.idx.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ws.idx[i] = static_cast<std::uint32_t>(i);
+    std::sort(ws.idx.begin(), ws.idx.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return ws.pos[a] < ws.pos[b];
+              });
+    pos.resize(n);
+    lo.resize(n);
+    hi.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t k = ws.idx[i];
+      pos[i] = ws.pos[k];
+      lo[i] = ws.lo[k];
+      hi[i] = ws.hi[k];
+    }
+  };
+
+  auto scan = [&](bool vertical) {
+    static thread_local std::vector<Coord> aPos, aLo, aHi, bPos, bLo, bHi;
+    gather(vertical, true, aPos, aLo, aHi);    // interior toward +axis
+    gather(vertical, false, bPos, bLo, bHi);   // interior toward -axis
+    const std::size_t nb = bPos.size();
+    if (ws.mask.size() < nb) ws.mask.resize(nb);
+    std::uint8_t* mask = ws.mask.data();
+    const Coord* bp = bPos.data();
+    const Coord* bl = bLo.data();
+    const Coord* bh = bHi.data();
+    std::size_t j0 = 0;
+    for (std::size_t i = 0; i < aPos.size(); ++i) {
+      const Coord ap = aPos[i], al = aLo[i], ah = aHi[i];
+      while (j0 < nb && bp[j0] <= ap) ++j0;
+      std::size_t jend = j0;
+      while (jend < nb && bp[jend] - ap < minWidth) ++jend;
+      // Branchless span-overlap mask over the candidate window.
+#pragma GCC ivdep
+      for (std::size_t j = j0; j < jend; ++j) {
+        const Coord s1 = al > bl[j] ? al : bl[j];
+        const Coord s2 = ah < bh[j] ? ah : bh[j];
+        mask[j] = static_cast<std::uint8_t>(s1 < s2);
+      }
+      // Exact tail in ascending-j order (matches the scalar inner loop).
+      for (std::size_t j = j0; j < jend; ++j) {
+        if (!mask[j]) continue;
+        const Coord s1 = std::max(al, bl[j]);
+        const Coord s2 = std::min(ah, bh[j]);
+        // Confirm the gap is interior (width, not spacing).
+        const Point mid = vertical ? Point{(ap + bp[j]) / 2, (s1 + s2) / 2}
+                                   : Point{(s1 + s2) / 2, (ap + bp[j]) / 2};
+        if (!r.contains(mid)) continue;
+        const Rect where = vertical ? Rect{{ap, s1}, {bp[j], s2}}
+                                    : Rect{{s1, ap}, {s2, bp[j]}};
+        out.push_back({where, bp[j] - ap});
+      }
+    }
+  };
+  scan(true);
+  scan(false);
+  return out;
+}
+
+std::vector<WidthViolation> checkWidthEdgesScalar(const Region& r,
+                                                  Coord minWidth) {
+  std::vector<WidthViolation> out;
+  const std::vector<Edge>& es = r.edges();
 
   // Vertical necks: interior-right edge at x=a vs interior-left edge at
   // x=b, a < b < a+minWidth, overlapping y spans, interior between them.

@@ -29,7 +29,15 @@ struct WidthViolation {
 /// Edge-based width check: flags every interior neck narrower than
 /// `minWidth` between opposing boundary edges (both axes). Exact for
 /// Manhattan regions (necks in Manhattan geometry are axis-aligned).
+///
+/// Vectorized: the edge walk runs over SoA position/span arrays with a
+/// branchless overlap mask; surviving candidates get the exact interior
+/// test in original order. Byte-identical to checkWidthEdgesScalar.
 std::vector<WidthViolation> checkWidthEdges(const Region& r, Coord minWidth);
+
+/// Scalar reference for checkWidthEdges (differential-test oracle).
+std::vector<WidthViolation> checkWidthEdgesScalar(const Region& r,
+                                                  Coord minWidth);
 
 /// Traditional shrink-expand-compare width check: shrink by minWidth/2,
 /// expand back, compare with the original; differences are flagged.

@@ -80,8 +80,10 @@ Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
   // view's candidate API treats as the all-layers sentinel.
   std::vector<std::vector<std::size_t>> elemEdges(ne);
   exec.parallelFor(ne, [&](std::size_t i) {
-    for (std::size_t j :
-         view.flatCandidates(false, elements[i].element.layer, bboxes[i])) {
+    static thread_local std::vector<std::size_t> cand;
+    view.flatCandidatesInto(false, elements[i].element.layer, bboxes[i], 0,
+                            cand);
+    for (std::size_t j : cand) {
       if (j <= i) continue;
       if (elements[j].element.layer != elements[i].element.layer) continue;
       if (!geom::closedTouch(bboxes[i], bboxes[j])) continue;
@@ -99,7 +101,9 @@ Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
   exec.parallelFor(np, [&](std::size_t pn) {
     const std::size_t d = portNodes[pn].device;
     const layout::Port& port = devices[d].ports[portNodes[pn].port];
-    for (std::size_t i : view.flatCandidates(false, port.layer, port.at)) {
+    static thread_local std::vector<std::size_t> cand;
+    view.flatCandidatesInto(false, port.layer, port.at, 0, cand);
+    for (std::size_t i : cand) {
       if (elements[i].element.layer != port.layer) continue;
       if (elementTouchesPort(elements[i].element, port.at))
         portEdges[pn].push_back(i);

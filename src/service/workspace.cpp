@@ -5,6 +5,7 @@
 #include <exception>
 #include <utility>
 
+#include "engine/arena.hpp"
 #include "engine/pipeline.hpp"
 
 namespace dic {
@@ -577,6 +578,7 @@ Workspace::CacheStats Workspace::cacheStats() const {
     s.cacheBytes += e->view->memoryBytes() +
                     e->netlistBytes.load(std::memory_order_acquire);
   }
+  s.scratchBytes = engine::Arena::totalReservedBytes();
   return s;
 }
 

@@ -252,6 +252,11 @@ class Workspace {
     /// against. Maintained incrementally by the views' builders, so the
     /// snapshot is cheap.
     std::size_t cacheBytes{0};
+    /// Process-wide bytes reserved by engine::Arena scratch pools (bump
+    /// allocators reset per pipeline stage / parallel index). Not counted
+    /// against maxCacheBytes: the pools self-bound at their per-thread
+    /// high-water mark.
+    std::size_t scratchBytes{0};
   };
   /// Snapshot of the cache counters.
   CacheStats cacheStats() const;

@@ -71,8 +71,10 @@ report::Report checkImplicitDevices(const layout::Library& lib,
     dBoxes.reserve(ds.size());
     for (const FlatShape* d : ds) dBoxes.push_back(d->bbox);
     const engine::SpatialSet set(dBoxes, tech.lambda() * 64);
+    std::vector<std::size_t> cand;
     for (const FlatShape* p : ps) {
-      for (std::size_t k : set.candidates(p->bbox)) {
+      set.candidatesInto(p->bbox, 0, cand);
+      for (std::size_t k : cand) {
         const FlatShape* d = ds[k];
         if (!geom::overlaps(p->bbox, d->bbox)) continue;
         const Region x = intersect(p->region, d->region);

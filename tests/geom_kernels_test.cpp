@@ -1,0 +1,364 @@
+// Differential tests for the vectorized geometry kernels (PR 6): every
+// SoA/branchless path must produce BYTE-IDENTICAL output to its retained
+// scalar oracle, across deterministic randomized seed sweeps that
+// include the degenerate shapes the masks have to get right -- touching
+// rects (closed boundaries), zero-area slivers, negative coordinates.
+// Plus unit tests for the engine::Arena bump allocator the checkers
+// route their scratch through (reset, alignment, stack discipline, byte
+// accounting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "engine/arena.hpp"
+#include "engine/hierarchy_view.hpp"
+#include "geom/region.hpp"
+#include "geom/spacing.hpp"
+#include "geom/width.hpp"
+
+namespace dic {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::Region;
+
+/// Random rects with the nasty cases mixed in: ~1/8 are zero-width or
+/// zero-height slivers, coordinates span negative space, and the value
+/// range is small enough that exact touches and duplicates occur often.
+std::vector<Rect> fuzzRects(std::mt19937& rng, std::size_t n, Coord window,
+                            Coord maxSide) {
+  std::uniform_int_distribution<Coord> pos(-window, window);
+  std::uniform_int_distribution<Coord> side(0, maxSide);  // 0 => degenerate
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    out.push_back({{x, y}, {x + side(rng), y + side(rng)}});
+  }
+  return out;
+}
+
+/// A region big enough to take the SoA path (>= 32 rects survive the
+/// union): disjoint jittered tiles around (ox, oy).
+Region tiledRegion(std::mt19937& rng, std::size_t tiles, Coord ox, Coord oy) {
+  std::uniform_int_distribution<Coord> side(3, 9);
+  std::vector<Rect> rs;
+  rs.reserve(tiles);
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const Coord x = ox + static_cast<Coord>(i % 8) * 10;
+    const Coord y = oy + static_cast<Coord>(i / 8) * 10;
+    rs.push_back({{x, y}, {x + side(rng), y + side(rng)}});
+  }
+  return Region::fromRects(rs);
+}
+
+// --- booleanSweep vs booleanSweepScalar --------------------------------------
+
+TEST(GeomKernelsDiff, BooleanSweepSeedSweepAllOps) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    std::mt19937 rng(seed);
+    const std::vector<Rect> a = fuzzRects(rng, 60, 50, 12);
+    const std::vector<Rect> b = fuzzRects(rng, 60, 50, 12);
+    for (const geom::BoolOp op :
+         {geom::BoolOp::kOr, geom::BoolOp::kAnd, geom::BoolOp::kSub,
+          geom::BoolOp::kXor}) {
+      const std::vector<Rect> fast = geom::booleanSweep(a, b, op);
+      const std::vector<Rect> ref = geom::booleanSweepScalar(a, b, op);
+      ASSERT_EQ(fast, ref) << "op=" << static_cast<int>(op)
+                           << " seed=" << seed;
+    }
+  }
+}
+
+TEST(GeomKernelsDiff, BooleanSweepDegenerateEdgeCases) {
+  // Exactly touching columns, duplicate rects, zero-area inputs.
+  const std::vector<Rect> a = {{{0, 0}, {10, 10}},
+                               {{10, 0}, {20, 10}},   // shares edge x=10
+                               {{0, 10}, {20, 20}},   // shares edge y=10
+                               {{5, 5}, {5, 15}},     // zero width
+                               {{-30, -30}, {-30, -30}},  // zero area
+                               {{0, 0}, {10, 10}}};   // duplicate
+  const std::vector<Rect> b = {{{-20, -20}, {0, 0}},  // corner-touches a
+                               {{20, 0}, {30, 10}},
+                               {{5, -5}, {15, 5}}};
+  for (const geom::BoolOp op :
+       {geom::BoolOp::kOr, geom::BoolOp::kAnd, geom::BoolOp::kSub,
+        geom::BoolOp::kXor})
+    EXPECT_EQ(geom::booleanSweep(a, b, op), geom::booleanSweepScalar(a, b, op))
+        << "op=" << static_cast<int>(op);
+}
+
+// --- checkSpacing / distanceBelow vs scalar ----------------------------------
+
+TEST(GeomKernelsDiff, CheckSpacingSeedSweepBothMetrics) {
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937 rng(seed);
+    // 64 tiles -> the SoA path; offset straddles the spacing threshold.
+    const Region a = tiledRegion(rng, 64, 0, 0);
+    const Region b = tiledRegion(rng, 64, 80 + static_cast<Coord>(seed), 3);
+    for (const geom::Metric m :
+         {geom::Metric::kEuclidean, geom::Metric::kOrthogonal}) {
+      for (const Coord minSpacing : {Coord{0}, Coord{5}, Coord{30}}) {
+        const auto fast = geom::checkSpacing(a, b, minSpacing, m);
+        const auto ref = geom::checkSpacingScalar(a, b, minSpacing, m);
+        ASSERT_EQ(fast.size(), ref.size())
+            << "seed=" << seed << " metric=" << static_cast<int>(m)
+            << " s=" << minSpacing;
+        for (std::size_t i = 0; i < fast.size(); ++i) {
+          EXPECT_EQ(fast[i].a, ref[i].a);
+          EXPECT_EQ(fast[i].b, ref[i].b);
+          // Bit-exact double: same formula on the same integer gaps.
+          EXPECT_EQ(fast[i].measured, ref[i].measured);
+        }
+      }
+    }
+  }
+}
+
+TEST(GeomKernelsDiff, CheckSpacingSmallRegionFallback) {
+  // Below the SoA threshold the kernel short-circuits to the scalar
+  // walk; identity must hold there too (it IS the scalar walk).
+  const Region a(Rect{{0, 0}, {10, 10}});
+  const Region b(Rect{{13, 0}, {20, 10}});
+  const auto fast = geom::checkSpacing(a, b, 5, geom::Metric::kEuclidean);
+  const auto ref = geom::checkSpacingScalar(a, b, 5, geom::Metric::kEuclidean);
+  ASSERT_EQ(fast.size(), ref.size());
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0].measured, 3.0);
+}
+
+TEST(GeomKernelsDiff, DistanceBelowSeedSweepBothMetrics) {
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937 rng(seed);
+    const Region a = tiledRegion(rng, 48, 0, 0);
+    const Region b = tiledRegion(rng, 48, 60 + static_cast<Coord>(seed) * 3,
+                                 -20);
+    for (const geom::Metric m :
+         {geom::Metric::kEuclidean, geom::Metric::kOrthogonal}) {
+      for (const Coord bound : {Coord{0}, Coord{1}, Coord{10}, Coord{500}}) {
+        const auto fast = geom::distanceBelow(a, b, bound, m);
+        const auto ref = geom::distanceBelowScalar(a, b, bound, m);
+        ASSERT_EQ(fast, ref) << "seed=" << seed
+                             << " metric=" << static_cast<int>(m)
+                             << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(GeomKernelsDiff, DistanceBelowTouchingRegionsIsZero) {
+  std::mt19937 rng(99);
+  const Region a = tiledRegion(rng, 64, 0, 0);
+  // Shares the closed boundary with a's first tile column.
+  Region b = unite(tiledRegion(rng, 64, -90, 0), Region(Rect{{-5, 0}, {0, 5}}));
+  const auto fast =
+      geom::distanceBelow(a, b, 10, geom::Metric::kEuclidean);
+  const auto ref =
+      geom::distanceBelowScalar(a, b, 10, geom::Metric::kEuclidean);
+  ASSERT_EQ(fast, ref);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, 0.0);
+}
+
+// --- checkWidthEdges vs scalar -----------------------------------------------
+
+TEST(GeomKernelsDiff, CheckWidthEdgesSeedSweep) {
+  for (std::uint32_t seed = 1; seed <= 15; ++seed) {
+    std::mt19937 rng(seed);
+    // Overlapping random rects produce staircase boundaries with narrow
+    // necks; the union keeps the region connected enough to be
+    // interesting.
+    const Region r = Region::fromRects(fuzzRects(rng, 40, 30, 15));
+    for (const Coord minWidth : {Coord{2}, Coord{4}, Coord{9}}) {
+      const auto fast = geom::checkWidthEdges(r, minWidth);
+      const auto ref = geom::checkWidthEdgesScalar(r, minWidth);
+      ASSERT_EQ(fast, ref) << "seed=" << seed << " w=" << minWidth;
+    }
+  }
+}
+
+// --- regionsTouch vs scalar --------------------------------------------------
+
+TEST(GeomKernelsDiff, RegionsTouchSeedSweep) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    std::mt19937 rng(seed);
+    const Region a = tiledRegion(rng, 40, 0, 0);  // 40x40 > SoA threshold
+    // Offsets chosen so roughly half the seeds touch (tile pitch 10).
+    const Coord off = 70 + static_cast<Coord>(seed % 10);
+    const Region b = tiledRegion(rng, 40, off, 2);
+    EXPECT_EQ(geom::regionsTouch(a, b), geom::regionsTouchScalar(a, b))
+        << "seed=" << seed;
+    EXPECT_EQ(geom::regionsTouch(b, a), geom::regionsTouchScalar(b, a))
+        << "seed=" << seed;
+  }
+}
+
+TEST(GeomKernelsDiff, RegionsTouchClosedBoundary) {
+  // Closed-touch semantics: sharing a single edge or corner counts.
+  const Region a(Rect{{0, 0}, {10, 10}});
+  EXPECT_TRUE(geom::regionsTouch(a, Region(Rect{{10, 0}, {20, 10}})));
+  EXPECT_TRUE(geom::regionsTouch(a, Region(Rect{{10, 10}, {20, 20}})));
+  EXPECT_FALSE(geom::regionsTouch(a, Region(Rect{{11, 0}, {20, 10}})));
+  EXPECT_EQ(geom::regionsTouch(a, Region(Rect{{10, 0}, {20, 10}})),
+            geom::regionsTouchScalar(a, Region(Rect{{10, 0}, {20, 10}})));
+}
+
+// --- pairsWithin vs scalar ---------------------------------------------------
+
+TEST(GeomKernelsDiff, PairsWithinSeedSweep) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    std::mt19937 rng(seed);
+    const std::vector<Rect> boxes = fuzzRects(rng, 300, 200, 25);
+    for (const Coord dist : {Coord{0}, Coord{1}, Coord{15}}) {
+      const auto fast = engine::pairsWithin(boxes, dist);
+      const auto ref = engine::pairsWithinScalar(boxes, dist);
+      ASSERT_EQ(fast, ref) << "seed=" << seed << " dist=" << dist;
+    }
+  }
+}
+
+TEST(GeomKernelsDiff, PairsWithinDuplicatesAndTouching) {
+  // Duplicated boxes, exact closed touches, and a box spanning many grid
+  // cells (the raw-query dedup path).
+  const std::vector<Rect> boxes = {{{0, 0}, {10, 10}},
+                                   {{0, 0}, {10, 10}},      // duplicate
+                                   {{10, 0}, {20, 10}},     // touching
+                                   {{-500, -500}, {500, 500}},  // huge
+                                   {{30, 30}, {30, 30}},    // zero-area
+                                   {{31, 31}, {35, 35}}};
+  for (const Coord dist : {Coord{0}, Coord{1}, Coord{100}})
+    EXPECT_EQ(engine::pairsWithin(boxes, dist),
+              engine::pairsWithinScalar(boxes, dist))
+        << "dist=" << dist;
+}
+
+TEST(GeomKernelsDiff, ConcurrentSoAPublicationIsSafeAndStable) {
+  // The SoA/edges views publish lazily via compare-exchange: racing
+  // builders must agree on one winner and identical kernel output. This
+  // is the geometry layer's only cross-thread surface (run under TSan
+  // in CI).
+  for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+    std::mt19937 rng(seed);
+    const Region a = tiledRegion(rng, 64, 0, 0);
+    const Region b = tiledRegion(rng, 64, 85, 0);
+    const auto ref = geom::checkSpacingScalar(a, b, 20, geom::Metric::kEuclidean);
+    std::vector<std::thread> workers;
+    std::vector<const Region::SoA*> seen(8, nullptr);
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+      workers.emplace_back([&, t] {
+        seen[static_cast<std::size_t>(t)] = &b.soa();
+        (void)a.edges();
+        const auto fast = geom::checkSpacing(a, b, 20, geom::Metric::kEuclidean);
+        if (fast.size() != ref.size()) mismatches.fetch_add(1);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    for (int t = 1; t < 8; ++t)
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0])
+          << "racing builders must publish one SoA view";
+  }
+}
+
+// --- engine::Arena -----------------------------------------------------------
+
+TEST(Arena, AlignmentAndBasicAllocation) {
+  engine::Arena arena(1024);
+  for (const std::size_t align : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}, std::size_t{16},
+                                  std::size_t{64}}) {
+    void* p = arena.allocate(13, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+  double* d = arena.allocateArray<double>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(Arena, ResetRetainsBlocksAndZerosUsed) {
+  engine::Arena arena(1024);
+  arena.allocate(900);
+  arena.allocate(900);  // forces a second block
+  const std::size_t reserved = arena.reservedBytes();
+  const std::size_t blocks = arena.blockCount();
+  EXPECT_GE(arena.usedBytes(), 1800u);
+  EXPECT_GE(blocks, 2u);
+
+  arena.reset();
+  EXPECT_EQ(arena.usedBytes(), 0u);
+  EXPECT_EQ(arena.reservedBytes(), reserved);  // high-water pool retained
+  EXPECT_EQ(arena.blockCount(), blocks);
+
+  // Refilling to the same level must not grow the pool.
+  arena.allocate(900);
+  arena.allocate(900);
+  EXPECT_EQ(arena.reservedBytes(), reserved);
+  EXPECT_EQ(arena.blockCount(), blocks);
+}
+
+TEST(Arena, MarkReleaseStackDiscipline) {
+  engine::Arena arena(1024);
+  arena.allocate(100);
+  const std::size_t before = arena.usedBytes();
+  const engine::Arena::Mark m = arena.mark();
+  arena.allocate(300);
+  arena.allocate(200);
+  EXPECT_GT(arena.usedBytes(), before);
+  arena.release(m);
+  EXPECT_EQ(arena.usedBytes(), before);
+
+  // ArenaScope is the RAII form of the same discipline.
+  {
+    engine::ArenaScope scope(arena);
+    arena.allocate(512);
+    EXPECT_GT(arena.usedBytes(), before);
+  }
+  EXPECT_EQ(arena.usedBytes(), before);
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedBlock) {
+  engine::Arena arena(256);
+  void* p = arena.allocate(10000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.reservedBytes(), 10000u);
+}
+
+TEST(Arena, TotalReservedBytesAccounting) {
+  const std::size_t before = engine::Arena::totalReservedBytes();
+  {
+    engine::Arena arena(4096);
+    arena.allocate(100);  // reserves the first block lazily
+    EXPECT_GE(engine::Arena::totalReservedBytes(), before + 4096);
+  }
+  // Destruction returns the arena's blocks to the process-wide count.
+  EXPECT_EQ(engine::Arena::totalReservedBytes(), before);
+}
+
+TEST(Arena, ArenaVectorRoundTrip) {
+  engine::Arena arena;
+  engine::ArenaScope scope(arena);
+  engine::ArenaVector<int> v{engine::ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v[999], 2997);
+  EXPECT_GT(arena.usedBytes(), 0u);
+}
+
+TEST(Arena, ScratchArenaIsPerThreadAndReusable) {
+  engine::Arena& a = engine::scratchArena();
+  engine::Arena& b = engine::scratchArena();
+  EXPECT_EQ(&a, &b);  // same thread -> same arena
+  const engine::Arena::Mark m = a.mark();
+  a.allocate(64);
+  a.release(m);
+}
+
+}  // namespace
+}  // namespace dic
