@@ -9,12 +9,17 @@ understood, keyed by the JSON's top-level name:
 
 ``multi_shard_sweep`` (bench_serving_throughput)
     Rows keyed by (mode, shards, threadsPerShard, dispatchers); metric is
-    warm-pool ``reqPerSec``. Only *closed-loop* rows gate: they are
+    warm-pool ``reqPerSec``. *Closed-loop* rows always gate: they are
     throughput-bound, so a slower build shows up directly as lower
     req/s. Open-loop rows are arrival-schedule-bound (req/s ~= the
     configured rate whenever the server keeps up), so they are checked
     for shape only and reported informationally; a capacity regression
-    there surfaces as queue growth, not req/s.
+    there surfaces as queue growth, not req/s. Any other row — today the
+    ``warm-edit`` / ``warm-edit-full`` latency rows — gates iff the
+    *baseline* row carries ``"gated": true``. The bench emits these rows
+    with ``"gated": false`` (single-request latency is noisy on shared
+    runners), so they stay informational until someone flips the flag in
+    the committed baseline after a CI-artifact refresh shows them stable.
 
 ``geom_kernels`` (bench_geom_kernels)
     Rows keyed by (kernel, size, variant); metric is ``opsPerSec``
@@ -60,7 +65,7 @@ SCHEMAS = [
         key=lambda r: (r["mode"], r["shards"], r["threadsPerShard"],
                        r.get("dispatchers", 1)),
         fmt=lambda k: f"{k[0]} shards={k[1]} thr/sh={k[2]} disp={k[3]}",
-        gated=lambda r: r["mode"] == "closed",
+        gated=lambda r: r["mode"] == "closed" or bool(r.get("gated", False)),
     ),
     Schema(
         top="geom_kernels",

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Refresh bench/baselines/*.json from a CI run's uploaded artifacts.
+#
+# Baselines must come from the CI runner, not from whatever container a
+# developer happens to be typing in: compare_bench.py gates candidate
+# runs against these numbers on that runner, so a baseline produced on a
+# faster (or noisier) local machine either masks regressions or trips
+# the gate on every push. Every CI run already uploads its bench JSONs
+# as artifacts — a runner-generated file is always one download away.
+#
+# Usage:
+#   bench/refresh_baselines.sh <run-id>
+#
+# where <run-id> is the numeric id of a green CI run on main (from the
+# run's URL, or `gh run list --branch main --status success`). Requires
+# the GitHub CLI (`gh`) authenticated against the repo.
+#
+# After running, inspect the diff, keep the "gated" flags as committed
+# (flip warm-edit rows to "gated": true only once several refreshes show
+# them stable), and commit the result with a note naming the run id.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  sed -n '2,20p' "$0"
+  exit 2
+fi
+run_id=$1
+here=$(cd "$(dirname "$0")" && pwd)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+gh run download "$run_id" --dir "$tmp"
+
+found=0
+for name in bench_serving_throughput.json bench_geom_kernels.json; do
+  src=$(find "$tmp" -name "$name" | head -n1)
+  if [[ -z "$src" ]]; then
+    echo "refresh_baselines: run $run_id has no artifact named $name" >&2
+    continue
+  fi
+  python3 -m json.tool "$src" > /dev/null  # refuse truncated downloads
+  cp "$src" "$here/baselines/$name"
+  echo "refreshed baselines/$name from run $run_id"
+  found=1
+done
+
+if [[ $found -eq 0 ]]; then
+  echo "refresh_baselines: no bench JSONs found in run $run_id" >&2
+  exit 1
+fi
+echo "now: git diff bench/baselines/ — review, then commit citing run $run_id"

@@ -7,6 +7,43 @@
 
 namespace dic::drc {
 
+DirtyInfo computeDirtyInfo(const engine::HierarchyView& view,
+                           const std::vector<layout::CellEdit>& edits) {
+  DirtyInfo out;
+  for (const layout::CellEdit& e : edits) {
+    out.dirtyCells.insert(e.cell);
+    std::vector<geom::Rect>& rects = out.dirtyRects[e.cell];
+    rects.push_back(e.oldElement.bbox());
+    rects.push_back(e.newElement.bbox());
+  }
+  if (out.dirtyRects.empty()) return out;
+  // Propagate bottom-up. cells() is post-order (substrates before users),
+  // so when a parent is reached every child's rect list is final and one
+  // pass suffices; each instance folds its child's rects through the
+  // instance transform into the parent's frame. Rect lists are capped by
+  // hull collapse — conservative (a bigger dirty region only recomputes
+  // more), never unsound.
+  const layout::Library& lib = view.library();
+  constexpr std::size_t kMaxDirtyRects = 64;
+  for (layout::CellId id : view.cells()) {
+    const layout::Cell& c = lib.cell(id);
+    std::vector<geom::Rect>* mine = nullptr;
+    for (const layout::Instance& inst : c.instances) {
+      auto it = out.dirtyRects.find(inst.cell);
+      if (it == out.dirtyRects.end()) continue;
+      if (!mine) mine = &out.dirtyRects[id];
+      for (const geom::Rect& r : it->second)
+        mine->push_back(inst.transform.apply(r));
+    }
+    if (mine && mine->size() > kMaxDirtyRects) {
+      geom::Rect hull = (*mine)[0];
+      for (const geom::Rect& r : *mine) hull = geom::bound(hull, r);
+      mine->assign(1, hull);
+    }
+  }
+  return out;
+}
+
 Checker::Checker(const layout::Library& lib, layout::CellId root,
                  const tech::Technology& tech, Options options)
     : Checker(std::make_shared<engine::HierarchyView>(lib, root), tech,
@@ -126,13 +163,31 @@ report::Report Checker::run(engine::Executor& exec) {
 }
 
 report::Report Checker::perCellStage(
-    engine::Executor& exec,
+    engine::Executor& exec, int cacheSlot,
     const std::function<void(layout::CellId, report::Report&)>& fn) {
   const std::vector<layout::CellId>& cells = view_->cells();
   view_->placements();  // built once, read-only for the workers below
   std::vector<report::Report> reps(cells.size());
-  exec.parallelFor(cells.size(),
-                   [&](std::size_t k) { fn(cells[k], reps[k]); });
+  // Reuse path: only cells whose own content changed recompute; every
+  // clean cell takes its cached report verbatim. The merge below runs in
+  // the same cells() order either way, so the output is byte-identical to
+  // a full recompute.
+  const bool reuse = icache_ && idirty_ && icache_->valid &&
+                     icache_->cells == cells &&
+                     icache_->perCell[cacheSlot].size() == cells.size();
+  if (reuse) {
+    const std::vector<report::Report>& cached = icache_->perCell[cacheSlot];
+    exec.parallelFor(cells.size(), [&](std::size_t k) {
+      if (idirty_->dirtyCells.count(cells[k]))
+        fn(cells[k], reps[k]);
+      else
+        reps[k] = cached[k];
+    });
+  } else {
+    exec.parallelFor(cells.size(),
+                     [&](std::size_t k) { fn(cells[k], reps[k]); });
+  }
+  if (icache_) icache_->perCell[cacheSlot] = reps;
   report::Report out;
   for (const report::Report& r : reps) out.merge(r);
   return out;
@@ -144,7 +199,7 @@ report::Report Checker::checkElements() {
 }
 
 report::Report Checker::checkElementsImpl(engine::Executor& exec) {
-  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
+  return perCellStage(exec, 0, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (c.isDevice()) return;  // device geometry is stage 2's business
     for (const layout::Element& e : c.elements) {
@@ -163,7 +218,7 @@ report::Report Checker::checkPrimitiveSymbols() {
 
 report::Report Checker::checkPrimitiveSymbolsImpl(engine::Executor& exec) {
   if (!opt_.checkDevices) return {};
-  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
+  return perCellStage(exec, 1, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (!c.isDevice() || c.prechecked) return;
     for (report::Violation v : checkDeviceCell(c, tech_)) {
@@ -179,7 +234,7 @@ report::Report Checker::checkConnections() {
 }
 
 report::Report Checker::checkConnectionsImpl(engine::Executor& exec) {
-  return perCellStage(exec, [&](layout::CellId id, report::Report& rep) {
+  return perCellStage(exec, 2, [&](layout::CellId id, report::Report& rep) {
     const layout::Cell& c = lib_.cell(id);
     if (c.isDevice()) return;
     for (report::Violation v : checkCellConnections(c, tech_)) {
@@ -204,7 +259,7 @@ report::Report Checker::checkInteractionsImpl(const netlist::Netlist& nl,
   InteractionContext ctx{*view_,      tech_,   nl,
                          opt_.metric, istats_, opt_.useNetInformation};
   return opt_.hierarchicalInteractions
-             ? checkInteractionsHierarchical(ctx, exec)
+             ? checkInteractionsHierarchical(ctx, exec, icache_, idirty_)
              : checkInteractionsFlat(ctx, exec);
 }
 

@@ -21,9 +21,11 @@
 /// work-stealing pool with deterministic merging (threads=N output is
 /// byte-identical to threads=1; see docs/engine.md).
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "engine/executor.hpp"
@@ -112,6 +114,90 @@ struct InteractionStats {
     for (const auto& [k, v] : o.perLayerPair) perLayerPair[k] += v;
   }
 };
+
+/// Reusable per-unit results of one hierarchical-DRC run, the substrate of
+/// incremental edit-then-check. Byte-identity is preserved *structurally*:
+/// the cache stores whole per-unit reports (per-cell stage reports, per
+/// interaction item) keyed by the same deterministic unit identities a cold
+/// run enumerates, and an incremental run recomputes only units an edit
+/// could affect, merging cached and fresh results in the identical unit
+/// order. Violations are never spliced geometrically, so a hit-path report
+/// is the byte-for-byte cold report by construction.
+///
+/// One cache belongs to one (view, Options signature) pair; the Workspace
+/// owns it per library entry and only engages it when the request's
+/// result-affecting options match the options of the populating run.
+/// Thread-safety: during a run each stage writes only its own slice
+/// (perCell[i] by stage i, items by the interaction stage's serial merge
+/// loop), so no locking is needed; `valid` and `cells` are set by the
+/// orchestrator between runs.
+struct IncrementalCache {
+  /// Cells snapshot (view cells() order) the per-cell reports are
+  /// parallel to; reuse requires it to equal the current view's cells().
+  std::vector<layout::CellId> cells;
+  /// Per-cell reports of the three per-cell stages (elements, symbols,
+  /// connections), each parallel to `cells`.
+  std::array<std::vector<report::Report>, 3> perCell;
+
+  /// Identity of one hierarchical interaction item (see interaction.cpp:
+  /// kind 0 = intra-cell, 1 = element-vs-child window, 2 = child-pair
+  /// window). Stable across runs as long as the hierarchy structure is
+  /// unchanged (child indexes are instance-vector positions).
+  struct ItemKey {
+    layout::CellId cell{0};
+    int kind{0};
+    std::size_t childA{0};
+    std::size_t childB{0};
+    bool operator<(const ItemKey& o) const {
+      if (cell != o.cell) return cell < o.cell;
+      if (kind != o.kind) return kind < o.kind;
+      if (childA != o.childA) return childA < o.childA;
+      return childB < o.childB;
+    }
+  };
+  struct ItemResult {
+    report::Report report;
+    InteractionStats stats;
+  };
+  std::map<ItemKey, ItemResult> items;
+
+  /// Opaque per-cell prepared-shape cache owned by the interaction stage
+  /// (the concrete type is private to interaction.cpp). Shapes depend
+  /// only on a cell's elements and the technology, so on the fast path
+  /// entries for cells untouched by the pending edits are reused and
+  /// only dirty cells pay region/skeleton construction again.
+  std::shared_ptr<void> shapeCache;
+
+  /// Set by the orchestrator after a successful populating run; cleared
+  /// whenever an edit falls off the incremental fast path.
+  bool valid{false};
+};
+
+/// What an accepted edit batch dirtied, consumed by Checker::setIncremental.
+/// Computed by computeDirtyInfo from the library's tracked CellEdits.
+struct DirtyInfo {
+  /// Cells whose *own* elements changed; per-cell stages recompute exactly
+  /// these (stages 1-3 are functions of a cell's own content only).
+  std::set<layout::CellId> dirtyCells;
+  /// Union of old+new bboxes of edited elements, per cell, in that cell's
+  /// local coordinates — propagated bottom-up so an ancestor's rect list
+  /// covers every edit anywhere in its subtree (capped by hull collapse).
+  /// Drives the interaction stage's per-item affectedness test.
+  std::map<layout::CellId, std::vector<geom::Rect>> dirtyRects;
+  /// True when the cached netlist was reused AND no cell bbox changed, the
+  /// preconditions for per-item interaction reuse (net relations, child
+  /// bboxes, and windows are then all unchanged). When false the
+  /// interaction stage recomputes everything (and repopulates the cache).
+  bool reuseInteractions{false};
+};
+
+/// Build a DirtyInfo from tracked element edits: dirtyCells = edited
+/// cells, dirtyRects = old+new element bboxes propagated to every ancestor
+/// through instance transforms (cells() post-order guarantees children are
+/// final before parents fold them in). reuseInteractions is left false;
+/// the caller sets it once it knows the netlist-reuse and bbox outcomes.
+DirtyInfo computeDirtyInfo(const engine::HierarchyView& view,
+                           const std::vector<layout::CellEdit>& edits);
 
 class Checker {
  public:
@@ -207,6 +293,21 @@ class Checker {
   /// The shared hierarchy view all stages run on.
   engine::HierarchyView& view() { return *view_; }
 
+  /// Engage incremental checking for the next run. `cache` (caller-owned,
+  /// outliving the run) receives this run's per-unit results. With
+  /// `dirty` == nullptr the run is a cold populate: every unit computes
+  /// and the cache fills. With `dirty` set, units untouched per DirtyInfo
+  /// reuse their cached reports and only dirty units recompute — the
+  /// merged output stays byte-identical to a cold run because units and
+  /// merge order are unchanged. The caller must guarantee the cache was
+  /// populated against the same view and result-affecting Options;
+  /// stale-looking caches (cells mismatch) degrade safely to full
+  /// recompute. Pass (nullptr, nullptr) to disengage.
+  void setIncremental(IncrementalCache* cache, const DirtyInfo* dirty) {
+    icache_ = cache;
+    idirty_ = dirty;
+  }
+
  private:
   report::Report checkElementsImpl(engine::Executor& exec);
   report::Report checkPrimitiveSymbolsImpl(engine::Executor& exec);
@@ -215,9 +316,12 @@ class Checker {
                                        engine::Executor& exec);
 
   /// Fan `fn` across reachable cells; merge per-cell reports in the
-  /// deterministic cells() order.
+  /// deterministic cells() order. `cacheSlot` (0..2) selects the
+  /// IncrementalCache::perCell slice this stage reads/writes when
+  /// incremental mode is engaged; on reuse only DirtyInfo::dirtyCells
+  /// recompute and clean cells take their cached report.
   report::Report perCellStage(
-      engine::Executor& exec,
+      engine::Executor& exec, int cacheSlot,
       const std::function<void(layout::CellId, report::Report&)>& fn);
 
   /// Emit a per-cell violation at every placement of `cell`.
@@ -238,6 +342,8 @@ class Checker {
   StageTimes times_;
   std::vector<engine::StageResult> stageResults_;
   InteractionStats istats_;
+  IncrementalCache* icache_{nullptr};
+  const DirtyInfo* idirty_{nullptr};
 };
 
 }  // namespace dic::drc

@@ -335,14 +335,77 @@ struct HierItem {
 struct CellWork {
   layout::CellId id{0};
   const std::vector<engine::Placement>* places{nullptr};
-  std::vector<Shape> local;
+  /// Prepared shapes of the cell's own elements; shared with (and on the
+  /// fast path served from) the IncrementalCache's shape cache. Null for
+  /// cells no affected intra/elem-child item reads this run.
+  std::shared_ptr<const std::vector<Shape>> local;
   std::vector<engine::ChildRef> children;
+};
+
+/// The concrete type behind IncrementalCache::shapeCache: per-cell
+/// prepared shapes, valid as long as the cell's elements are unchanged.
+struct ShapeCache {
+  std::map<layout::CellId, std::shared_ptr<const std::vector<Shape>>> byCell;
 };
 
 }  // namespace
 
+/// Can an edit recorded in `dirty` change this item's output? Exact
+/// window-membership reasoning, conservative on ties: an edited element
+/// (at its old or new transformed bbox) participates in an item only if
+/// it can enter the item's window and pair up within dmax — so an item no
+/// dirty rect reaches is untouched and its cached report is the report a
+/// recompute would produce.
+namespace {
+bool itemAffected(const HierItem& item, const CellWork& w,
+                  const layout::Library& lib, const DirtyInfo& dirty,
+                  Coord dmax) {
+  switch (item.kind) {
+    case HierItem::kIntra:
+      // Uses only the cell's own elements (placements/nets are unchanged
+      // on the fast path).
+      return dirty.dirtyCells.count(w.id) != 0;
+    case HierItem::kElemChild: {
+      if (dirty.dirtyCells.count(w.id)) return true;
+      const engine::ChildRef& ch = w.children[item.childA];
+      auto it = dirty.dirtyRects.find(ch.cell);
+      if (it == dirty.dirtyRects.end()) return false;
+      // An edit in the child subtree matters iff its rect (old or new),
+      // brought into this cell's frame, is within dmax of one of this
+      // cell's own elements — exactly the pair-keep predicate.
+      const layout::Cell& c = lib.cell(w.id);
+      for (const Rect& r : it->second) {
+        const Rect tr = ch.transform.apply(r);
+        for (const layout::Element& e : c.elements)
+          if (bboxesWithin(e.bbox(), tr, dmax)) return true;
+      }
+      return false;
+    }
+    case HierItem::kChildPair: {
+      const engine::ChildRef& ci = w.children[item.childA];
+      const engine::ChildRef& cj = w.children[item.childB];
+      const Rect window =
+          geom::intersect(ci.bbox.inflated(dmax), cj.bbox.inflated(dmax));
+      // Window membership is the gate: collectWindow only emits elements
+      // closed-touching the window, so a dirty rect outside it cannot
+      // appear in (or vanish from) this item.
+      for (const engine::ChildRef* ch : {&ci, &cj}) {
+        auto it = dirty.dirtyRects.find(ch->cell);
+        if (it == dirty.dirtyRects.end()) continue;
+        for (const Rect& r : it->second)
+          if (geom::closedTouch(ch->transform.apply(r), window)) return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
 report::Report checkInteractionsHierarchical(InteractionContext& ctx,
-                                             engine::Executor& exec) {
+                                             engine::Executor& exec,
+                                             IncrementalCache* cache,
+                                             const DirtyInfo* dirty) {
   ctx.buildMaps();
   report::Report rep;
   const Coord dmax = std::max<Coord>(ctx.tech.maxInteractionDistance(), 1);
@@ -350,6 +413,9 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
 
   // Per-cell substrate: local shapes and child bookkeeping, built once
   // per definition (the paper's per-cell-once economy) across workers.
+  // Shape construction (regions, skeletons) is the expensive part, so it
+  // is deferred until the reuse pass below knows which cells still host
+  // an item that must recompute.
   std::vector<CellWork> work;
   for (layout::CellId cid : ctx.view.cells()) {
     const layout::Cell& c = lib.cell(cid);
@@ -362,12 +428,7 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
     work.push_back(std::move(w));
   }
   exec.parallelFor(work.size(), [&](std::size_t wi) {
-    CellWork& w = work[wi];
-    const layout::Cell& c = lib.cell(w.id);
-    w.local.reserve(c.elements.size());
-    for (std::size_t i = 0; i < c.elements.size(); ++i)
-      w.local.push_back(makeShape(c.elements[i], ctx.tech, false, w.id, i, ""));
-    w.children = ctx.view.children(w.id);
+    work[wi].children = ctx.view.children(work[wi].id);
   });
 
   std::vector<HierItem> items;
@@ -384,9 +445,71 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
       }
   }
 
+  auto keyOf = [&](const HierItem& it) {
+    return IncrementalCache::ItemKey{work[it.cellSlot].id,
+                                     static_cast<int>(it.kind), it.childA,
+                                     it.childB};
+  };
+
+  // Reuse pass: with a valid cache and fast-path dirty info, mark every
+  // item no dirty rect can reach; those take their cached result. Items
+  // missing from the cache (or reachable) recompute and refresh it.
+  const bool reuse = cache && dirty && dirty->reuseInteractions &&
+                     cache->valid && cache->cells == ctx.view.cells();
+  std::vector<char> affected(items.size(), 1);
+  if (reuse) {
+    for (std::size_t t = 0; t < items.size(); ++t) {
+      if (!cache->items.count(keyOf(items[t]))) continue;
+      if (!itemAffected(items[t], work[items[t].cellSlot], lib, *dirty, dmax))
+        affected[t] = 0;
+    }
+  }
+
+  // Build local shapes only for cells an affected intra/elem-child item
+  // still reads (child-pair items work purely off collected windows).
+  // With a cache, shapes persist across runs per cell: on the fast path
+  // only dirty cells rebuild their regions/skeletons, everyone else
+  // shares last run's vector.
+  ShapeCache* sc = nullptr;
+  if (cache) {
+    if (!cache->shapeCache)
+      cache->shapeCache = std::make_shared<ShapeCache>();
+    sc = static_cast<ShapeCache*>(cache->shapeCache.get());
+    if (!reuse) sc->byCell.clear();
+  }
+  std::vector<char> needLocal(work.size(), 0);
+  for (std::size_t t = 0; t < items.size(); ++t)
+    if (affected[t] && items[t].kind != HierItem::kChildPair)
+      needLocal[items[t].cellSlot] = 1;
+  exec.parallelFor(work.size(), [&](std::size_t wi) {
+    if (!needLocal[wi]) return;
+    CellWork& w = work[wi];
+    if (sc && reuse && !dirty->dirtyCells.count(w.id)) {
+      // Fast-path invariant: only dirty cells' elements changed, so a
+      // cached shape vector for any other cell is still exact.
+      const auto it = sc->byCell.find(w.id);
+      if (it != sc->byCell.end()) {
+        w.local = it->second;
+        return;
+      }
+    }
+    const layout::Cell& c = lib.cell(w.id);
+    auto built = std::make_shared<std::vector<Shape>>();
+    built->reserve(c.elements.size());
+    for (std::size_t i = 0; i < c.elements.size(); ++i)
+      built->push_back(makeShape(c.elements[i], ctx.tech, false, w.id, i, ""));
+    w.local = std::move(built);
+  });
+  // Publish this run's vectors serially (the map is not written during
+  // the parallel pass above, only read).
+  if (sc)
+    for (const CellWork& w : work)
+      if (w.local) sc->byCell[w.id] = w.local;
+
   std::vector<report::Report> itemReps(items.size());
   std::vector<InteractionStats> itemStats(items.size());
   exec.parallelFor(items.size(), [&](std::size_t t) {
+    if (!affected[t]) return;
     const HierItem& item = items[t];
     const CellWork& w = work[item.cellSlot];
     report::Report& out = itemReps[t];
@@ -397,33 +520,48 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
         // (a) Intra-cell pairs: geometry once, relation per placement.
         // Pair candidates come from the engine sweep over the bboxes the
         // CellWork pass already computed.
+        const std::vector<Shape>& local = *w.local;
         std::vector<Rect> bboxes;
-        bboxes.reserve(w.local.size());
-        for (const Shape& s : w.local) bboxes.push_back(s.bbox);
+        bboxes.reserve(local.size());
+        for (const Shape& s : local) bboxes.push_back(s.bbox);
         for (const auto& [i, j] : engine::pairsWithin(bboxes, dmax)) {
           ++stats.candidatePairs;
-          const PairGeometry g = pairGeometry(ctx, w.local[i], w.local[j]);
+          const PairGeometry g = pairGeometry(ctx, local[i], local[j]);
           for (const auto& p : *w.places)
-            evaluatePair(ctx, stats, w.local[i], w.local[j], g, p.path,
+            evaluatePair(ctx, stats, local[i], local[j], g, p.path,
                          p.transform, out, /*skipConnectionCheck=*/true);
         }
         break;
       }
       case HierItem::kElemChild: {
         // (b) Local elements vs one child instance's overlap windows.
-        // The window buffer is hoisted out of the element loop and
-        // reused (cleared per query), not reallocated.
+        // One union window over every local element near the child: the
+        // subtree is collected once and each window element's shape is
+        // built once, shared across the local elements. The per-pair
+        // bboxesWithin filter is unchanged, so the pair set and its
+        // (local, window) iteration order — and with them the emitted
+        // bytes — are identical to per-element windows.
         const engine::ChildRef& ch = w.children[item.childA];
-        std::vector<engine::WindowElement> inner;
-        for (const Shape& e : w.local) {
+        const std::vector<Shape>& local = *w.local;
+        Rect u{};
+        bool any = false;
+        for (const Shape& e : local) {
           if (!bboxesWithin(e.bbox, ch.bbox, dmax)) continue;
-          const Rect window = geom::intersect(e.bbox.inflated(dmax),
-                                              ch.bbox.inflated(dmax));
-          inner.clear();
-          ctx.view.collectWindow(ch.cell, ch.transform, window, ch.name,
-                                 inner);
-          for (const engine::WindowElement& we : inner) {
-            const Shape x = makeShape(we, ctx.tech);
+          u = any ? geom::bound(u, e.bbox) : e.bbox;
+          any = true;
+        }
+        if (!any) break;
+        const Rect window =
+            geom::intersect(u.inflated(dmax), ch.bbox.inflated(dmax));
+        std::vector<engine::WindowElement> inner;
+        ctx.view.collectWindow(ch.cell, ch.transform, window, ch.name, inner);
+        std::vector<Shape> xs;
+        xs.reserve(inner.size());
+        for (const engine::WindowElement& we : inner)
+          xs.push_back(makeShape(we, ctx.tech));
+        for (const Shape& e : local) {
+          if (!bboxesWithin(e.bbox, ch.bbox, dmax)) continue;
+          for (const Shape& x : xs) {
             if (!bboxesWithin(e.bbox, x.bbox, dmax)) continue;
             ++stats.candidatePairs;
             const PairGeometry g = pairGeometry(ctx, e, x);
@@ -463,9 +601,21 @@ report::Report checkInteractionsHierarchical(InteractionContext& ctx,
     }
   });
 
+  // Merge in item order — identical for cold, populate, and reuse runs,
+  // which is what makes the reuse path byte-identical. The cache update
+  // rides the serial merge loop, so the item map needs no locking.
+  if (cache && !reuse) cache->items.clear();
   for (std::size_t t = 0; t < items.size(); ++t) {
-    rep.merge(itemReps[t]);
-    ctx.stats.merge(itemStats[t]);
+    if (affected[t]) {
+      rep.merge(itemReps[t]);
+      ctx.stats.merge(itemStats[t]);
+      if (cache)
+        cache->items[keyOf(items[t])] = {itemReps[t], itemStats[t]};
+    } else {
+      const IncrementalCache::ItemResult& c = cache->items.at(keyOf(items[t]));
+      rep.merge(c.report);
+      ctx.stats.merge(c.stats);
+    }
   }
   return rep;
 }

@@ -77,7 +77,16 @@ report::Report checkInteractionsFlat(InteractionContext& ctx,
 /// Stage 5, hierarchical: per-cell-once intra-cell pairs plus
 /// parent-element/instance and instance/instance overlap windows, each an
 /// independent work item fanned across the executor's workers.
+///
+/// With `cache` set the per-item reports and stats of this run are stored
+/// under their deterministic item keys; with `dirty` additionally set (and
+/// DirtyInfo::reuseInteractions true) items whose window no transformed
+/// dirty rect can reach take their cached result instead of recomputing —
+/// merged in the identical item order, so the output is byte-for-byte the
+/// cold-run report.
 report::Report checkInteractionsHierarchical(InteractionContext& ctx,
-                                             engine::Executor& exec);
+                                             engine::Executor& exec,
+                                             IncrementalCache* cache = nullptr,
+                                             const DirtyInfo* dirty = nullptr);
 
 }  // namespace dic::drc

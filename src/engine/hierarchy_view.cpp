@@ -359,6 +359,77 @@ std::vector<std::pair<std::size_t, std::size_t>> HierarchyView::localPairs(
   return pairsWithin(bboxes, dist);
 }
 
+void HierarchyView::ensureFlatSlots(int v) const {
+  // Caller holds mu_ and the variant's flat view is built. Patches never
+  // resize or reorder flat elements, so once built the map stays valid
+  // for the life of the flat vector and every later lookup is
+  // O(log cells) + O(placements of one cell), not O(flat size).
+  if (flatSlotsBuilt_[v]) return;
+  const Flat& f = *flat_[v];
+  for (std::size_t k = 0; k < f.elements.size(); ++k) {
+    const layout::FlatElement& fe = f.elements[k];
+    flatSlots_[v][{fe.sourceCell, fe.sourceIndex}].push_back(k);
+  }
+  flatSlotsBuilt_[v] = true;
+}
+
+std::vector<std::size_t> HierarchyView::flatSlotsOf(bool includeDeviceGeometry,
+                                                    layout::CellId cell,
+                                                    std::size_t index) const {
+  const int v = includeDeviceGeometry ? 1 : 0;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!flatReady_[v].load(std::memory_order_relaxed)) return {};
+  ensureFlatSlots(v);
+  const auto it = flatSlots_[v].find({cell, index});
+  return it == flatSlots_[v].end() ? std::vector<std::size_t>{} : it->second;
+}
+
+bool HierarchyView::patchElement(layout::CellId cell, std::size_t index) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const layout::Cell& c = lib_.cell(cell);
+  if (index >= c.elements.size()) return false;
+  const layout::Element& newElement = c.elements[index];
+  ensurePlacements();
+  auto pit = placements_.find(cell);
+  // A cell unreachable from this root has no flat entries: nothing to do.
+  if (pit == placements_.end()) return true;
+  std::map<std::string, const geom::Transform*> byPath;
+  for (const Placement& p : pit->second) byPath.emplace(p.path, &p.transform);
+
+  for (int v = 0; v < 2; ++v) {
+    if (!flatReady_[v].load(std::memory_order_relaxed)) continue;
+    Flat& f = *flat_[v];
+    ensureFlatSlots(v);
+    // Validate this variant's matches before mutating it: each needs a
+    // placement transform, and the layer must be unchanged (a layer
+    // change would have to move the entry between per-layer indexes).
+    std::vector<std::pair<std::size_t, const geom::Transform*>> hits;
+    const auto sit = flatSlots_[v].find({cell, index});
+    if (sit != flatSlots_[v].end()) {
+      for (const std::size_t k : sit->second) {
+        const layout::FlatElement& fe = f.elements[k];
+        if (fe.element.layer != newElement.layer) return false;
+        auto tp = byPath.find(fe.path);
+        if (tp == byPath.end()) return false;
+        hits.push_back({k, tp->second});
+      }
+    }
+    const bool haveIndexes = indexesReady_[v].load(std::memory_order_relaxed);
+    for (const auto& [k, t] : hits) {
+      layout::FlatElement& fe = f.elements[k];
+      fe.element = newElement.transformed(*t);
+      const Rect nb = fe.element.bbox();
+      if (haveIndexes) {
+        LayerIndexes& idx = indexes_[v];
+        if (newElement.layer >= 0) idx.byLayer[newElement.layer].update(k, nb);
+        idx.all->update(k, nb);
+      }
+      f.bboxes[k] = nb;
+    }
+  }
+  return true;
+}
+
 void HierarchyView::ensurePorts() const {
   if (portsReady_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::recursive_mutex> lock(mu_);

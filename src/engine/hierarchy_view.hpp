@@ -107,6 +107,15 @@ class HierarchyView {
   /// serially instead of queueing every worker on the first query.
   void prepare(bool includeDeviceGeometry) const;
 
+  /// Whether the flat view of one variant has been materialized. The
+  /// incremental patch path reads this to decide if pre-edit state exists
+  /// to probe (an unbuilt flat view simply builds later from the already
+  /// edited library, which is equally correct).
+  bool flatBuilt(bool includeDeviceGeometry) const {
+    return flatReady_[includeDeviceGeometry ? 1 : 0].load(
+        std::memory_order_acquire);
+  }
+
   /// Candidate element indices (into flat(v).elements) whose grid cells
   /// intersect `query` inflated by `inflate`, on one layer (or all layers
   /// when layer < 0). Sorted, deduplicated; candidates only -- callers
@@ -170,6 +179,28 @@ class HierarchyView {
                      const geom::Rect& window, const std::string& relPath,
                      std::vector<WindowElement>& out) const;
 
+  /// In-place patch after a tracked element edit
+  /// (layout::Library::setElement): re-transform the edited element at
+  /// every placement in each materialized flat variant and splice its
+  /// grid-index entries, leaving everything else untouched. The patched
+  /// view is content-identical to a fresh build against the current
+  /// library. Preconditions: the library already holds the new element,
+  /// and the edit changed neither the cell's element count nor the
+  /// element's layer. Returns false when the patch cannot be applied
+  /// (bad index, layer changed, or a flat entry's placement path does not
+  /// resolve) — the view may then be partially patched and must be
+  /// discarded and rebuilt by the caller.
+  bool patchElement(layout::CellId cell, std::size_t index);
+
+  /// Flat slots (indices into flat(v).elements) holding instances of
+  /// element (cell, index); empty when the variant is unbuilt or the
+  /// cell is unreachable. Served from the same lazily built slot map
+  /// patchElement uses, so the Workspace's pre-edit connectivity probes
+  /// are O(placements of the edited cell), not O(flat size).
+  std::vector<std::size_t> flatSlotsOf(bool includeDeviceGeometry,
+                                       layout::CellId cell,
+                                       std::size_t index) const;
+
  private:
   /// Per-layer grid indexes over one flat variant, plus a combined
   /// all-layer index for layer-agnostic queries and pair sweeps.
@@ -182,6 +213,7 @@ class HierarchyView {
   // set (release) only after the cache is fully built under mu_, so the
   // hot path from parallel workers is a single acquire load.
   const Flat& ensureFlat(bool includeDeviceGeometry) const;
+  void ensureFlatSlots(int v) const;
   const LayerIndexes& ensureIndexes(bool includeDeviceGeometry) const;
   void ensurePlacements() const;
   void ensurePorts() const;
@@ -195,6 +227,14 @@ class HierarchyView {
   mutable std::map<layout::CellId, std::vector<Placement>> placements_;
   mutable std::unique_ptr<Flat> flat_[2];          ///< [includeDeviceGeometry]
   mutable std::atomic<bool> flatReady_[2]{};
+  /// (sourceCell, sourceIndex) -> flat slots, built lazily by the first
+  /// patchElement on each variant (under mu_). Stays valid as long as
+  /// the flat vector itself: patches mutate entries in place, never
+  /// resize or reorder.
+  mutable std::map<std::pair<layout::CellId, std::size_t>,
+                   std::vector<std::size_t>>
+      flatSlots_[2];
+  mutable bool flatSlotsBuilt_[2]{};
   mutable LayerIndexes indexes_[2];
   mutable std::atomic<bool> indexesReady_[2]{};
   mutable std::atomic<bool> portsReady_{false};

@@ -13,6 +13,10 @@ Library::Library(const Library& o) {
   cells_ = o.cells_;
   byName_ = o.byName_;
   revision_ = o.revision_;
+  editLog_ = o.editLog_;
+  logStart_ = o.logStart_;
+  allGen_ = o.allGen_;
+  cellGen_ = o.cellGen_;
   bboxCache_ = o.bboxCache_;
 }
 
@@ -21,6 +25,10 @@ Library::Library(Library&& o) noexcept {
   cells_ = std::move(o.cells_);
   byName_ = std::move(o.byName_);
   revision_ = o.revision_;
+  editLog_ = std::move(o.editLog_);
+  logStart_ = o.logStart_;
+  allGen_ = o.allGen_;
+  cellGen_ = std::move(o.cellGen_);
   bboxCache_ = std::move(o.bboxCache_);
 }
 
@@ -36,8 +44,13 @@ Library& Library::operator=(Library&& o) noexcept {
   cells_ = std::move(o.cells_);
   byName_ = std::move(o.byName_);
   // The object's content changed wholesale: advance past both histories so
-  // no revision ever seen on either object can alias the new content.
+  // no revision ever seen on either object can alias the new content, and
+  // treat the change as untracked (no replayable delta).
   revision_ = std::max(revision_, o.revision_) + 1;
+  allGen_ = std::max(allGen_, o.allGen_) + 1;
+  editLog_.clear();
+  logStart_ = revision_;
+  cellGen_.clear();
   bboxCache_ = std::move(o.bboxCache_);
   return *this;
 }
@@ -56,6 +69,86 @@ std::optional<CellId> Library::findCell(const std::string& name) const {
   auto it = byName_.find(name);
   if (it == byName_.end()) return std::nullopt;
   return it->second;
+}
+
+void Library::setElement(CellId cell, std::size_t index, Element e) {
+  Cell& c = cells_.at(cell);
+  CellEdit ed;
+  ed.cell = cell;
+  ed.index = index;
+  ed.oldElement = c.elements.at(index);  // throws before any mutation
+  ed.oldCellBBox = cellBBox(cell);
+  c.elements[index] = std::move(e);
+  ed.newElement = c.elements[index];
+  bumpRevision();  // drops the now-stale bbox cache
+  ed.newCellBBox = cellBBox(cell);
+  ed.revision = revision_;
+  ++cellGen_[cell];
+  editLog_.push_back(std::move(ed));
+  if (editLog_.size() > kMaxEditLog) {
+    editLog_.erase(editLog_.begin(),
+                   editLog_.end() - static_cast<std::ptrdiff_t>(kMaxEditLog));
+    logStart_ = editLog_.front().revision - 1;
+  }
+}
+
+void Library::structuralEdit(CellId cell) {
+  bumpRevision();
+  ++cellGen_[cell];
+  editLog_.clear();
+  logStart_ = revision_;
+}
+
+std::size_t Library::addElement(CellId cell, Element e) {
+  Cell& c = cells_.at(cell);
+  c.elements.push_back(std::move(e));
+  structuralEdit(cell);
+  return c.elements.size() - 1;
+}
+
+void Library::removeElement(CellId cell, std::size_t index) {
+  Cell& c = cells_.at(cell);
+  if (index >= c.elements.size())
+    throw std::out_of_range("removeElement: bad index");
+  c.elements.erase(c.elements.begin() + static_cast<std::ptrdiff_t>(index));
+  structuralEdit(cell);
+}
+
+std::size_t Library::addInstance(CellId cell, Instance inst) {
+  Cell& c = cells_.at(cell);
+  cells_.at(inst.cell);  // validate the target before mutating
+  c.instances.push_back(std::move(inst));
+  structuralEdit(cell);
+  return c.instances.size() - 1;
+}
+
+void Library::removeInstance(CellId cell, std::size_t index) {
+  Cell& c = cells_.at(cell);
+  if (index >= c.instances.size())
+    throw std::out_of_range("removeInstance: bad index");
+  c.instances.erase(c.instances.begin() + static_cast<std::ptrdiff_t>(index));
+  structuralEdit(cell);
+}
+
+std::optional<std::vector<CellEdit>> Library::editsSince(
+    std::uint64_t rev) const {
+  if (rev == revision_) return std::vector<CellEdit>{};
+  if (rev > revision_ || rev < logStart_) return std::nullopt;
+  std::vector<CellEdit> out;
+  for (const CellEdit& e : editLog_)
+    if (e.revision > rev) out.push_back(e);
+  // Every revision step since `rev` must be accounted for by a logged
+  // edit; a gap means an untracked mutation slipped in between.
+  if (out.size() != revision_ - rev) return std::nullopt;
+  return out;
+}
+
+std::uint64_t Library::cellGeneration(CellId id) const {
+  auto it = cellGen_.find(id);
+  const std::uint64_t tracked = it == cellGen_.end() ? 0 : it->second;
+  // Sum, not max: both tracked edits to this cell and untracked global
+  // mutations must each advance the observed value.
+  return tracked + allGen_;
 }
 
 geom::Rect Library::cellBBox(CellId id) const {

@@ -67,6 +67,21 @@ struct FlatDevice {
   geom::Rect bbox{};
 };
 
+/// One tracked element edit, recorded by Library::setElement. The old and
+/// new element plus the cell's bbox before/after give a consumer (the
+/// Workspace's incremental patch path) everything it needs to decide
+/// whether a cached view can be patched in place and which windows are
+/// dirty, without diffing cell contents.
+struct CellEdit {
+  CellId cell{0};
+  std::size_t index{0};       ///< slot in cell.elements that changed
+  Element oldElement;         ///< element content before the edit
+  Element newElement;         ///< element content after the edit
+  geom::Rect oldCellBBox{};   ///< recursive cellBBox before the edit
+  geom::Rect newCellBBox{};   ///< recursive cellBBox after the edit
+  std::uint64_t revision{0};  ///< revision() value after this edit
+};
+
 class Library {
  public:
   Library() = default;
@@ -102,6 +117,50 @@ class Library {
 
   std::optional<CellId> findCell(const std::string& name) const;
 
+  // --- tracked edit API (the incremental-checking entry points) ---------
+  //
+  // Unlike the mutable cell() accessor (which is a conservative "anything
+  // may have changed" signal), these methods record exactly what changed,
+  // so revision-keyed caches can be *patched* instead of rebuilt. Element
+  // edits via setElement land in a bounded edit log replayable through
+  // editsSince(); structural edits (add/remove element or instance) are
+  // tracked per cell but clear the log — consumers must rebuild.
+
+  /// Replace one element of `cell` in place. Records a CellEdit (old+new
+  /// element, old+new recursive cell bbox), bumps revision() and the
+  /// cell's generation, and drops the bbox cache. Throws std::out_of_range
+  /// on a bad cell or index.
+  void setElement(CellId cell, std::size_t index, Element e);
+
+  /// Append an element to `cell`. Structural: bumps revision() and the
+  /// cell's generation and clears the edit log (caches must rebuild).
+  /// Returns the new element's index.
+  std::size_t addElement(CellId cell, Element e);
+
+  /// Erase element `index` of `cell` (later indexes shift down).
+  /// Structural, like addElement.
+  void removeElement(CellId cell, std::size_t index);
+
+  /// Append an instance (placement) to `cell`. Structural, like
+  /// addElement.
+  std::size_t addInstance(CellId cell, Instance inst);
+
+  /// Erase instance `index` of `cell`. Structural, like addElement.
+  void removeInstance(CellId cell, std::size_t index);
+
+  /// The edits applied after the library was at revision `rev`, oldest
+  /// first — or nullopt when the delta cannot be reconstructed (a
+  /// structural or untracked mutation intervened, or the bounded log was
+  /// trimmed past `rev`). An empty vector means "nothing changed":
+  /// rev == revision().
+  std::optional<std::vector<CellEdit>> editsSince(std::uint64_t rev) const;
+
+  /// Monotonic per-cell dirty counter: bumped by every tracked edit that
+  /// touches `id`, and by every untracked mutation (mutable cell(),
+  /// invalidateCaches(), addCell) for *all* cells, conservatively. Two
+  /// equal reads bracket a span in which the cell did not change.
+  std::uint64_t cellGeneration(CellId id) const;
+
   /// Recursive bounding box of a cell. Cached under an internal mutex, so
   /// concurrent lookups from parallel workers (per-cell fan-outs,
   /// windowed traversals) are safe even on a cold cache; invalidated on
@@ -110,11 +169,14 @@ class Library {
 
   /// Drop derived caches and bump revision(). Call after mutating cell
   /// contents through a retained reference (mutable cell() does it for
-  /// you at access time).
+  /// you at access time). Untracked: the edit log is cleared and every
+  /// cell's generation advances, so incremental consumers fall back to a
+  /// full rebuild.
   void invalidateCaches() {
-    ++revision_;
-    std::lock_guard<std::mutex> lock(bboxMu_);
-    bboxCache_.clear();
+    bumpRevision();
+    ++allGen_;
+    editLog_.clear();
+    logStart_ = revision_;
   }
 
   /// Depth-first visit of each cell reachable from root, once.
@@ -151,9 +213,29 @@ class Library {
                   std::vector<FlatDevice>* devices,
                   bool includeDeviceGeometry, bool insideDevice) const;
 
+  /// Bump revision() and drop the bbox cache WITHOUT touching the edit
+  /// log — the tracked-edit path, where the log itself is the record.
+  void bumpRevision() {
+    ++revision_;
+    std::lock_guard<std::mutex> lock(bboxMu_);
+    bboxCache_.clear();
+  }
+  /// Shared tail of the structural edit methods: per-cell generation
+  /// bump + log reset (the delta is not replayable).
+  void structuralEdit(CellId cell);
+
+  /// Replayable setElement history, oldest first; trimmed to the newest
+  /// kMaxEditLog entries (logStart_ tracks the oldest reconstructable
+  /// revision).
+  static constexpr std::size_t kMaxEditLog = 256;
+
   std::vector<Cell> cells_;
   std::map<std::string, CellId> byName_;
   std::uint64_t revision_{0};
+  std::vector<CellEdit> editLog_;
+  std::uint64_t logStart_{0};  ///< oldest revision editsSince can serve
+  std::uint64_t allGen_{0};    ///< generation floor for every cell
+  std::map<CellId, std::uint64_t> cellGen_;  ///< tracked per-cell bumps
   mutable std::mutex bboxMu_;  ///< guards bboxCache_ only
   mutable std::map<CellId, geom::Rect> bboxCache_;
 };

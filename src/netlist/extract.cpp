@@ -197,6 +197,50 @@ Netlist extract(engine::HierarchyView& view, const tech::Technology& tech,
   return out;
 }
 
+std::vector<std::size_t> probeElementEdges(engine::HierarchyView& view,
+                                           const tech::Technology& tech,
+                                           std::size_t flatIndex) {
+  const engine::HierarchyView::Flat& flat = view.flat(false);
+  const std::vector<layout::FlatElement>& elements = flat.elements;
+  const std::vector<layout::FlatDevice>& devices = flat.devices;
+  const std::vector<geom::Rect>& bboxes = flat.bboxes;
+  const std::size_t ne = elements.size();
+  const layout::Element& e = elements.at(flatIndex).element;
+  const geom::Skeleton skel = e.skeleton(tech.layer(e.layer).minWidth);
+
+  std::vector<std::size_t> out;
+  std::vector<std::size_t> cand;
+  view.flatCandidatesInto(false, e.layer, bboxes[flatIndex], 0, cand);
+  for (const std::size_t j : cand) {
+    if (j == flatIndex) continue;
+    const layout::Element& o = elements[j].element;
+    if (o.layer != e.layer) continue;
+    if (!geom::closedTouch(bboxes[flatIndex], bboxes[j])) continue;
+    if (geom::skeletonsConnected(skel,
+                                 o.skeleton(tech.layer(o.layer).minWidth)))
+      out.push_back(j);
+  }
+  const std::vector<engine::HierarchyView::PortRef>& portNodes = view.ports();
+  for (const std::size_t pn : view.portCandidates(bboxes[flatIndex], 0)) {
+    const layout::FlatDevice& d = devices[portNodes[pn].device];
+    const layout::Port& port = d.ports[portNodes[pn].port];
+    if (port.layer != e.layer) continue;
+    if (elementTouchesPort(e, port.at)) out.push_back(ne + pn);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void refreshNetBBoxes(Netlist& nl, const std::vector<geom::Rect>& bboxes) {
+  for (Net& n : nl.nets) n.bbox = geom::Rect{};
+  for (std::size_t i = 0;
+       i < nl.elementNet.size() && i < bboxes.size(); ++i) {
+    Net& n = nl.nets.at(static_cast<std::size_t>(nl.elementNet[i]));
+    n.bbox = geom::bound(n.bbox, bboxes[i]);
+  }
+}
+
 std::vector<std::string> compareAgainstGolden(
     const Netlist& extracted, const std::vector<GoldenDevice>& golden) {
   std::vector<std::string> issues;

@@ -167,6 +167,15 @@ class Server {
   /// CheckResult with the corresponding kErr* string in `error` — the
   /// same per-request error channel the Workspace uses, so callers
   /// handle one shape.
+  ///
+  /// Edits ride the request: a CheckRequest carrying EditOps routes to
+  /// the owning shard like any other submission, and the shard's single
+  /// serving thread applies the edits to the library and then checks —
+  /// so edit-then-check requests serialize with the library's plain
+  /// checks in queue order, and concurrent submitters always observe a
+  /// coherent post- or pre-edit result, never a torn one. The serving
+  /// Workspace patches its cached view in place when the edit qualifies
+  /// (docs/server.md, "Edit routing").
   std::future<CheckResult> submit(const LibraryId& id, CheckRequest req);
 
   /// Submit a batch for `id`'s library as one queue job. The shard runs

@@ -52,6 +52,18 @@ std::size_t netlistMemoryBytes(const netlist::Netlist& nl) {
   return b;
 }
 
+/// The result-affecting subset of drc::Options (threads deliberately
+/// excluded: the determinism contract makes pool size invisible in the
+/// report). Gates incremental-cache engagement: cached per-unit results
+/// are only valid for a request that would have produced them.
+bool sameResultOptions(const drc::Options& a, const drc::Options& b) {
+  return a.metric == b.metric && a.checkDevices == b.checkDevices &&
+         a.hierarchicalInteractions == b.hierarchicalInteractions &&
+         a.useNetInformation == b.useNetInformation &&
+         a.instantiateViolations == b.instantiateViolations &&
+         a.extract == b.extract;
+}
+
 }  // namespace
 
 std::string toString(CheckKind k) {
@@ -93,6 +105,16 @@ CheckRequest CheckRequest::netlistOnly(layout::CellId root) {
   return r;
 }
 
+EditOp EditOp::setElement(layout::CellId cell, std::size_t index,
+                          layout::Element e) {
+  EditOp op;
+  op.kind = Kind::kSetElement;
+  op.cell = cell;
+  op.index = index;
+  op.element = std::move(e);
+  return op;
+}
+
 Workspace::Workspace(layout::Library lib, tech::Technology tech,
                      WorkspaceOptions options)
     : lib_(std::move(lib)),
@@ -108,6 +130,99 @@ Workspace::Workspace(layout::Library lib, tech::Technology tech,
       exec_(1),  // serial stub; all parallelism comes from *extExec_
       extExec_(&exec) {}
 
+void Workspace::applyEdits(const std::vector<EditOp>& edits) {
+  for (const EditOp& e : edits) {
+    switch (e.kind) {
+      case EditOp::Kind::kNone:
+        break;
+      case EditOp::Kind::kSetElement:
+        lib_.setElement(e.cell, e.index, e.element);
+        break;
+      case EditOp::Kind::kAddElement:
+        lib_.addElement(e.cell, e.element);
+        break;
+      case EditOp::Kind::kRemoveElement:
+        lib_.removeElement(e.cell, e.index);
+        break;
+      case EditOp::Kind::kAddInstance:
+        lib_.addInstance(e.cell, e.instance);
+        break;
+      case EditOp::Kind::kRemoveInstance:
+        lib_.removeInstance(e.cell, e.index);
+        break;
+    }
+  }
+}
+
+bool Workspace::tryPatch(Entry& e, const std::vector<layout::CellEdit>& edits) {
+  // Fast-path admission: element-content edits on composite cells with
+  // the layer unchanged. (Structural edits never reach here — they clear
+  // the library's edit log, so editsSince already returned nullopt.)
+  for (const layout::CellEdit& ed : edits) {
+    if (lib_.cell(ed.cell).isDevice()) return false;
+    if (ed.oldElement.layer != ed.newElement.layer) return false;
+  }
+  // Unique edited slots, first-edit order. Multiple edits of one slot
+  // patch once: patchElement reads the library's final content.
+  std::vector<std::pair<layout::CellId, std::size_t>> slots;
+  for (const layout::CellEdit& ed : edits) {
+    const std::pair<layout::CellId, std::size_t> key{ed.cell, ed.index};
+    if (std::find(slots.begin(), slots.end(), key) == slots.end())
+      slots.push_back(key);
+  }
+  // Pre-patch connectivity probes. The view still holds the PRE-edit
+  // geometry (the library has moved on, but flat state is a copy), so
+  // probing now captures each edited element's old edge set. If the flat
+  // view was never materialized there is no old state to probe — and
+  // also no cached netlist to preserve (extraction builds the flat view).
+  const bool probed = e.view->flatBuilt(false);
+  std::vector<std::size_t> flatIdx;
+  std::vector<std::vector<std::size_t>> oldEdges;
+  if (probed) {
+    for (const auto& [cell, idx] : slots) {
+      const std::vector<std::size_t> ks = e.view->flatSlotsOf(false, cell, idx);
+      flatIdx.insert(flatIdx.end(), ks.begin(), ks.end());
+    }
+    oldEdges.reserve(flatIdx.size());
+    for (const std::size_t k : flatIdx)
+      oldEdges.push_back(netlist::probeElementEdges(*e.view, tech_, k));
+  }
+  for (const auto& [cell, idx] : slots)
+    if (!e.view->patchElement(cell, idx)) return false;
+  // Post-patch probes: every edited flat instance keeping its exact edge
+  // set (and net label) means the extraction's union-find partition — and
+  // with it net numbering, names, and terminals — is unchanged; only net
+  // bboxes (a pure element-bbox fold) can differ.
+  bool netKept = probed;
+  for (const layout::CellEdit& ed : edits)
+    if (ed.oldElement.net != ed.newElement.net) netKept = false;
+  if (netKept) {
+    for (std::size_t k = 0; k < flatIdx.size() && netKept; ++k)
+      if (netlist::probeElementEdges(*e.view, tech_, flatIdx[k]) !=
+          oldEdges[k])
+        netKept = false;
+  }
+  bool bboxSame = true;
+  for (const layout::CellEdit& ed : edits)
+    if (!(ed.oldCellBBox == ed.newCellBBox)) bboxSame = false;
+  {
+    std::lock_guard<std::mutex> nlock(e.nlMu);
+    if (e.netlist && netKept) {
+      auto nl = std::make_shared<netlist::Netlist>(*e.netlist);
+      netlist::refreshNetBBoxes(*nl, e.view->flat(false).bboxes);
+      e.netlist = std::move(nl);
+    } else if (e.netlist) {
+      e.netlist.reset();
+      e.netlistBytes.store(0, std::memory_order_release);
+    }
+  }
+  e.revision = lib_.revision();
+  e.pendingEdits.insert(e.pendingEdits.end(), edits.begin(), edits.end());
+  e.netlistKept = e.netlistKept && netKept;
+  e.bboxUnchanged = e.bboxUnchanged && bboxSame;
+  return true;
+}
+
 std::shared_ptr<Workspace::Entry> Workspace::acquire(layout::CellId root,
                                                      bool& hit) {
   std::lock_guard<std::mutex> lock(cacheMu_);
@@ -118,7 +233,20 @@ std::shared_ptr<Workspace::Entry> Workspace::acquire(layout::CellId root,
     slot->lastUse = ++lruTick_;
     return slot;
   }
-  if (slot) ++stats_.viewEvictions;
+  if (slot) {
+    // Delta path: when every mutation since the entry's revision is a
+    // tracked element edit, patch the cached view in place instead of
+    // rebuilding — still a view cache hit, and the entry's incremental
+    // state (pending dirty window, netlist) advances with it.
+    if (const auto edits = lib_.editsSince(slot->revision);
+        edits && tryPatch(*slot, *edits)) {
+      hit = true;
+      ++stats_.viewHits;
+      slot->lastUse = ++lruTick_;
+      return slot;
+    }
+    ++stats_.viewEvictions;
+  }
   slot = std::make_shared<Entry>();
   slot->revision = lib_.revision();
   slot->lastUse = ++lruTick_;
@@ -173,21 +301,29 @@ std::shared_ptr<const netlist::Netlist> Workspace::netlistFor(
     bool& hit) {
   // nlMu is held across the extraction on purpose: a second request for
   // the same netlist blocks and then shares the result instead of
-  // duplicating the critical-path work.
-  std::lock_guard<std::mutex> lock(e.nlMu);
-  if (e.netlist && e.nlOpts == opts) {
-    hit = true;
+  // duplicating the critical-path work. cacheMu_ must NOT be taken while
+  // nlMu is held: acquire() patches entries (tryPatch takes nlMu) under
+  // cacheMu_, so nesting the other way round is a lock-order inversion.
+  std::shared_ptr<const netlist::Netlist> result;
+  {
+    std::lock_guard<std::mutex> lock(e.nlMu);
+    if (e.netlist && e.nlOpts == opts) {
+      hit = true;
+    } else {
+      e.netlist = std::make_shared<const netlist::Netlist>(
+          netlist::extract(*e.view, tech_, exec, opts));
+      e.nlOpts = opts;
+      e.netlistBytes.store(netlistMemoryBytes(*e.netlist),
+                           std::memory_order_release);
+      hit = false;
+    }
+    result = e.netlist;
+  }
+  if (hit) {
     std::lock_guard<std::mutex> slock(cacheMu_);
     ++stats_.netlistHits;
-    return e.netlist;
   }
-  e.netlist = std::make_shared<const netlist::Netlist>(
-      netlist::extract(*e.view, tech_, exec, opts));
-  e.nlOpts = opts;
-  e.netlistBytes.store(netlistMemoryBytes(*e.netlist),
-                       std::memory_order_release);
-  hit = false;
-  return e.netlist;
+  return result;
 }
 
 CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
@@ -195,10 +331,15 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
   r.kind = req.kind;
   r.root = req.root;
   r.tag = req.tag;
+  std::shared_ptr<Entry> entry;
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    // Edits are applied first, inside the request's serial window; the
+    // acquire below then sees the bumped revision and either patches the
+    // cached view in place (tracked element edits) or rebuilds.
+    if (!req.edits.empty()) applyEdits(req.edits);
     bool viewHit = false;
-    const std::shared_ptr<Entry> entry = acquire(req.root, viewHit);
+    entry = acquire(req.root, viewHit);
     r.viewCacheHit = viewHit;
     r.revision = entry->revision;
 
@@ -212,6 +353,30 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
         o.instantiateViolations = req.instantiateViolations;
         o.extract = req.extract;
         drc::Checker checker(entry->view, tech_, o);
+        // Incremental edit-then-check (serve() only — the decomposed
+        // batch path shares entries across concurrently running stages
+        // and must not touch the per-entry cache). Signature-gated: the
+        // cache serves only requests whose result-affecting options
+        // match the run that populated it.
+        drc::DirtyInfo dirty;
+        bool engaged = false;
+        bool populating = false;
+        if (o.hierarchicalInteractions &&
+            (!entry->icacheOptsSet ||
+             sameResultOptions(entry->icacheOpts, o))) {
+          if (entry->icache.valid) {
+            dirty = drc::computeDirtyInfo(*entry->view, entry->pendingEdits);
+            dirty.reuseInteractions =
+                entry->netlistKept && entry->bboxUnchanged;
+            checker.setIncremental(&entry->icache, &dirty);
+            engaged = true;
+          } else {
+            checker.setIncremental(&entry->icache, nullptr);
+            populating = true;
+          }
+          entry->icacheOpts = o;
+          entry->icacheOptsSet = true;
+        }
         // The pipeline's netlist stage goes through the per-view cache:
         // on a hit it is a handoff; on a miss netlistFor extracts while
         // holding the entry's netlist mutex, so a concurrent request for
@@ -223,6 +388,17 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
               return netlistFor(*entry, req.extract, e, netlistHit);
             });
         r.report = checker.run(exec);
+        if (engaged || populating) {
+          // The cache now reflects this run: snapshot the cell order it
+          // is parallel to, publish validity, and consume the dirty
+          // window the run just re-checked.
+          entry->icache.cells = entry->view->cells();
+          entry->icache.valid = true;
+          entry->pendingEdits.clear();
+          entry->netlistKept = true;
+          entry->bboxUnchanged = true;
+        }
+        r.incrementalHit = engaged;
         r.netlistCacheHit = netlistHit;
         r.stageTimes = checker.stageTimes();
         r.stageResults = checker.stageResults();
@@ -251,8 +427,12 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
     }
   } catch (const std::exception& ex) {
     r.error = ex.what();
+    // A failed run may have partially overwritten the incremental cache's
+    // slices; invalidate conservatively (costs one repopulating run).
+    if (entry) entry->icache.valid = false;
   } catch (...) {
     r.error = "unknown failure";
+    if (entry) entry->icache.valid = false;
   }
   r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -271,6 +451,39 @@ CheckResult Workspace::run(const CheckRequest& req) {
 }
 
 std::vector<CheckResult> Workspace::runBatch(
+    std::span<const CheckRequest> reqs) {
+  // Edit-carrying requests are barriers: each one's library mutation and
+  // check must run alone (the mutation invalidates/patches the very views
+  // concurrent stages would be reading). The batch splits at those
+  // boundaries — edit-free segments run through the decomposed dispatcher
+  // below, each barrier serves serially in order via serve() (which is
+  // also where it gets the incremental fast path) — so the result vector
+  // is byte-identical to a sequential replay of the whole batch.
+  const bool hasEdits =
+      std::any_of(reqs.begin(), reqs.end(),
+                  [](const CheckRequest& r) { return !r.edits.empty(); });
+  if (hasEdits) {
+    std::vector<CheckResult> out;
+    out.reserve(reqs.size());
+    std::size_t i = 0;
+    while (i < reqs.size()) {
+      if (!reqs[i].edits.empty()) {
+        out.push_back(serve(reqs[i], activeExec()));
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < reqs.size() && reqs[j].edits.empty()) ++j;
+      std::vector<CheckResult> seg = runBatchImpl(reqs.subspan(i, j - i));
+      for (CheckResult& s : seg) out.push_back(std::move(s));
+      i = j;
+    }
+    return out;
+  }
+  return runBatchImpl(reqs);
+}
+
+std::vector<CheckResult> Workspace::runBatchImpl(
     std::span<const CheckRequest> reqs) {
   const std::size_t n = reqs.size();
   std::vector<CheckResult> out(n);

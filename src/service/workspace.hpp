@@ -56,6 +56,34 @@ enum class CheckKind : std::uint8_t {
 /// Human-readable kind name ("drc", "baseline", "erc", "netlist").
 std::string toString(CheckKind k);
 
+/// One library mutation carried by a request ("edit-then-check"): the
+/// Workspace applies it to its owned library through the tracked edit API
+/// (layout::Library::setElement and friends) immediately before running
+/// the check, inside the request's serial window. kSetElement edits are
+/// the incremental fast path: cached views are patched in place and the
+/// check re-runs only the dirty window (docs/workspace.md, "Incremental
+/// edit-then-check"); every other kind falls back to a full rebuild with
+/// identical results.
+struct EditOp {
+  enum class Kind : std::uint8_t {
+    kNone,            ///< no-op (default-constructed)
+    kSetElement,      ///< replace cell.elements[index] with `element`
+    kAddElement,      ///< append `element` to the cell
+    kRemoveElement,   ///< erase cell.elements[index]
+    kAddInstance,     ///< append `instance` to the cell
+    kRemoveInstance,  ///< erase cell.instances[index]
+  };
+  Kind kind{Kind::kNone};
+  layout::CellId cell{0};
+  std::size_t index{0};        ///< element/instance slot (set/remove kinds)
+  layout::Element element;     ///< payload for kSetElement / kAddElement
+  layout::Instance instance;   ///< payload for kAddInstance
+
+  /// An element-replacing edit (the incremental fast path).
+  static EditOp setElement(layout::CellId cell, std::size_t index,
+                           layout::Element e);
+};
+
 /// One unit of service traffic: which check, on which root, with which
 /// knobs. Value-typed and self-contained so requests can be queued,
 /// logged, and replayed.
@@ -100,6 +128,13 @@ struct CheckRequest {
   /// Results are byte-identical either way.
   int threads{0};
 
+  /// Library edits to apply (in order, through the tracked edit API)
+  /// before this check runs. The mutation and the check are one serial
+  /// unit: in runBatch an edit-carrying request is a barrier — preceding
+  /// requests complete first, the edit+check runs alone, then the batch
+  /// resumes — so results stay byte-identical to a sequential replay.
+  std::vector<EditOp> edits;
+
   /// Caller correlation tag, echoed untouched in CheckResult::tag.
   std::string tag;
 
@@ -142,6 +177,11 @@ struct CheckResult {
   bool viewCacheHit{false};
   /// True if the netlist was reused from a previous request on this view.
   bool netlistCacheHit{false};
+  /// True if this hierarchical-DRC run went through the incremental
+  /// cache with dirty-window information — per-cell and per-interaction-
+  /// item results untouched by the pending edits were reused instead of
+  /// recomputed. (A cold populating run reports false.)
+  bool incrementalHit{false};
   /// Library revision this result was computed against.
   std::uint64_t revision{0};
   /// End-to-end wall-clock of this request, seconds — clean per
@@ -275,10 +315,44 @@ class Workspace {
     /// extraction. Atomic so the LRU accounting can read it without
     /// taking nlMu (which is held across whole extractions).
     std::atomic<std::size_t> netlistBytes{0};
+
+    // --- incremental edit-then-check state -----------------------------
+    // Written only inside serve()/acquire() under the Workspace's
+    // single-driver contract (one thread drives run/runBatch); the batch
+    // path never touches it.
+    /// Per-unit results of the last signature-matching DRC run on this
+    /// view; valid=false until a populating run completes.
+    drc::IncrementalCache icache;
+    /// Result-affecting options icache was populated with; incremental
+    /// serving engages only for requests matching this signature.
+    drc::Options icacheOpts;
+    bool icacheOptsSet{false};
+    /// Tracked edits accepted by the patch path since the last run that
+    /// refreshed icache — the dirty window of the next incremental run.
+    std::vector<layout::CellEdit> pendingEdits;
+    /// All pending patches preserved the netlist partition (edge probes
+    /// equal, labels unchanged) — required for interaction-item reuse.
+    bool netlistKept{true};
+    /// No pending patch changed any cell's recursive bbox — windows and
+    /// child bboxes are unchanged, the other interaction-reuse gate.
+    bool bboxUnchanged{true};
   };
 
   engine::Executor& activeExec() { return extExec_ ? *extExec_ : exec_; }
   std::shared_ptr<Entry> acquire(layout::CellId root, bool& hit);
+  /// Apply a request's edits to the owned library through the tracked
+  /// API (throws on a bad cell/index; the request then fails cleanly).
+  void applyEdits(const std::vector<EditOp>& edits);
+  /// Try to keep a stale cache entry alive by patching its view in place
+  /// from the tracked edit delta. On success the entry's revision,
+  /// pending-dirty bookkeeping, and cached netlist (edge-probed: cloned
+  /// and bbox-refreshed when the partition provably did not change,
+  /// dropped otherwise) are all updated and true is returned. On false
+  /// the entry must be rebuilt (the view may be partially patched).
+  bool tryPatch(Entry& e, const std::vector<layout::CellEdit>& edits);
+  /// The decomposed batch dispatcher (edit-free requests only); runBatch
+  /// splits around edit barriers and feeds the segments here.
+  std::vector<CheckResult> runBatchImpl(std::span<const CheckRequest> reqs);
   std::shared_ptr<const netlist::Netlist> netlistFor(
       Entry& e, const netlist::ExtractOptions& opts, engine::Executor& exec,
       bool& hit);

@@ -43,11 +43,13 @@ struct Rng {
 std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts) {
   Rng rng(opts.seed);
 
+  // Slot 4 is edit-then-check: a DRC request flagged to carry an edit.
   const std::vector<double> kindWeights = {
-      opts.weightDrc, opts.weightBaseline, opts.weightErc, opts.weightNetlist};
+      opts.weightDrc, opts.weightBaseline, opts.weightErc, opts.weightNetlist,
+      opts.weightEditCheck};
   constexpr CheckKind kKinds[] = {
       CheckKind::kHierarchicalDrc, CheckKind::kFlatBaselineDrc,
-      CheckKind::kErc, CheckKind::kNetlistOnly};
+      CheckKind::kErc, CheckKind::kNetlistOnly, CheckKind::kHierarchicalDrc};
   double kindTotal = 0;
   for (const double w : kindWeights) kindTotal += w;
 
@@ -65,8 +67,13 @@ std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts) {
   for (std::size_t k = 0; k < opts.requests; ++k) {
     TrafficEvent ev;
     ev.library = rng.pick(libWeights, libTotal);
-    ev.kind = kindTotal > 0 ? kKinds[rng.pick(kindWeights, kindTotal)]
-                            : CheckKind::kHierarchicalDrc;
+    const std::size_t kindSlot =
+        kindTotal > 0 ? rng.pick(kindWeights, kindTotal) : 0;
+    ev.kind = kKinds[kindSlot];
+    if (kindSlot == 4) {
+      ev.edit = true;
+      ev.editSeed = rng.next();
+    }
     if (opts.arrivalsPerSecond > 0) {
       // Exponential inter-arrival (Poisson process), clamped away from
       // log(0).
@@ -113,6 +120,41 @@ CheckRequest materialize(const TrafficEvent& ev, layout::CellId root) {
     case CheckKind::kNetlistOnly: return CheckRequest::netlistOnly(root);
   }
   return CheckRequest::drc(root);
+}
+
+EditOp makeEditOp(std::uint64_t seed, const layout::Library& lib,
+                  layout::CellId root) {
+  std::vector<layout::CellId> editable;
+  lib.forEachCellOnce(root, [&](layout::CellId id) {
+    const layout::Cell& c = lib.cell(id);
+    if (!c.isDevice() && !c.elements.empty()) editable.push_back(id);
+  });
+  if (editable.empty()) return {};
+  Rng rng(seed);
+  const layout::CellId cell =
+      editable[rng.next() % editable.size()];
+  const std::size_t index = rng.next() % lib.cell(cell).elements.size();
+  // A small nudge, ±1..2 grid steps per axis (direction seed-dependent),
+  // kept tiny so most replays ride the incremental fast path without
+  // tearing the chip's connectivity apart.
+  const geom::Coord step = 25;
+  const geom::Coord dx =
+      (static_cast<geom::Coord>(rng.next() % 5) - 2) * step;
+  const geom::Coord dy =
+      (static_cast<geom::Coord>(rng.next() % 5) - 2) * step;
+  return EditOp::setElement(
+      cell, index,
+      lib.cell(cell).elements[index].transformed(geom::translate({dx, dy})));
+}
+
+CheckRequest materialize(const TrafficEvent& ev, layout::CellId root,
+                         const layout::Library& lib) {
+  CheckRequest req = materialize(ev, root);
+  if (ev.edit) {
+    EditOp op = makeEditOp(ev.editSeed, lib, root);
+    if (op.kind != EditOp::Kind::kNone) req.edits.push_back(std::move(op));
+  }
+  return req;
 }
 
 }  // namespace dic::workload

@@ -29,6 +29,11 @@ struct TrafficEvent {
   std::size_t library{0};   ///< index into the driver's library fleet
   CheckKind kind{CheckKind::kHierarchicalDrc};
   double arrivalSeconds{0}; ///< offset from trace start (0 in closed loop)
+  /// Edit-then-check: the request carries a deterministic element nudge
+  /// (makeEditOp(editSeed, ...)) applied by the serving Workspace before
+  /// the check — the incremental fast path under live traffic.
+  bool edit{false};
+  std::uint64_t editSeed{0};  ///< seeds the nudge; set when edit is true
 };
 
 /// Trace shape knobs.
@@ -41,6 +46,9 @@ struct TrafficOptions {
   double weightBaseline{2};
   double weightErc{3};
   double weightNetlist{1};
+  /// Relative weight of edit-then-check events (a DRC request carrying
+  /// one deterministic kSetElement nudge). 0 = no edits in the trace.
+  double weightEditCheck{0};
   /// Open-loop arrival rate; 0 = closed-loop trace.
   double arrivalsPerSecond{0};
   /// Library popularity: true = 1/(rank+1) Zipf-like skew (library 0
@@ -55,7 +63,23 @@ std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts);
 
 /// Turn an event into the concrete request for its library's root cell
 /// (reference settings per kind, via the CheckRequest factories).
+/// Edit-carrying events need the library overload below.
 CheckRequest materialize(const TrafficEvent& ev, layout::CellId root);
+
+/// Deterministic connectivity-light element nudge for edit-then-check
+/// traffic: picks a non-device cell with elements reachable from `root`
+/// (seed-dependent) and returns a kSetElement EditOp translating that
+/// element by a few lambda in a seed-dependent direction. Pure in
+/// (seed, library content), so replaying a trace against an equal
+/// library fleet applies the identical edit sequence. Returns kNone if
+/// no editable cell exists.
+EditOp makeEditOp(std::uint64_t seed, const layout::Library& lib,
+                  layout::CellId root);
+
+/// materialize() plus the edit payload: when `ev.edit` is set, attaches
+/// makeEditOp(ev.editSeed, lib, root) to the request's edit list.
+CheckRequest materialize(const TrafficEvent& ev, layout::CellId root,
+                         const layout::Library& lib);
 
 /// Replay `trace`'s open-loop arrival schedule from `dispatchers`
 /// submitter threads sharing the ONE deterministic trace by striding:

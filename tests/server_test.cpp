@@ -382,6 +382,76 @@ TEST(Server, RollingDropLibraryUnderSubmitStorm) {
   EXPECT_EQ(submitted, st.totalServed() + st.totalFailed());
 }
 
+// TSan stress: edit-carrying checks racing plain checks on one library.
+// The shard's single serving thread serializes the requests themselves;
+// what races is everything around them — two submitters hammering the
+// queue and promise handoff, and each request's stages fanning out over
+// the shared worker pool while the next request's edit application
+// patches the same cached view and netlist. Every response must come
+// back coherent: report byte-equal to the full-rebuild result for one
+// of the two library states the toggle alternates between. (This test
+// caught a cacheMu_/nlMu lock-order inversion between acquire()'s
+// in-place patch and netlistFor's hit accounting.) Runs under the CI
+// TSan filter ('Server.*').
+TEST(Server, EditCheckRacesPlainChecks) {
+  workload::GeneratedChip chip = makeChip(5);
+  const layout::CellId top = chip.top;
+  const layout::CellId block = chip.block;
+  const tech::Technology t = tech::nmos();
+  server::ServerOptions opts;
+  opts.shards = 2;
+  opts.threadsPerShard = 2;
+  server::Server srv(opts);
+  ASSERT_TRUE(srv.addLibrary("lib", chip.lib, t));
+
+  // Full-rebuild oracle texts for the two states the toggle visits.
+  const layout::Element e0 = std::as_const(chip.lib).cell(block).elements[0];
+  const layout::Element e1 = e0.transformed(geom::translate({25, 0}));
+  Workspace oracle(std::move(chip.lib), t, {1});
+  const std::string text0 = oracle.run(CheckRequest::drc(top)).report.text();
+  oracle.library().setElement(block, 0, e1);
+  oracle.library().invalidateCaches();
+  const std::string text1 = oracle.run(CheckRequest::drc(top)).report.text();
+
+  constexpr int kPerThread = 40;
+  std::vector<std::future<CheckResult>> editFutures, plainFutures;
+  std::mutex mu;  // guards the future vectors across the two submitters
+  std::thread editor([&] {
+    for (int k = 0; k < kPerThread; ++k) {
+      CheckRequest req = CheckRequest::drc(top);
+      req.edits.push_back(
+          EditOp::setElement(block, 0, (k & 1) != 0 ? e0 : e1));
+      auto fut = srv.submit("lib", std::move(req));
+      std::lock_guard<std::mutex> lock(mu);
+      editFutures.push_back(std::move(fut));
+    }
+  });
+  std::thread checker([&] {
+    for (int k = 0; k < kPerThread; ++k) {
+      auto fut = srv.submit("lib", CheckRequest::drc(top));
+      std::lock_guard<std::mutex> lock(mu);
+      plainFutures.push_back(std::move(fut));
+    }
+  });
+  editor.join();
+  checker.join();
+
+  const auto coherent = [&](const std::string& text) {
+    return text == text0 || text == text1;
+  };
+  for (auto& f : editFutures) {
+    const CheckResult r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(coherent(r.report.text()));
+  }
+  for (auto& f : plainFutures) {
+    const CheckResult r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(coherent(r.report.text()));
+  }
+  srv.shutdown();
+}
+
 // --- the Workspace LRU cap the server relies on ------------------------------
 
 TEST(WorkspaceLru, UnboundedByDefault) {

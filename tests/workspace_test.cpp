@@ -6,6 +6,7 @@
 
 #include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/executor.hpp"
@@ -331,6 +332,84 @@ TEST(Workspace, DedicatedPoolMatchesSharedPool) {
   ASSERT_TRUE(pooled.ok());
   EXPECT_EQ(shared.report.text(), pooled.report.text());
   EXPECT_TRUE(pooled.viewCacheHit);  // cache is shared regardless of pool
+}
+
+TEST(Workspace, LruEvictionAfterEditRebuildsCleanly) {
+  // Dirty tracking must not outlive the entry it describes: patch a
+  // cached view in place through a tracked edit, let the LRU byte cap
+  // evict that entry when another root is served, then re-request the
+  // evicted root with a further edit. The rebuild must start from the
+  // post-edit library — no stale pending-dirty window, no resurrected
+  // cached netlist — and match a cold single-threaded oracle
+  // byte-for-byte at every step.
+  std::size_t bytesTop = 0, bytesBlock = 0;
+  layout::CellId top{}, block{};
+  layout::Element e0;
+  {
+    workload::GeneratedChip chip = makeChip();
+    top = chip.top;
+    block = chip.block;
+    e0 = std::as_const(chip.lib).cell(block).elements[0];
+    Workspace ws(std::move(chip.lib), tech::nmos(), {1});
+    ASSERT_TRUE(ws.run(CheckRequest::drc(top)).ok());
+    bytesTop = ws.cacheStats().cacheBytes;
+    ASSERT_TRUE(ws.run(CheckRequest::drc(block)).ok());
+    bytesBlock = ws.cacheStats().cacheBytes - bytesTop;
+    ASSERT_GT(bytesTop, 0u);
+    ASSERT_GT(bytesBlock, 0u);
+  }
+  const layout::Element e1 = e0.transformed(geom::translate({25, 0}));
+
+  workload::GeneratedChip forWs = makeChip();
+  workload::GeneratedChip forOracle = makeChip();
+  WorkspaceOptions wopts;
+  wopts.threads = 2;
+  wopts.maxCacheBytes = std::max(bytesTop, bytesBlock) + bytesTop / 8;
+  ASSERT_LT(wopts.maxCacheBytes, bytesTop + bytesBlock);
+  Workspace ws(std::move(forWs.lib), tech::nmos(), wopts);
+  Workspace oracle(std::move(forOracle.lib), tech::nmos(), {1});
+
+  const auto oracleRun = [&](layout::CellId root, const layout::Element& e) {
+    oracle.library().setElement(block, 0, e);
+    oracle.library().invalidateCaches();  // edit log cleared: cold rebuild
+    return oracle.run(CheckRequest::drc(root));
+  };
+  const auto editReq = [&](layout::CellId root, const layout::Element& e) {
+    CheckRequest req = CheckRequest::drc(root);
+    req.edits.push_back(EditOp::setElement(block, 0, e));
+    return req;
+  };
+
+  // Warm, then patch the cached view in place via a tracked edit.
+  ASSERT_TRUE(ws.run(CheckRequest::drc(top)).ok());
+  const CheckResult patched = ws.run(editReq(top, e1));
+  ASSERT_TRUE(patched.ok()) << patched.error;
+  EXPECT_TRUE(patched.viewCacheHit);
+  EXPECT_TRUE(patched.incrementalHit);
+  EXPECT_EQ(patched.report.text(), oracleRun(top, e1).report.text());
+
+  // Serving the other root trips the byte cap and evicts the patched
+  // (and dirty-tracked) top entry, which is now the coldest.
+  const CheckResult other = ws.run(CheckRequest::drc(block));
+  ASSERT_TRUE(other.ok());
+  EXPECT_GE(ws.cacheStats().lruEvictions, 1u);
+  EXPECT_EQ(ws.cacheStats().cachedViews, 1u);
+  EXPECT_EQ(other.report.text(), oracle.run(CheckRequest::drc(block)).report.text());
+
+  // The evicted root returns with another edit riding along: no cached
+  // entry to patch, so this must rebuild from the post-edit library.
+  const CheckResult rebuilt = ws.run(editReq(top, e0));
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.error;
+  EXPECT_FALSE(rebuilt.viewCacheHit);
+  EXPECT_FALSE(rebuilt.incrementalHit);
+  EXPECT_EQ(rebuilt.report.text(), oracleRun(top, e0).report.text());
+
+  // And the fresh entry immediately supports in-place patching again.
+  const CheckResult repatched = ws.run(editReq(top, e1));
+  ASSERT_TRUE(repatched.ok()) << repatched.error;
+  EXPECT_TRUE(repatched.viewCacheHit);
+  EXPECT_TRUE(repatched.incrementalHit);
+  EXPECT_EQ(repatched.report.text(), oracleRun(top, e1).report.text());
 }
 
 TEST(Workspace, ViewAccessorReturnsCachedView) {
