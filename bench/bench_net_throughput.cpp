@@ -1,0 +1,393 @@
+// Socket load driver for the dic::net tier: an EXTERNAL process driving
+// workload::traffic traces at a check server over real TCP, measuring
+// end-to-end requests/second through the full stack — frame encode,
+// kernel sockets, session decode, sharded serving, streamed responses,
+// frame decode — and verifying along the way that every wire response
+// is byte-identical to an in-process oracle run of the same request.
+//
+// By default the driver spawns ./example_check_server_tcp (found next
+// to this binary) as a child process on an ephemeral port, parses the
+// child's "LISTENING <port>" handshake, runs the sweep, then closes the
+// child's stdin to trigger its graceful drain. Point it at an already-
+// running server instead with --addr:
+//
+//   $ ./bench_net_throughput [--addr HOST:PORT] [--shards N]
+//         [--threads N] [--no-verify]
+//
+// Rows (mode, connections, dispatchers) are emitted to stdout and to
+// bench_net_throughput.json ("net_throughput" schema, understood
+// informationally by bench/compare_bench.py — loopback throughput on a
+// shared runner is too noisy to gate).
+//
+// This is deliberately NOT a google-benchmark binary: the measurement
+// is one external process driving another, not a microbenchmark loop.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <limits.h>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "service/workspace.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+using namespace dic;
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A spawned check_server_tcp child: stdin pipe for the termination
+/// handshake, stdout pipe for the LISTENING line.
+struct ServerProcess {
+  pid_t pid{-1};
+  int stdinFd{-1};
+  std::uint16_t port{0};
+
+  bool spawn(int shards, int threads) {
+    // The server example lives next to this binary.
+    char exe[PATH_MAX] = {0};
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    if (n <= 0) return false;
+    std::string path(exe, static_cast<std::size_t>(n));
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos) return false;
+    path = path.substr(0, slash + 1) + "example_check_server_tcp";
+
+    int toChild[2], fromChild[2];
+    if (::pipe(toChild) != 0) return false;
+    if (::pipe(fromChild) != 0) {
+      ::close(toChild[0]);
+      ::close(toChild[1]);
+      return false;
+    }
+    pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      ::dup2(toChild[0], 0);
+      ::dup2(fromChild[1], 1);
+      ::close(toChild[0]);
+      ::close(toChild[1]);
+      ::close(fromChild[0]);
+      ::close(fromChild[1]);
+      const std::string shardsArg = std::to_string(shards);
+      const std::string threadsArg = std::to_string(threads);
+      ::execl(path.c_str(), path.c_str(), /*port=*/"0", /*libraries=*/"4",
+              shardsArg.c_str(), threadsArg.c_str(), /*queue=*/"256",
+              "block", static_cast<char*>(nullptr));
+      std::perror("bench_net_throughput: exec example_check_server_tcp");
+      std::_Exit(127);
+    }
+    ::close(toChild[0]);
+    ::close(fromChild[1]);
+    stdinFd = toChild[1];
+
+    // Parse the handshake line from the child's stdout.
+    std::FILE* out = ::fdopen(fromChild[0], "r");
+    if (!out) return false;
+    char line[256];
+    bool found = false;
+    while (std::fgets(line, sizeof line, out)) {
+      unsigned p = 0;
+      if (std::sscanf(line, "LISTENING %u", &p) == 1) {
+        port = static_cast<std::uint16_t>(p);
+        found = true;
+        break;
+      }
+    }
+    std::fclose(out);  // the child keeps writing to stderr, not stdout
+    return found && port != 0;
+  }
+
+  /// Close stdin (the drain signal) and reap; returns the exit status.
+  int terminate() {
+    if (stdinFd >= 0) {
+      ::close(stdinFd);
+      stdinFd = -1;
+    }
+    if (pid <= 0) return -1;
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+};
+
+struct Row {
+  std::string mode;
+  int connections{1};
+  int dispatchers{1};
+  std::size_t requests{0};
+  double wallSeconds{0};
+  std::size_t reportParts{0};
+  std::size_t rejected{0};
+
+  double reqPerSec() const {
+    return wallSeconds > 0 ? static_cast<double>(requests) / wallSeconds : 0;
+  }
+};
+
+/// Replay `trace` closed-loop over `connections` clients from
+/// `threads` submitter threads (thread c strides the trace and keeps
+/// one request outstanding on client c % connections). Collected
+/// results land in *out (indexed like the trace) when non-null.
+Row runClosedLoop(const std::string& host, std::uint16_t port,
+                  const std::vector<workload::TrafficEvent>& trace,
+                  const std::vector<layout::CellId>& tops, int connections,
+                  int threads, std::vector<CheckResult>* out) {
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int c = 0; c < connections; ++c) {
+    net::ClientOptions copts;
+    copts.host = host;
+    copts.port = port;
+    clients.push_back(std::make_unique<net::Client>(copts));
+  }
+  if (out) out->resize(trace.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < threads; ++c) {
+    submitters.emplace_back([&, c] {
+      net::Client& cli = *clients[static_cast<std::size_t>(c) %
+                                  clients.size()];
+      for (std::size_t i = static_cast<std::size_t>(c); i < trace.size();
+           i += static_cast<std::size_t>(threads)) {
+        const workload::TrafficEvent& ev = trace[i];
+        CheckResult r =
+            cli.check(workload::libraryName(ev.library),
+                      workload::materialize(ev, tops[ev.library]));
+        if (out) (*out)[i] = std::move(r);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  Row row;
+  row.mode = "closed";
+  row.connections = connections;
+  row.dispatchers = threads;
+  row.requests = trace.size();
+  row.wallSeconds = secondsSince(t0);
+  for (const auto& cli : clients) {
+    const net::ClientTelemetry tel = cli->telemetry();
+    row.reportParts += tel.reportPartFrames;
+    row.rejected += tel.rejectedFrames;
+  }
+  return row;
+}
+
+/// Replay an open-loop trace's arrival schedule through one multiplexed
+/// connection from `dispatchers` striding submitter threads.
+Row runOpenLoop(const std::string& host, std::uint16_t port,
+                const std::vector<workload::TrafficEvent>& trace,
+                const std::vector<layout::CellId>& tops, int dispatchers) {
+  net::ClientOptions copts;
+  copts.host = host;
+  copts.port = port;
+  net::Client cli(copts);
+  std::mutex futMu;
+  std::vector<std::future<CheckResult>> futs;
+  futs.reserve(trace.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  workload::driveOpenLoop(
+      trace, dispatchers, [&](const workload::TrafficEvent& ev) {
+        std::future<CheckResult> f =
+            cli.submit(workload::libraryName(ev.library),
+                       workload::materialize(ev, tops[ev.library]));
+        std::lock_guard<std::mutex> lock(futMu);
+        futs.push_back(std::move(f));
+      });
+  for (auto& f : futs) f.get();
+  Row row;
+  row.mode = "open";
+  row.connections = 1;
+  row.dispatchers = dispatchers;
+  row.requests = trace.size();
+  row.wallSeconds = secondsSince(t0);
+  const net::ClientTelemetry tel = cli.telemetry();
+  row.reportParts = tel.reportPartFrames;
+  row.rejected = tel.rejectedFrames;
+  return row;
+}
+
+void writeJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"net_throughput\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"connections\": %d, "
+                 "\"dispatchers\": %d, \"requests\": %zu, "
+                 "\"wallSeconds\": %.6f, \"reqPerSec\": %.2f, "
+                 "\"reportParts\": %zu, \"rejected\": %zu, "
+                 "\"gated\": false}%s\n",
+                 r.mode.c_str(), r.connections, r.dispatchers, r.requests,
+                 r.wallSeconds, r.reqPerSec(), r.reportParts, r.rejected,
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string addr;
+  int shards = 2;
+  int threads = 2;
+  bool verify = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--addr" && i + 1 < argc)
+      addr = argv[++i];
+    else if (a == "--shards" && i + 1 < argc)
+      shards = std::atoi(argv[++i]);
+    else if (a == "--threads" && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    else if (a == "--no-verify")
+      verify = false;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_net_throughput [--addr HOST:PORT] "
+                   "[--shards N] [--threads N] [--no-verify]\n");
+      return 2;
+    }
+  }
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  ServerProcess child;
+  if (addr.empty()) {
+    if (!child.spawn(shards, threads)) {
+      std::fprintf(stderr,
+                   "bench_net_throughput: failed to spawn "
+                   "example_check_server_tcp\n");
+      return 1;
+    }
+    port = child.port;
+    std::printf("spawned check_server_tcp pid %d on port %u\n",
+                static_cast<int>(child.pid), port);
+  } else {
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bench_net_throughput: --addr wants HOST:PORT\n");
+      return 2;
+    }
+    host = addr.substr(0, colon);
+    port = static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1));
+  }
+
+  // The same deterministic fleet + trace the serving bench uses; the
+  // server process regenerates the identical fleet from the shared
+  // recipe (workload::fleetChip), so no layout crosses the wire.
+  const dic::tech::Technology t = dic::tech::nmos();
+  constexpr std::size_t kLibraries = 4;
+  std::vector<dic::layout::CellId> tops;
+  std::vector<dic::workload::GeneratedChip> chips;
+  for (std::size_t l = 0; l < kLibraries; ++l) {
+    chips.push_back(dic::workload::fleetChip(t));
+    tops.push_back(chips.back().top);
+  }
+  dic::workload::TrafficOptions topt;
+  topt.libraries = kLibraries;
+  topt.requests = 48;
+  topt.seed = 7;
+  const std::vector<dic::workload::TrafficEvent> closedTrace =
+      dic::workload::generateTrace(topt);
+  topt.arrivalsPerSecond = 120;
+  const std::vector<dic::workload::TrafficEvent> openTrace =
+      dic::workload::generateTrace(topt);
+
+  // Warm pass over the wire: one DRC per library pays the server's
+  // view/netlist builds, so the rows measure steady-state serving.
+  {
+    dic::net::ClientOptions copts;
+    copts.host = host;
+    copts.port = port;
+    dic::net::Client cli(copts);
+    std::string err;
+    if (!cli.connect(&err)) {
+      std::fprintf(stderr, "bench_net_throughput: connect failed: %s\n",
+                   err.c_str());
+      child.terminate();
+      return 1;
+    }
+    for (std::size_t l = 0; l < kLibraries; ++l) {
+      const dic::CheckResult r = cli.check(
+          dic::workload::libraryName(l), dic::CheckRequest::drc(tops[l]));
+      if (!r.ok()) {
+        std::fprintf(stderr, "bench_net_throughput: warm %s failed: %s\n",
+                     dic::workload::libraryName(l).c_str(), r.error.c_str());
+        child.terminate();
+        return 1;
+      }
+    }
+  }
+
+  std::vector<Row> rows;
+  std::vector<dic::CheckResult> wireResults;
+  rows.push_back(runClosedLoop(host, port, closedTrace, tops,
+                               /*connections=*/1, /*threads=*/4,
+                               verify ? &wireResults : nullptr));
+  rows.push_back(runClosedLoop(host, port, closedTrace, tops,
+                               /*connections=*/4, /*threads=*/4, nullptr));
+  rows.push_back(runOpenLoop(host, port, openTrace, tops,
+                             /*dispatchers=*/4));
+
+  std::printf("\n%-7s %12s %11s %9s %9s %12s %9s\n", "mode", "connections",
+              "dispatchers", "requests", "wall-ms", "req/s", "rejected");
+  for (const Row& r : rows)
+    std::printf("%-7s %12d %11d %9zu %9.1f %12.1f %9zu\n", r.mode.c_str(),
+                r.connections, r.dispatchers, r.requests,
+                r.wallSeconds * 1e3, r.reqPerSec(), r.rejected);
+
+  // Oracle pass: replay the closed trace on local Workspaces and demand
+  // byte-identical reports — the wire must be a transparent transport.
+  std::size_t mismatches = 0;
+  if (verify) {
+    std::vector<std::unique_ptr<dic::Workspace>> oracles;
+    for (std::size_t l = 0; l < kLibraries; ++l)
+      oracles.push_back(std::make_unique<dic::Workspace>(
+          std::move(chips[l].lib), t, dic::WorkspaceOptions{1}));
+    for (std::size_t i = 0; i < closedTrace.size(); ++i) {
+      const dic::workload::TrafficEvent& ev = closedTrace[i];
+      const dic::CheckResult ref = oracles[ev.library]->run(
+          dic::workload::materialize(ev, tops[ev.library]));
+      const dic::CheckResult& got = wireResults[i];
+      if (!got.ok() || got.report.text() != ref.report.text()) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "MISMATCH event %zu (%s): wire %s (%zu violations) vs "
+                     "oracle %zu violations\n",
+                     i, dic::workload::libraryName(ev.library).c_str(),
+                     got.ok() ? "ok" : got.error.c_str(),
+                     got.report.violations().size(),
+                     ref.report.violations().size());
+      }
+    }
+    std::printf("oracle: %zu/%zu wire responses byte-identical to "
+                "in-process results\n",
+                closedTrace.size() - mismatches, closedTrace.size());
+  }
+
+  writeJson(rows, "bench_net_throughput.json");
+
+  if (addr.empty()) {
+    const int rc = child.terminate();
+    std::printf("server drained, exit %d\n", rc);
+    if (rc != 0) return 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -325,7 +325,7 @@ std::vector<layout::CellId> registerFleet(server::Server& srv,
   for (std::size_t l = 0; l < libraries; ++l) {
     workload::GeneratedChip chip = makeChip({1, 1, 2, 4, true}, t);
     tops.push_back(chip.top);
-    srv.addLibrary("lib" + std::to_string(l), std::move(chip.lib), t);
+    srv.addLibrary(workload::libraryName(l), std::move(chip.lib), t);
   }
   return tops;
 }
@@ -353,7 +353,7 @@ SweepResult runSweepConfig(int shards, int threadsPerShard, bool openLoop,
     std::vector<std::future<CheckResult>> warm;
     for (std::size_t l = 0; l < libraries; ++l)
       warm.push_back(
-          srv.submit("lib" + std::to_string(l), CheckRequest::drc(tops[l])));
+          srv.submit(workload::libraryName(l), CheckRequest::drc(tops[l])));
     for (auto& f : warm) f.get();
   }
   const server::ServerStats warmStats = srv.stats();
@@ -374,7 +374,7 @@ SweepResult runSweepConfig(int shards, int threadsPerShard, bool openLoop,
       workload::driveOpenLoop(
           trace, dispatchers, [&](const workload::TrafficEvent& ev) {
             std::future<CheckResult> f =
-                srv.submit("lib" + std::to_string(ev.library),
+                srv.submit(workload::libraryName(ev.library),
                            workload::materialize(ev, tops[ev.library]));
             std::lock_guard<std::mutex> lock(futMu);
             futs.push_back(std::move(f));
@@ -388,7 +388,7 @@ SweepResult runSweepConfig(int shards, int threadsPerShard, bool openLoop,
           for (std::size_t i = static_cast<std::size_t>(c); i < trace.size();
                i += kClients) {
             const workload::TrafficEvent& ev = trace[i];
-            srv.submit("lib" + std::to_string(ev.library),
+            srv.submit(workload::libraryName(ev.library),
                        workload::materialize(ev, tops[ev.library]))
                 .get();
           }

@@ -28,6 +28,17 @@ understood, keyed by the JSON's top-level name:
     scalar variants at 1e4/1e5 rects and leaves the 1e6 soa-only
     headroom rows informational.
 
+``net_throughput`` (bench_net_throughput)
+    Rows keyed by (mode, connections, dispatchers); metric is
+    ``reqPerSec`` over real loopback sockets against a spawned server
+    process. Rows gate iff the baseline row carries ``"gated": true``;
+    the bench emits every row with ``"gated": false`` — TCP loopback
+    throughput on shared CI runners mixes scheduler and network-stack
+    noise into the number, so these rows stay informational (the
+    byte-identity oracle inside the bench is the hard check, and it
+    fails the bench itself). A row that disappears still fails: the
+    sweep shrinking is a bench bug, not noise.
+
 In both schemas a row present in the baseline but missing from the
 candidate is a failure (the sweep shrank); extra candidate rows are
 reported and ignored (refresh the baseline to start gating them).
@@ -73,6 +84,13 @@ SCHEMAS = [
         key=lambda r: (r["kernel"], r["size"], r["variant"]),
         fmt=lambda k: f"{k[0]} n={k[1]} {k[2]}",
         gated=lambda r: bool(r.get("gated", True)),
+    ),
+    Schema(
+        top="net_throughput",
+        metric="reqPerSec",
+        key=lambda r: (r["mode"], r["connections"], r.get("dispatchers", 1)),
+        fmt=lambda k: f"{k[0]} conns={k[1]} disp={k[2]}",
+        gated=lambda r: bool(r.get("gated", False)),
     ),
 ]
 

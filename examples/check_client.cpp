@@ -1,0 +1,110 @@
+// A net::Client talking to a running check_server_tcp: submits a mixed
+// batch of checks over one multiplexed connection, then (with --stats)
+// fetches the server's ServerStats snapshot over the wire — per-shard
+// queue depth, served/rejected counts, and p50/p95 service latency —
+// the remote version of the table examples/check_server prints locally.
+//
+//   $ ./examples/check_client --port P [--host 127.0.0.1]
+//         [--requests N] [--library lib0] [--stats]
+//
+// The root cell id is recovered by regenerating the canonical fleet
+// chip locally (workload::fleetChip) — the same recipe the server
+// example registers, so no layout crosses the wire.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "workload/traffic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dic;
+  net::ClientOptions copts;
+  copts.requestTimeoutSeconds = 30;
+  std::size_t requests = 8;
+  std::string library = "lib0";
+  bool wantStats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--port" && i + 1 < argc)
+      copts.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    else if (a == "--host" && i + 1 < argc)
+      copts.host = argv[++i];
+    else if (a == "--requests" && i + 1 < argc)
+      requests = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (a == "--library" && i + 1 < argc)
+      library = argv[++i];
+    else if (a == "--stats")
+      wantStats = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: check_client --port P [--host H] [--requests N] "
+                   "[--library ID] [--stats]\n");
+      return 2;
+    }
+  }
+  if (copts.port == 0) {
+    std::fprintf(stderr, "check_client: --port is required\n");
+    return 2;
+  }
+
+  net::Client client(copts);
+  std::string err;
+  if (!client.connect(&err)) {
+    std::fprintf(stderr, "check_client: connect failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  const layout::CellId top = workload::fleetChip(tech::nmos()).top;
+  const CheckRequest kinds[] = {
+      CheckRequest::drc(top), CheckRequest::baseline(top),
+      CheckRequest::ercCheck(top), CheckRequest::netlistOnly(top)};
+  const char* names[] = {"drc", "baseline", "erc", "netlist"};
+
+  // All requests in flight at once over the one connection; responses
+  // are matched back by request id.
+  std::vector<std::future<CheckResult>> futs;
+  for (std::size_t i = 0; i < requests; ++i)
+    futs.push_back(client.submit(library, kinds[i % 4]));
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const CheckResult r = futs[i].get();
+    if (r.ok()) {
+      std::printf("%-8s %4zu violations  %7.2f ms  %s%s\n", names[i % 4],
+                  r.report.violations().size(), r.seconds * 1e3,
+                  r.viewCacheHit ? "view-hit " : "view-miss ",
+                  r.netlistCacheHit ? "netlist-hit" : "");
+    } else {
+      ++failures;
+      std::printf("%-8s FAILED: %s\n", names[i % 4], r.error.c_str());
+    }
+  }
+
+  if (wantStats) {
+    server::ServerStats st;
+    if (!client.stats(st, &err)) {
+      std::fprintf(stderr, "check_client: stats failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\n%-6s %5s %6s %7s %7s %7s %9s %9s\n", "shard", "libs",
+                "queue", "served", "reject", "failed", "p50-ms", "p95-ms");
+    for (std::size_t s = 0; s < st.shards.size(); ++s) {
+      const server::ShardStats& sh = st.shards[s];
+      std::printf("%-6zu %5zu %6zu %7zu %7zu %7zu %9.2f %9.2f\n", s,
+                  sh.libraries, sh.queueDepth, sh.served, sh.rejected,
+                  sh.failed, sh.p50Seconds * 1e3, sh.p95Seconds * 1e3);
+    }
+    std::printf("total: %zu served, %zu rejected over the wire\n",
+                st.totalServed(), st.totalRejected());
+  }
+
+  const net::ClientTelemetry tel = client.telemetry();
+  std::printf("\nconnection: %zu frames out, %zu frames in (%zu report "
+              "parts, %zu rejected)\n",
+              tel.framesOut, tel.framesIn, tel.reportPartFrames,
+              tel.rejectedFrames);
+  return failures == 0 ? 0 : 1;
+}

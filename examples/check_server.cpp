@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     workload::InjectionPlan plan;
     workload::inject(chip, t, plan, /*seed=*/static_cast<unsigned>(40 + l));
     tops.push_back(chip.top);
-    const std::string id = "lib" + std::to_string(l);
+    const std::string id = workload::libraryName(l);
     srv.addLibrary(id, std::move(chip.lib), t);
     std::printf("registered %-5s -> shard %d\n", id.c_str(), srv.shardOf(id));
   }
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
         }
         const workload::TrafficEvent& ev = trace[i];
         const CheckResult r =
-            srv.submit("lib" + std::to_string(ev.library),
+            srv.submit(workload::libraryName(ev.library),
                        workload::materialize(ev, tops[ev.library]))
                 .get();
         if (r.ok())

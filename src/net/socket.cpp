@@ -1,0 +1,222 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace dic::net {
+
+namespace {
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what + ": " + std::strerror(errno);
+  return false;
+}
+
+bool makeAddr(const std::string& host, std::uint16_t port, sockaddr_in& addr,
+              std::string* err) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad IPv4 address '" + host + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::sendAll(const void* p, std::size_t n) {
+  const char* c = static_cast<const char*>(p);
+  while (n > 0) {
+    const ssize_t k = ::send(fd_, c, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (k == 0) return false;
+    c += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+Socket::Io Socket::recvSome(void* p, std::size_t n, std::size_t& got) {
+  got = 0;
+  for (;;) {
+    const ssize_t k = ::recv(fd_, p, n, 0);
+    if (k > 0) {
+      got = static_cast<std::size_t>(k);
+      return Io::kOk;
+    }
+    if (k == 0) return Io::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kTimeout;
+    return Io::kError;
+  }
+}
+
+bool Socket::recvAll(void* p, std::size_t n) {
+  char* c = static_cast<char*>(p);
+  while (n > 0) {
+    std::size_t got = 0;
+    const Io io = recvSome(c, n, got);
+    if (io != Io::kOk) return false;
+    c += got;
+    n -= got;
+  }
+  return true;
+}
+
+bool Socket::setRecvTimeout(double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    // A zero timeval means "no timeout" to the kernel; a sub-micro
+    // request still needs to time out, so round up.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+void Socket::shutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connectTo(const std::string& host, std::uint16_t port,
+                 double timeoutSeconds, std::string* err) {
+  sockaddr_in addr{};
+  if (!makeAddr(host, port, addr, err)) return Socket{};
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(err, "socket");
+    return Socket{};
+  }
+  Socket s(fd);
+
+  // Nonblocking connect + poll gives the bounded timeout; the socket is
+  // switched back to blocking before it is handed out.
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeoutMs =
+        timeoutSeconds > 0 ? static_cast<int>(timeoutSeconds * 1e3) : -1;
+    rc = ::poll(&pfd, 1, timeoutMs);
+    if (rc == 0) {
+      if (err) *err = "connect timed out";
+      return Socket{};
+    }
+    if (rc < 0) {
+      fail(err, "poll");
+      return Socket{};
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      errno = soerr;
+      fail(err, "connect");
+      return Socket{};
+    }
+  } else if (rc != 0) {
+    fail(err, "connect");
+    return Socket{};
+  }
+  ::fcntl(fd, F_SETFL, fl);
+  // Check frames are small and latency-sensitive; Nagle buys nothing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+bool Acceptor::listenOn(const std::string& host, std::uint16_t port,
+                        std::string* err) {
+  sockaddr_in addr{};
+  if (!makeAddr(host, port, addr, err)) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(err, "socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail(err, "bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    fail(err, "listen");
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail(err, "getsockname");
+    ::close(fd);
+    return false;
+  }
+  close();
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+Socket Acceptor::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket{};  // shutdownListen, close, or a fatal error
+  }
+}
+
+void Acceptor::shutdownListen() {
+  // shutdown() on a listening socket wakes a blocked accept() (it
+  // returns EINVAL) and stops the kernel from completing new
+  // handshakes, while keeping fd_ valid until close() — so the accept
+  // thread can be woken and joined without racing descriptor reuse.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Acceptor::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dic::net

@@ -1,0 +1,110 @@
+#pragma once
+/// \file socket.hpp
+/// Thin RAII wrappers over POSIX TCP sockets for the dic::net tier:
+/// a movable connected-socket handle with whole-buffer send/recv
+/// helpers, a listening acceptor with an unblockable accept loop, and a
+/// timeout-bounded connect. Nothing here knows about frames — the wire
+/// format lives in net/wire.hpp and the session logic in
+/// net/listener.hpp / net/client.hpp, so this file is the only one that
+/// touches file descriptors.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dic::net {
+
+/// A connected TCP socket (movable, closes on destruction). All I/O is
+/// blocking unless a receive timeout is set; sends never raise SIGPIPE
+/// (a closed peer surfaces as a send error instead).
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopt an already-open descriptor (from accept/connect).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Outcome of a single receive attempt.
+  enum class Io : std::uint8_t {
+    kOk,       ///< some bytes arrived
+    kEof,      ///< orderly peer shutdown
+    kError,    ///< socket error (connection reset, bad fd, ...)
+    kTimeout,  ///< the configured receive timeout elapsed
+  };
+
+  /// Send all `n` bytes (handles partial writes and EINTR). False on
+  /// any error; the socket should then be treated as dead.
+  bool sendAll(const void* p, std::size_t n);
+
+  /// Receive up to `n` bytes into `p`; `got` is the count on kOk.
+  Io recvSome(void* p, std::size_t n, std::size_t& got);
+
+  /// Receive exactly `n` bytes (blocking; no receive timeout may be
+  /// set). False on EOF or error.
+  bool recvAll(void* p, std::size_t n);
+
+  /// Bound every subsequent recv by `seconds` (0 clears the bound).
+  bool setRecvTimeout(double seconds);
+
+  /// Half-close: no more reads will be delivered (a blocked recv on
+  /// another thread wakes with EOF). Buffered unread data is dropped.
+  void shutdownRead();
+  /// Half-close the send side (peer sees EOF).
+  void shutdownWrite();
+
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// Connect to host:port with a bounded connect timeout. Returns an
+/// invalid Socket with a reason in *err on failure. Only numeric IPv4
+/// host strings are resolved ("127.0.0.1") — the serving tier fronts
+/// loopback and LAN addresses, not DNS.
+Socket connectTo(const std::string& host, std::uint16_t port,
+                 double timeoutSeconds, std::string* err = nullptr);
+
+/// A listening TCP socket. The shutdown protocol is two-step so an
+/// accept loop on another thread can be woken safely: `shutdownListen`
+/// wakes the blocked accept (which then returns an invalid Socket) and
+/// refuses new connections while keeping the descriptor valid; `close`
+/// releases it after the accept thread has joined.
+class Acceptor {
+ public:
+  Acceptor() = default;
+  ~Acceptor() { close(); }
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Bind and listen on host:port (port 0 picks an ephemeral port,
+  /// readable via port() afterwards). False with a reason in *err.
+  bool listenOn(const std::string& host, std::uint16_t port,
+                std::string* err = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+  /// The bound port (after listenOn).
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a connection arrives; invalid Socket after
+  /// shutdownListen or on error.
+  Socket accept();
+
+  /// Wake the accept loop and refuse new connections (idempotent).
+  void shutdownListen();
+  void close();
+
+ private:
+  int fd_{-1};
+  std::uint16_t port_{0};
+};
+
+}  // namespace dic::net

@@ -63,13 +63,25 @@ struct Job {
   bool isBatch{false};
   std::promise<CheckResult> single;
   std::promise<std::vector<CheckResult>> batch;
+  /// Completion hook for submitAsync jobs: when set, the result is
+  /// delivered here instead of through `single` (net sessions ride
+  /// this; the callback runs on the serving thread, or inline on the
+  /// submitter for immediate failures).
+  std::function<void(CheckResult)> done;
   Clock::time_point enqueued{};
+
+  void deliverSingle(CheckResult&& r) {
+    if (done)
+      done(std::move(r));
+    else
+      single.set_value(std::move(r));
+  }
 
   void fail(const char* err) {
     if (isBatch)
       batch.set_value(errorResults(reqs, err));
     else
-      single.set_value(errorResult(reqs.front(), err));
+      deliverSingle(errorResult(reqs.front(), err));
   }
 };
 
@@ -183,6 +195,44 @@ std::future<CheckResult> Server::submit(const LibraryId& id,
   return fut;
 }
 
+void Server::submitAsync(const LibraryId& id, CheckRequest req,
+                         std::function<void(CheckResult)> done) {
+  Job job;
+  job.lib = id;
+  job.reqs.push_back(std::move(req));
+  job.done = std::move(done);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    job.fail(kErrServerStopped);
+    return;
+  }
+  Shard& s = shardFor(id);
+  job.enqueued = Clock::now();
+  const PushResult pushed = opts_.overflow == OverflowPolicy::kBlock
+                                ? s.queue.pushBlocking(job)
+                                : s.queue.tryPush(job);
+  // The failure callbacks run outside the shard mutex: a session
+  // callback may itself take locks, and holding s.mu across foreign
+  // code invites ordering bugs.
+  switch (pushed) {
+    case PushResult::kOk: {
+      std::lock_guard<std::mutex> lock(s.mu);
+      ++s.submitted;
+      break;
+    }
+    case PushResult::kFull: {
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        ++s.rejected;
+      }
+      job.fail(kErrQueueFull);
+      break;
+    }
+    case PushResult::kClosed:
+      job.fail(kErrServerStopped);
+      break;
+  }
+}
+
 std::future<std::vector<CheckResult>> Server::submitBatch(
     const LibraryId& id, std::vector<CheckRequest> reqs) {
   Job job;
@@ -266,7 +316,7 @@ void Server::serveLoop(Shard& shard) {
     if (job.isBatch)
       job.batch.set_value(std::move(batchOut));
     else
-      job.single.set_value(std::move(singleOut));
+      job.deliverSingle(std::move(singleOut));
   }
 }
 

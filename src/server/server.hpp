@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -177,6 +178,28 @@ class Server {
   /// Workspace patches its cached view in place when the edit qualifies
   /// (docs/server.md, "Edit routing").
   std::future<CheckResult> submit(const LibraryId& id, CheckRequest req);
+
+  /// submit() with a completion callback instead of a future: `done` is
+  /// invoked exactly once with the result — on the owning shard's
+  /// serving thread for served requests, or inline on the submitting
+  /// thread for immediate failures (stopped server, full queue under
+  /// kReject). This is the network tier's drain hook: a net session
+  /// hands every decoded frame here and gets told the moment the result
+  /// exists, in true completion order, with no future polling. The
+  /// callback must not throw and must not block the serving thread on
+  /// slow work (a session callback just moves the result to its writer
+  /// queue). Under kBlock a full queue blocks the submitting thread,
+  /// exactly like submit() — which is what lets a session apply TCP
+  /// backpressure by simply pausing its reader.
+  void submitAsync(const LibraryId& id, CheckRequest req,
+                   std::function<void(CheckResult)> done);
+
+  /// True while the intake is open (before shutdown()). Sessions use
+  /// this to refuse new work during a drain without racing the
+  /// queue-close handshake.
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
 
   /// Submit a batch for `id`'s library as one queue job. The shard runs
   /// it through the decomposed Workspace::runBatch: every request's

@@ -1,5 +1,7 @@
 #include "workload/traffic.hpp"
 
+#include "workload/inject.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -145,6 +147,17 @@ EditOp makeEditOp(std::uint64_t seed, const layout::Library& lib,
   return EditOp::setElement(
       cell, index,
       lib.cell(cell).elements[index].transformed(geom::translate({dx, dy})));
+}
+
+std::string libraryName(std::size_t library) {
+  return "lib" + std::to_string(library);
+}
+
+GeneratedChip fleetChip(const tech::Technology& tech) {
+  GeneratedChip chip = generateChip(tech, {1, 1, 2, 4, true});
+  InjectionPlan plan;
+  inject(chip, tech, plan, /*seed=*/42);
+  return chip;
 }
 
 CheckRequest materialize(const TrafficEvent& ev, layout::CellId root,

@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "service/workspace.hpp"
+#include "workload/generator.hpp"
 
 namespace dic::workload {
 
@@ -60,6 +62,20 @@ struct TrafficOptions {
 /// Generate the event trace for `opts` (deterministic in the options).
 /// Open-loop arrivals are sorted ascending.
 std::vector<TrafficEvent> generateTrace(const TrafficOptions& opts);
+
+/// Canonical server id of fleet library `l` ("lib0", "lib1", ...). The
+/// one naming convention every driver uses — benches, tests, examples,
+/// and the net load driver, which addresses a server process's fleet
+/// over TCP and so depends on the names matching without out-of-band
+/// coordination.
+std::string libraryName(std::size_t library);
+
+/// The canonical serving-fleet chip: generateChip(tech, {1, 1, 2, 4,
+/// true}) with injection seed 42. Every fleet library is an identical
+/// generation of this chip, which is what lets an external load driver
+/// materialize a local oracle copy of a server process's fleet —
+/// layouts never ship over the wire, only the recipe is shared.
+GeneratedChip fleetChip(const tech::Technology& tech);
 
 /// Turn an event into the concrete request for its library's root cell
 /// (reference settings per kind, via the CheckRequest factories).

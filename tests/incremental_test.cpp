@@ -16,6 +16,7 @@
 #include "service/workspace.hpp"
 #include "workload/generator.hpp"
 #include "workload/inject.hpp"
+#include "workload/traffic.hpp"
 
 namespace dic {
 namespace {
@@ -234,7 +235,7 @@ void runServerOracle(unsigned seed, int shards, int threadsPerShard,
   std::vector<layout::CellId> tops;
   for (int l = 0; l < libs; ++l) {
     workload::GeneratedChip chip = makeChip(seed + 100 * l);
-    ids.push_back("lib" + std::to_string(l));
+    ids.push_back(workload::libraryName(l));
     tops.push_back(chip.top);
     ASSERT_TRUE(srv.addLibrary(ids.back(), chip.lib, t));
     oracles.push_back(std::make_unique<Workspace>(std::move(chip.lib), t,

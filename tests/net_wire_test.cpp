@@ -1,0 +1,466 @@
+// The dic::net wire codec, exercised entirely on byte buffers — no
+// sockets: rich round-trips, the streamed-report reassembly contract,
+// and the malformed-input hardening the session layer depends on (a
+// hostile or truncated frame must decode to a clean failure, never an
+// over-read or a crash).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace dic;
+using namespace dic::net;
+
+report::Violation makeViolation(int i) {
+  report::Violation v;
+  v.category = static_cast<report::Category>(
+      i % (static_cast<int>(report::Category::kOther) + 1));
+  v.severity = static_cast<report::Severity>(i % 3);
+  v.rule = "S.ND.RULE" + std::to_string(i);
+  v.where = {{i * 10, -i * 3}, {i * 10 + 7, -i * 3 + 5}};
+  v.cell = "cell" + std::to_string(i % 4);
+  v.message = "violation #" + std::to_string(i);
+  v.layerA = i % 5;
+  v.layerB = (i % 7) - 1;
+  return v;
+}
+
+CheckResult makeResult(std::size_t violations) {
+  CheckResult r;
+  r.kind = CheckKind::kHierarchicalDrc;
+  r.root = 3;
+  r.viewCacheHit = true;
+  r.incrementalHit = true;
+  r.revision = 17;
+  r.seconds = 0.04125;
+  r.tag = "tag-x";
+  for (std::size_t i = 0; i < violations; ++i)
+    r.report.add(makeViolation(static_cast<int>(i)));
+  return r;
+}
+
+/// Parse the header of a full frame and return (header, payload span).
+FrameHeader splitFrame(const std::vector<std::uint8_t>& frame,
+                       const std::uint8_t** payload, std::size_t* n) {
+  FrameHeader h;
+  std::string err;
+  EXPECT_GE(frame.size(), kHeaderSize);
+  EXPECT_TRUE(parseHeader(frame.data(), h, &err)) << err;
+  EXPECT_EQ(frame.size(), kHeaderSize + h.payloadLen);
+  *payload = frame.data() + kHeaderSize;
+  *n = h.payloadLen;
+  return h;
+}
+
+/// Compare everything a result envelope carries (reports via text()).
+void expectResultEq(const CheckResult& a, const CheckResult& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.viewCacheHit, b.viewCacheHit);
+  EXPECT_EQ(a.netlistCacheHit, b.netlistCacheHit);
+  EXPECT_EQ(a.incrementalHit, b.incrementalHit);
+  EXPECT_EQ(a.revision, b.revision);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.report.text(), b.report.text());
+}
+
+TEST(NetWire, HeaderRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  appendHeader(buf, FrameType::kReportPart, 0xDEADBEEFCAFEBABEull, 12345);
+  ASSERT_EQ(buf.size(), kHeaderSize);
+  FrameHeader h;
+  std::string err;
+  ASSERT_TRUE(parseHeader(buf.data(), h, &err)) << err;
+  EXPECT_EQ(h.magic, kMagic);
+  EXPECT_EQ(h.version, kVersion);
+  EXPECT_EQ(h.type, FrameType::kReportPart);
+  EXPECT_EQ(h.flags, 0);
+  EXPECT_EQ(h.requestId, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(h.payloadLen, 12345u);
+}
+
+TEST(NetWire, CheckFrameRoundTripRich) {
+  CheckRequest req;
+  req.kind = CheckKind::kErc;
+  req.root = 42;
+  req.metric = geom::Metric::kOrthogonal;
+  req.checkDevices = false;
+  req.hierarchicalInteractions = true;
+  req.useNetInformation = false;
+  req.instantiateViolations = true;
+  req.baselineWidth = false;
+  req.baselineSpacing = true;
+  req.baselineContacts = false;
+  req.erc.checkDanglingNets = false;
+  req.erc.checkPowerGroundShort = true;
+  req.erc.checkBusRules = false;
+  req.erc.checkDepletionToGround = true;
+  req.extract.mergeByLabel = false;
+  req.extract.globalPrefixes = {"VDD", "GND", "PHI"};
+  req.threads = 3;
+  req.tag = "req-77";
+
+  layout::Element wire;
+  wire.kind = layout::ElementKind::kWire;
+  wire.layer = 2;
+  wire.net = "VDD";
+  wire.box = {{0, 0}, {100, 4}};
+  wire.path = {{0, 2}, {50, 2}, {50, 40}, {100, 40}};
+  wire.wireWidth = 4;
+  req.edits.push_back(EditOp::setElement(7, 11, wire));
+
+  EditOp add;
+  add.kind = EditOp::Kind::kAddInstance;
+  add.cell = 5;
+  add.index = 0;
+  add.instance.cell = 9;
+  add.instance.transform.orient = geom::Orient::kMY90;
+  add.instance.transform.t = {-1234, 5678};
+  add.instance.name = "u42";
+  req.edits.push_back(add);
+
+  const std::vector<std::uint8_t> frame =
+      encodeCheckFrame(99, "libA", req);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kCheck);
+  EXPECT_EQ(h.requestId, 99u);
+
+  std::string lib;
+  CheckRequest got;
+  std::string err;
+  ASSERT_TRUE(decodeCheckPayload(p, n, lib, got, &err)) << err;
+  EXPECT_EQ(lib, "libA");
+  EXPECT_EQ(got.kind, req.kind);
+  EXPECT_EQ(got.root, req.root);
+  EXPECT_EQ(got.metric, req.metric);
+  EXPECT_EQ(got.checkDevices, req.checkDevices);
+  EXPECT_EQ(got.hierarchicalInteractions, req.hierarchicalInteractions);
+  EXPECT_EQ(got.useNetInformation, req.useNetInformation);
+  EXPECT_EQ(got.instantiateViolations, req.instantiateViolations);
+  EXPECT_EQ(got.baselineWidth, req.baselineWidth);
+  EXPECT_EQ(got.baselineSpacing, req.baselineSpacing);
+  EXPECT_EQ(got.baselineContacts, req.baselineContacts);
+  EXPECT_EQ(got.erc.checkDanglingNets, req.erc.checkDanglingNets);
+  EXPECT_EQ(got.erc.checkPowerGroundShort, req.erc.checkPowerGroundShort);
+  EXPECT_EQ(got.erc.checkBusRules, req.erc.checkBusRules);
+  EXPECT_EQ(got.erc.checkDepletionToGround, req.erc.checkDepletionToGround);
+  EXPECT_EQ(got.extract.mergeByLabel, req.extract.mergeByLabel);
+  EXPECT_EQ(got.extract.globalPrefixes, req.extract.globalPrefixes);
+  EXPECT_EQ(got.threads, req.threads);
+  EXPECT_EQ(got.tag, req.tag);
+  ASSERT_EQ(got.edits.size(), 2u);
+  EXPECT_EQ(got.edits[0].kind, EditOp::Kind::kSetElement);
+  EXPECT_EQ(got.edits[0].cell, 7);
+  EXPECT_EQ(got.edits[0].index, 11u);
+  EXPECT_EQ(got.edits[0].element.kind, layout::ElementKind::kWire);
+  EXPECT_EQ(got.edits[0].element.net, "VDD");
+  EXPECT_EQ(got.edits[0].element.path.size(), 4u);
+  EXPECT_EQ(got.edits[0].element.path[2].y, 40);
+  EXPECT_EQ(got.edits[0].element.wireWidth, 4);
+  EXPECT_EQ(got.edits[1].kind, EditOp::Kind::kAddInstance);
+  EXPECT_EQ(got.edits[1].instance.cell, 9);
+  EXPECT_EQ(got.edits[1].instance.transform.orient, geom::Orient::kMY90);
+  EXPECT_EQ(got.edits[1].instance.transform.t.x, -1234);
+  EXPECT_EQ(got.edits[1].instance.name, "u42");
+}
+
+TEST(NetWire, StatsRoundTrip) {
+  server::ServerStats st;
+  for (int s = 0; s < 3; ++s) {
+    server::ShardStats sh;
+    sh.libraries = static_cast<std::size_t>(s + 1);
+    sh.queueDepth = static_cast<std::size_t>(s * 7);
+    sh.submitted = 100u + static_cast<std::size_t>(s);
+    sh.served = 90u + static_cast<std::size_t>(s);
+    sh.rejected = static_cast<std::size_t>(s);
+    sh.failed = 2;
+    sh.p50Seconds = 0.001 * (s + 1);
+    sh.p95Seconds = 0.005 * (s + 1);
+    sh.meanQueueWaitSeconds = 0.0002;
+    sh.meanServiceSeconds = 0.0042;
+    sh.cacheBytes = 1u << (10 + s);
+    st.shards.push_back(sh);
+  }
+  const std::vector<std::uint8_t> frame = encodeStatsFrame(5, st);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kStats);
+  server::ServerStats got;
+  std::string err;
+  ASSERT_TRUE(decodeStatsPayload(p, n, got, &err)) << err;
+  ASSERT_EQ(got.shards.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(got.shards[s].libraries, st.shards[s].libraries);
+    EXPECT_EQ(got.shards[s].queueDepth, st.shards[s].queueDepth);
+    EXPECT_EQ(got.shards[s].submitted, st.shards[s].submitted);
+    EXPECT_EQ(got.shards[s].served, st.shards[s].served);
+    EXPECT_EQ(got.shards[s].rejected, st.shards[s].rejected);
+    EXPECT_EQ(got.shards[s].failed, st.shards[s].failed);
+    EXPECT_DOUBLE_EQ(got.shards[s].p50Seconds, st.shards[s].p50Seconds);
+    EXPECT_DOUBLE_EQ(got.shards[s].p95Seconds, st.shards[s].p95Seconds);
+    EXPECT_EQ(got.shards[s].cacheBytes, st.shards[s].cacheBytes);
+  }
+}
+
+TEST(NetWire, ErrorFrameRoundTrip) {
+  for (const std::string& msg : {std::string("bad magic"), std::string()}) {
+    const std::vector<std::uint8_t> frame = encodeErrorFrame(8, msg);
+    const std::uint8_t* p = nullptr;
+    std::size_t n = 0;
+    const FrameHeader h = splitFrame(frame, &p, &n);
+    EXPECT_EQ(h.type, FrameType::kError);
+    EXPECT_EQ(decodeErrorPayload(p, n), msg);
+  }
+}
+
+TEST(NetWire, SingleFrameResultRoundTrip) {
+  const CheckResult r = makeResult(3);
+  ResultFrameStream stream(21, r, /*chunkViolations=*/8);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(stream.next(frame));
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kResult);
+  EXPECT_EQ(h.requestId, 21u);
+  ASSERT_FALSE(stream.next(frame));  // single-frame sequence
+
+  ResultAssembler as;
+  CheckResult got;
+  std::string err;
+  ASSERT_EQ(as.feed(h, p, n, got, &err), ResultAssembler::Feed::kComplete)
+      << err;
+  expectResultEq(got, r);
+}
+
+TEST(NetWire, RejectedFrameCarriesNoViolations) {
+  CheckResult r = makeResult(5);  // violations must NOT cross the wire
+  r.error = server::kErrQueueFull;
+  ResultFrameStream stream(4, r, /*chunkViolations=*/1);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(stream.next(frame));
+  ASSERT_FALSE(stream.next(frame));  // one frame even though 5 > chunk
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kRejected);
+
+  ResultAssembler as;
+  CheckResult got;
+  std::string err;
+  ASSERT_EQ(as.feed(h, p, n, got, &err), ResultAssembler::Feed::kComplete)
+      << err;
+  EXPECT_EQ(got.error, server::kErrQueueFull);
+  EXPECT_TRUE(got.report.empty());
+}
+
+TEST(NetWire, StreamingChunksAndReassembly) {
+  const CheckResult r = makeResult(10);
+  ResultFrameStream stream(33, r, /*chunkViolations=*/3);
+  ResultAssembler as;
+  CheckResult got;
+  std::string err;
+  std::vector<std::uint8_t> frame;
+  std::size_t parts = 0;
+  bool complete = false;
+  while (stream.next(frame)) {
+    const std::uint8_t* p = nullptr;
+    std::size_t n = 0;
+    const FrameHeader h = splitFrame(frame, &p, &n);
+    ASSERT_FALSE(complete);  // nothing after the end frame
+    const ResultAssembler::Feed fed = as.feed(h, p, n, got, &err);
+    if (h.type == FrameType::kReportPart) {
+      ++parts;
+      EXPECT_EQ(fed, ResultAssembler::Feed::kNeedMore) << err;
+      EXPECT_TRUE(as.streaming());
+    } else {
+      EXPECT_EQ(h.type, FrameType::kReportEnd);
+      ASSERT_EQ(fed, ResultAssembler::Feed::kComplete) << err;
+      complete = true;
+    }
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(parts, 4u);  // 3+3+3+1
+  EXPECT_FALSE(as.streaming());
+  expectResultEq(got, r);
+}
+
+TEST(NetWire, HeaderRejectsBadMagicVersionFlagsType) {
+  std::vector<std::uint8_t> good;
+  appendHeader(good, FrameType::kCheck, 1, 0);
+  FrameHeader h;
+  ASSERT_TRUE(parseHeader(good.data(), h));
+
+  auto corrupt = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] = value;
+    std::string err;
+    EXPECT_FALSE(parseHeader(bad.data(), h, &err));
+    EXPECT_FALSE(err.empty());
+  };
+  corrupt(0, 'X');               // magic
+  corrupt(4, kVersion + 1);      // version
+  corrupt(5, 0);                 // type 0 unknown
+  corrupt(5, 3);                 // gap between requests and responses
+  corrupt(5, 22);                // past kError
+  corrupt(6, 1);                 // reserved flags must be zero
+}
+
+TEST(NetWire, HeaderRejectsOversizedPayloadLength) {
+  std::vector<std::uint8_t> buf;
+  appendHeader(buf, FrameType::kCheck, 1, 0);
+  const std::uint32_t big = kMaxPayload + 1;
+  std::memcpy(buf.data() + 16, &big, 4);  // little-endian host in CI
+  FrameHeader h;
+  std::string err;
+  EXPECT_FALSE(parseHeader(buf.data(), h, &err));
+  EXPECT_EQ(err, "oversized payload length");
+}
+
+TEST(NetWire, TruncatedCheckPayloadPrefixSweep) {
+  CheckRequest req = CheckRequest::drc(3);
+  req.extract.globalPrefixes = {"VDD"};
+  layout::Element e;
+  e.kind = layout::ElementKind::kBox;
+  e.layer = 1;
+  e.box = {{0, 0}, {10, 10}};
+  req.edits.push_back(EditOp::setElement(2, 0, e));
+  req.tag = "t";
+  const std::vector<std::uint8_t> frame = encodeCheckFrame(1, "lib0", req);
+  const std::uint8_t* p = frame.data() + kHeaderSize;
+  const std::size_t n = frame.size() - kHeaderSize;
+
+  std::string lib;
+  CheckRequest got;
+  ASSERT_TRUE(decodeCheckPayload(p, n, lib, got));
+  for (std::size_t cut = 0; cut < n; ++cut)
+    EXPECT_FALSE(decodeCheckPayload(p, cut, lib, got))
+        << "prefix of " << cut << " bytes decoded";
+}
+
+TEST(NetWire, TruncatedResultPayloadPrefixSweep) {
+  const CheckResult r = makeResult(2);
+  ResultFrameStream stream(6, r);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(stream.next(frame));
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  for (std::size_t cut = 0; cut < n; ++cut) {
+    ResultAssembler as;  // fresh: no stream state across attempts
+    CheckResult got;
+    EXPECT_EQ(as.feed(h, p, cut, got, nullptr),
+              ResultAssembler::Feed::kError)
+        << "prefix of " << cut << " bytes assembled";
+  }
+}
+
+TEST(NetWire, EditCountBombRejected) {
+  const std::vector<std::uint8_t> frame =
+      encodeCheckFrame(1, "lib0", CheckRequest::drc(0));
+  std::vector<std::uint8_t> payload(frame.begin() + kHeaderSize, frame.end());
+  // Layout tail: ... u32 editCount, then u32 tag length (empty tag).
+  ASSERT_GE(payload.size(), 8u);
+  for (std::size_t i = payload.size() - 8; i < payload.size() - 4; ++i)
+    payload[i] = 0xFF;
+  std::string lib, err;
+  CheckRequest got;
+  EXPECT_FALSE(
+      decodeCheckPayload(payload.data(), payload.size(), lib, got, &err));
+  EXPECT_EQ(err, "bad edit count");
+}
+
+TEST(NetWire, ViolationCountBombRejected) {
+  CheckResult r;  // honest envelope, hostile count
+  std::vector<std::uint8_t> payload;
+  appendResultEnvelope(payload, r, /*totalViolations=*/0x40000000u);
+  for (int i = 0; i < 4; ++i)
+    payload.push_back(i == 3 ? 0x40 : 0x00);  // u32 count = 1 << 30
+  FrameHeader h;
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.type = FrameType::kResult;
+  h.requestId = 1;
+  h.payloadLen = static_cast<std::uint32_t>(payload.size());
+  ResultAssembler as;
+  CheckResult got;
+  std::string err;
+  EXPECT_EQ(as.feed(h, payload.data(), payload.size(), got, &err),
+            ResultAssembler::Feed::kError);
+  EXPECT_EQ(err, "bad violation count");
+}
+
+TEST(NetWire, InterleavedStreamsRejected) {
+  const CheckResult r = makeResult(6);
+  auto partFrame = [&](std::uint64_t id) {
+    ResultFrameStream stream(id, r, /*chunkViolations=*/2);
+    std::vector<std::uint8_t> frame;
+    EXPECT_TRUE(stream.next(frame));  // first kReportPart
+    return frame;
+  };
+  // A second stream's part while the first is open.
+  {
+    ResultAssembler as;
+    CheckResult got;
+    for (const std::uint64_t id : {1ull, 2ull}) {
+      const std::vector<std::uint8_t> frame = partFrame(id);
+      const std::uint8_t* p = nullptr;
+      std::size_t n = 0;
+      const FrameHeader h = splitFrame(frame, &p, &n);
+      std::string err;
+      const ResultAssembler::Feed fed = as.feed(h, p, n, got, &err);
+      if (id == 1)
+        EXPECT_EQ(fed, ResultAssembler::Feed::kNeedMore);
+      else
+        EXPECT_EQ(fed, ResultAssembler::Feed::kError);
+    }
+  }
+  // A whole kResult while a stream is open.
+  {
+    ResultAssembler as;
+    CheckResult got;
+    const std::vector<std::uint8_t> part = partFrame(1);
+    const std::uint8_t* p = nullptr;
+    std::size_t n = 0;
+    FrameHeader h = splitFrame(part, &p, &n);
+    ASSERT_EQ(as.feed(h, p, n, got, nullptr),
+              ResultAssembler::Feed::kNeedMore);
+    const CheckResult whole = makeResult(1);  // must outlive the stream
+    ResultFrameStream single(1, whole);
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(single.next(frame));
+    h = splitFrame(frame, &p, &n);
+    EXPECT_EQ(as.feed(h, p, n, got, nullptr),
+              ResultAssembler::Feed::kError);
+  }
+}
+
+TEST(NetWire, ReportEndWithoutStreamRejected) {
+  const CheckResult r = makeResult(0);
+  std::vector<std::uint8_t> payload;
+  appendResultEnvelope(payload, r, 0);
+  FrameHeader h;
+  h.magic = kMagic;
+  h.version = kVersion;
+  h.type = FrameType::kReportEnd;
+  h.requestId = 9;
+  h.payloadLen = static_cast<std::uint32_t>(payload.size());
+  ResultAssembler as;
+  CheckResult got;
+  std::string err;
+  EXPECT_EQ(as.feed(h, payload.data(), payload.size(), got, &err),
+            ResultAssembler::Feed::kError);
+  EXPECT_EQ(err, "report end without open stream");
+}
+
+}  // namespace

@@ -107,7 +107,7 @@ TEST(Server, ConcurrentSubmitMatchesSequentialPerLibrary) {
     workload::GeneratedChip chip = makeChip(10 + l);
     const layout::CellId top = chip.top;
     Workspace ws(std::move(chip.lib), tech::nmos(), {/*threads=*/1});
-    const std::string id = "lib" + std::to_string(l);
+    const std::string id = workload::libraryName(l);
     for (const CheckKind k :
          {CheckKind::kHierarchicalDrc, CheckKind::kFlatBaselineDrc,
           CheckKind::kErc, CheckKind::kNetlistOnly}) {
@@ -126,7 +126,7 @@ TEST(Server, ConcurrentSubmitMatchesSequentialPerLibrary) {
   for (int l = 0; l < kLibs; ++l) {
     workload::GeneratedChip chip = makeChip(10 + l);
     tops[l] = chip.top;
-    ASSERT_TRUE(srv.addLibrary("lib" + std::to_string(l), std::move(chip.lib),
+    ASSERT_TRUE(srv.addLibrary(workload::libraryName(l), std::move(chip.lib),
                                tech::nmos()));
   }
 
@@ -145,7 +145,7 @@ TEST(Server, ConcurrentSubmitMatchesSequentialPerLibrary) {
       topt.requests = 12;
       topt.seed = 100 + static_cast<std::uint64_t>(c);
       for (const workload::TrafficEvent& ev : workload::generateTrace(topt)) {
-        const std::string id = "lib" + std::to_string(ev.library);
+        const std::string id = workload::libraryName(ev.library);
         perClient[c].push_back(
             {ev.library, ev.kind,
              srv.submit(id, workload::materialize(ev, tops[ev.library]))});
@@ -159,7 +159,7 @@ TEST(Server, ConcurrentSubmitMatchesSequentialPerLibrary) {
     for (Submitted& s : batch) {
       const CheckResult r = s.fut.get();
       ASSERT_TRUE(r.ok()) << r.error;
-      const std::string id = "lib" + std::to_string(s.library);
+      const std::string id = workload::libraryName(s.library);
       EXPECT_EQ(r.report.text(), ref[id][s.kind])
           << id << " kind " << toString(s.kind);
       ++checked;
