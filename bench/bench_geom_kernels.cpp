@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "engine/executor.hpp"
 #include "engine/hierarchy_view.hpp"
 #include "geom/region.hpp"
 #include "geom/spacing.hpp"
@@ -277,7 +278,8 @@ void printRows(const std::vector<Row>& rows) {
 void writeKernelsJson(const std::vector<Row>& rows, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) return;
-  std::fprintf(f, "{\n  \"geom_kernels\": [\n");
+  std::fprintf(f, "{\n  \"host_cores\": %d,\n  \"geom_kernels\": [\n",
+               engine::Executor::hardwareThreads());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,

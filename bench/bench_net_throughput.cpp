@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/executor.hpp"
 #include "net/client.hpp"
 #include "service/workspace.hpp"
 #include "workload/traffic.hpp"
@@ -223,7 +224,8 @@ Row runOpenLoop(const std::string& host, std::uint16_t port,
 void writeJson(const std::vector<Row>& rows, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) return;
-  std::fprintf(f, "{\n  \"net_throughput\": [\n");
+  std::fprintf(f, "{\n  \"host_cores\": %d,\n  \"net_throughput\": [\n",
+               dic::engine::Executor::hardwareThreads());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,

@@ -12,6 +12,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <mutex>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include "bench_util.hpp"
 #include "engine/executor.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 #include "service/workspace.hpp"
 #include "workload/generator.hpp"
@@ -30,6 +32,10 @@
 namespace {
 
 using namespace dic;
+
+/// --trace-out <path>: dump the traced sweep section's span ring as
+/// Chrome/Perfetto JSON (the CI release job archives it as an artifact).
+const char* gTraceOut = nullptr;
 
 workload::GeneratedChip makeChip(const workload::ChipParams& p,
                                  const tech::Technology& t) {
@@ -339,7 +345,7 @@ SweepResult runSweepConfig(int shards, int threadsPerShard, bool openLoop,
                            int dispatchers,
                            const std::vector<workload::TrafficEvent>& trace,
                            std::size_t libraries,
-                           const tech::Technology& t) {
+                           const tech::Technology& t, bool traced = false) {
   server::ServerOptions opts;
   opts.shards = shards;
   opts.threadsPerShard = threadsPerShard;
@@ -388,8 +394,11 @@ SweepResult runSweepConfig(int shards, int threadsPerShard, bool openLoop,
           for (std::size_t i = static_cast<std::size_t>(c); i < trace.size();
                i += kClients) {
             const workload::TrafficEvent& ev = trace[i];
-            srv.submit(workload::libraryName(ev.library),
-                       workload::materialize(ev, tops[ev.library]))
+            CheckRequest req = workload::materialize(ev, tops[ev.library]);
+            // The traced row measures full span emission, so every
+            // request must carry a live trace id (id 0 emits nothing).
+            if (traced) req.traceId = obs::newTraceId();
+            srv.submit(workload::libraryName(ev.library), std::move(req))
                 .get();
           }
         });
@@ -485,11 +494,76 @@ void printMultiShardSweep(std::vector<SweepResult>& results) {
       "measured range is not capped by one\nsubmitter's loop latency.");
 }
 
+/// The tracing cost contract, measured: the closed-loop warm config
+/// re-run with the runtime flag on and every request carrying a live
+/// trace id. Emits one informational "traced" row (same schema/key as
+/// the "closed" rows, "gated": false until a baseline lands — then
+/// compare_bench gates the enabled-vs-disabled delta at -5%).
+void printTracingOverhead(std::vector<SweepResult>& results) {
+  dic::bench::title(
+      "Span tracing overhead: closed-loop warm serving, runtime flag on");
+  const tech::Technology t = tech::nmos();
+  workload::TrafficOptions topt;
+  topt.libraries = 4;
+  topt.requests = 48;
+  topt.seed = 7;
+  const std::vector<workload::TrafficEvent> trace =
+      workload::generateTrace(topt);
+
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().setEnabled(true);
+  SweepResult on = runSweepConfig(/*shards=*/2, /*threadsPerShard=*/2,
+                                  /*openLoop=*/false, /*dispatchers=*/1,
+                                  trace, topt.libraries, t, /*traced=*/true);
+  obs::Tracer::instance().setEnabled(false);
+  on.mode = "traced";
+  on.informational = true;
+
+  // The matching flag-off number is the sweep's own closed/2-shard row
+  // (best-of-3 in this same process), so the comparison needs no extra
+  // run.
+  double offReqPerSec = 0;
+  for (const SweepResult& r : results)
+    if (std::string(r.mode) == "closed" && r.shards == on.shards &&
+        r.threadsPerShard == on.threadsPerShard)
+      offReqPerSec = r.reqPerSec();
+  std::printf("%-12s %9s %9s %9s\n", "flag", "wall-ms", "req/s", "delta");
+  if (offReqPerSec > 0)
+    std::printf("%-12s %9s %9.1f %9s\n", "off (gated)", "-", offReqPerSec,
+                "-");
+  std::printf("%-12s %9.1f %9.1f %8.1f%%\n", "on (traced)",
+              on.wallSeconds * 1e3, on.reqPerSec(),
+              offReqPerSec > 0
+                  ? (on.reqPerSec() / offReqPerSec - 1.0) * 100.0
+                  : 0.0);
+  dic::bench::note(
+      "\nEvery request of the traced row carries a live trace id, so each "
+      "one pays full span\nemission (session stages, pipeline stages, "
+      "kernel sections) into the central ring.\nThe row is informational "
+      "until a baseline lands; the contract is within 5% of the\n"
+      "flag-off closed-loop row.");
+
+  if (gTraceOut) {
+    const std::string json =
+        obs::toChromeTraceJson(obs::Tracer::instance().snapshot());
+    if (std::FILE* f = std::fopen(gTraceOut, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("(span ring exported to %s — load in ui.perfetto.dev)\n",
+                  gTraceOut);
+    }
+  }
+  results.push_back(std::move(on));
+}
+
 void writeSweepJson(const std::vector<SweepResult>& results,
                     const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) return;
-  std::fprintf(f, "{\n  \"multi_shard_sweep\": [\n");
+  // host_cores records where the numbers came from: refresh_baselines.sh
+  // warns when a fetched baseline was measured on a 1-core container.
+  std::fprintf(f, "{\n  \"host_cores\": %d,\n  \"multi_shard_sweep\": [\n",
+               engine::Executor::hardwareThreads());
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     std::fprintf(f,
@@ -527,9 +601,28 @@ void printAll() {
   std::vector<SweepResult> sweep;
   printWarmEditCheck(sweep);
   printMultiShardSweep(sweep);
+  printTracingOverhead(sweep);
   writeSweepJson(sweep, "bench_serving_throughput.json");
 }
 
 }  // namespace
 
-DIC_BENCH_MAIN(printAll)
+// Hand-rolled DIC_BENCH_MAIN so the bench can strip its own --trace-out
+// flag before google-benchmark sees (and rejects) it.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      gTraceOut = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  printAll();
+  ::benchmark::Initialize(&n, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

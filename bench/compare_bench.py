@@ -14,12 +14,19 @@ understood, keyed by the JSON's top-level name:
     req/s. Open-loop rows are arrival-schedule-bound (req/s ~= the
     configured rate whenever the server keeps up), so they are checked
     for shape only and reported informationally; a capacity regression
-    there surfaces as queue growth, not req/s. Any other row — today the
-    ``warm-edit`` / ``warm-edit-full`` latency rows — gates iff the
-    *baseline* row carries ``"gated": true``. The bench emits these rows
-    with ``"gated": false`` (single-request latency is noisy on shared
+    there surfaces as queue growth, not req/s. Any other row — the
+    ``warm-edit`` / ``warm-edit-full`` latency rows and the ``traced``
+    span-tracing row — gates iff the *baseline* row carries
+    ``"gated": true``. The bench emits these rows with
+    ``"gated": false`` (single-request latency is noisy on shared
     runners), so they stay informational until someone flips the flag in
     the committed baseline after a CI-artifact refresh shows them stable.
+
+    When the candidate carries a ``traced`` row, an extra informational
+    line reports the span-tracing overhead: traced req/s vs the
+    candidate's own flag-off closed-loop row at the same configuration.
+    The cost contract is within 5%; the line warns past that but only
+    the baseline ``gated`` flag turns it into a hard gate.
 
 ``geom_kernels`` (bench_geom_kernels)
     Rows keyed by (kernel, size, variant); metric is ``opsPerSec``
@@ -150,6 +157,25 @@ def main():
     for k in sorted(set(cand) - set(base)):
         print(f"{fmt(k):<40} {'—':>12} {cand[k][metric]:>12.1f} "
               f"{'—':>7}  new (not gated)")
+
+    # Tracing-overhead report: candidate-internal (traced vs flag-off
+    # closed loop, same shard config), so it needs no baseline row.
+    # Informational — the hard gate arrives when the committed baseline
+    # flips the traced row to "gated": true.
+    if schema.top == "multi_shard_sweep":
+        for k in sorted(cand):
+            row = cand[k]
+            if row.get("mode") != "traced":
+                continue
+            off = cand.get(("closed",) + k[1:])
+            if not off or off[metric] <= 0:
+                continue
+            delta = row[metric] / off[metric] - 1.0
+            warn = ("" if delta >= -0.05 else
+                    "  ** exceeds the 5% tracing-overhead contract **")
+            print(f"\ntracing overhead (informational): shards={k[1]} "
+                  f"thr/sh={k[2]}: traced {row[metric]:.1f} req/s vs "
+                  f"flag-off {off[metric]:.1f} ({delta:+.1%}){warn}")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

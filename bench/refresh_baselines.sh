@@ -40,8 +40,19 @@ for name in bench_serving_throughput.json bench_geom_kernels.json \
     continue
   fi
   python3 -m json.tool "$src" > /dev/null  # refuse truncated downloads
+  # Provenance check: a baseline measured on a 1-core container makes
+  # every parallel-speedup row meaningless (and the gate worthless).
+  cores=$(python3 -c "import json; print(json.load(open('$src')).get('host_cores', 0))")
+  if [[ "$cores" -eq 0 ]]; then
+    echo "warning: $name carries no host_cores field — re-run the bench" \
+         "from a current build so the baseline records its runner" >&2
+  elif [[ "$cores" -eq 1 ]]; then
+    echo "warning: $name was measured on a 1-core container; shard/pool" \
+         "scaling rows are serialized there — refresh from a multi-core" \
+         "runner before gating on them" >&2
+  fi
   cp "$src" "$here/baselines/$name"
-  echo "refreshed baselines/$name from run $run_id"
+  echo "refreshed baselines/$name from run $run_id (host_cores=$cores)"
   # Benches emit noisy rows with "gated": false so they start
   # informational; once several refreshes in a row show a row stable,
   # the flag should be flipped in the committed baseline or the gate is

@@ -1,15 +1,21 @@
 // A net::Client talking to a running check_server_tcp: submits a mixed
 // batch of checks over one multiplexed connection, then (with --stats)
 // fetches the server's ServerStats snapshot over the wire — per-shard
-// queue depth, served/rejected counts, and p50/p95 service latency —
-// the remote version of the table examples/check_server prints locally.
+// queue depth, served/rejected counts, p50/p95 service latency, and
+// per-library heat — the remote version of the table
+// examples/check_server prints locally. --metrics dumps the server's
+// full metrics registry; --trace submits one extra check and prints the
+// span tree the server recorded for it (the server must run with
+// tracing on, e.g. check_server_tcp ... trace).
 //
 //   $ ./examples/check_client --port P [--host 127.0.0.1]
-//         [--requests N] [--library lib0] [--stats]
+//         [--requests N] [--library lib0] [--stats] [--metrics]
+//         [--trace [out.json]]
 //
 // The root cell id is recovered by regenerating the canonical fleet
 // chip locally (workload::fleetChip) — the same recipe the server
 // example registers, so no layout crosses the wire.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "net/client.hpp"
+#include "obs/trace.hpp"
 #include "workload/traffic.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +34,9 @@ int main(int argc, char** argv) {
   std::size_t requests = 8;
   std::string library = "lib0";
   bool wantStats = false;
+  bool wantMetrics = false;
+  bool wantTrace = false;
+  std::string traceOut;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--port" && i + 1 < argc)
@@ -39,10 +49,17 @@ int main(int argc, char** argv) {
       library = argv[++i];
     else if (a == "--stats")
       wantStats = true;
-    else {
+    else if (a == "--metrics")
+      wantMetrics = true;
+    else if (a == "--trace") {
+      wantTrace = true;
+      // Optional value: a path to write Chrome/Perfetto JSON to.
+      if (i + 1 < argc && argv[i + 1][0] != '-') traceOut = argv[++i];
+    } else {
       std::fprintf(stderr,
                    "usage: check_client --port P [--host H] [--requests N] "
-                   "[--library ID] [--stats]\n");
+                   "[--library ID] [--stats] [--metrics] "
+                   "[--trace [out.json]]\n");
       return 2;
     }
   }
@@ -99,6 +116,87 @@ int main(int argc, char** argv) {
     }
     std::printf("total: %zu served, %zu rejected over the wire\n",
                 st.totalServed(), st.totalRejected());
+    std::printf("\n%-12s %7s %7s %10s %9s\n", "library", "served", "reject",
+                "bytes", "p95-ms");
+    for (std::size_t s = 0; s < st.shards.size(); ++s) {
+      for (const server::LibraryHeat& h : st.shards[s].heat)
+        std::printf("%-12s %7zu %7zu %10llu %9.2f\n", h.id.c_str(), h.served,
+                    h.rejected, static_cast<unsigned long long>(h.bytes),
+                    h.p95Seconds * 1e3);
+    }
+  }
+
+  if (wantMetrics) {
+    obs::MetricsSnapshot snap;
+    if (!client.metrics(snap, &err)) {
+      std::fprintf(stderr, "check_client: metrics failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\n%zu metrics:\n", snap.metrics.size());
+    for (const obs::MetricValue& m : snap.metrics) {
+      switch (m.kind) {
+        case obs::MetricValue::Kind::kCounter:
+          std::printf("  %-40s counter  %llu\n", m.name.c_str(),
+                      static_cast<unsigned long long>(m.counter));
+          break;
+        case obs::MetricValue::Kind::kGauge:
+          std::printf("  %-40s gauge    %lld\n", m.name.c_str(),
+                      static_cast<long long>(m.gauge));
+          break;
+        case obs::MetricValue::Kind::kHistogram: {
+          std::uint64_t total = 0;
+          for (std::uint64_t c : m.buckets) total += c;
+          std::printf("  %-40s histo    %llu obs in %zu buckets\n",
+                      m.name.c_str(), static_cast<unsigned long long>(total),
+                      m.buckets.size());
+          break;
+        }
+      }
+    }
+  }
+
+  if (wantTrace) {
+    // One more request whose id we keep, so we can ask the server for
+    // exactly that request's span tree.
+    std::uint64_t id = 0;
+    const CheckResult r = client.submit(library, kinds[0], &id).get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "check_client: trace request failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+    std::vector<dic::obs::SpanRecord> spans;
+    if (!client.trace(id, spans, &err)) {
+      std::fprintf(stderr, "check_client: trace fetch failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    if (spans.empty()) {
+      std::fprintf(stderr,
+                   "check_client: no spans (is the server running with "
+                   "tracing on?)\n");
+      return 1;
+    }
+    std::vector<dic::obs::SpanRecord> byStart = spans;
+    std::sort(byStart.begin(), byStart.end(),
+              [](const auto& a, const auto& b) { return a.startNs < b.startNs; });
+    std::printf("\ntrace %llu: %zu spans\n",
+                static_cast<unsigned long long>(id), spans.size());
+    for (const auto& s : byStart)
+      std::printf("  %-24s %9.3f ms  (tid %u)\n",
+                  std::string(s.label()).c_str(), s.durNs / 1e6, s.tid);
+    if (!traceOut.empty()) {
+      const std::string json = obs::toChromeTraceJson(spans);
+      if (std::FILE* f = std::fopen(traceOut.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (load in ui.perfetto.dev)\n", traceOut.c_str());
+      } else {
+        std::fprintf(stderr, "check_client: cannot write %s\n",
+                     traceOut.c_str());
+        return 1;
+      }
+    }
   }
 
   const net::ClientTelemetry tel = client.telemetry();

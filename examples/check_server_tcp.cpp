@@ -15,8 +15,12 @@
 //
 //   $ ./examples/check_server_tcp [port] [libraries] [shards]
 //         [threadsPerShard] [queueCapacity] [block|reject]
+//         [trace|notrace] [slowMs]
 //
-// port 0 (the default) picks an ephemeral port.
+// port 0 (the default) picks an ephemeral port. "trace" flips the
+// runtime span-tracing flag on (so clients can fetch request traces with
+// check_client --trace); slowMs > 0 arms the slow-request stderr hook at
+// that end-to-end latency threshold.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "net/listener.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 #include "workload/traffic.hpp"
 
@@ -40,6 +45,9 @@ int main(int argc, char** argv) {
       argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 256;
   if (argc > 6 && std::strcmp(argv[6], "reject") == 0)
     sopts.overflow = server::OverflowPolicy::kReject;
+  const bool tracing = argc > 7 && std::strcmp(argv[7], "trace") == 0;
+  if (argc > 8) sopts.slowRequestSeconds = std::atof(argv[8]) / 1e3;
+  obs::Tracer::instance().setEnabled(tracing);
 
   server::Server srv(sopts);
   const tech::Technology t = tech::nmos();
@@ -56,11 +64,12 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   std::fprintf(stderr,
                "check_server_tcp: %zu libraries on %d shard(s) x %d "
-               "thread(s), queue %zu (%s); close stdin to drain\n",
+               "thread(s), queue %zu (%s)%s; close stdin to drain\n",
                libraries, srv.shardCount(), sopts.threadsPerShard,
                sopts.queueCapacity,
                sopts.overflow == server::OverflowPolicy::kReject ? "reject"
-                                                                 : "block");
+                                                                 : "block",
+               tracing ? ", tracing on" : "");
 
   // Serve until the controlling process closes our stdin.
   while (std::fgetc(stdin) != EOF) {

@@ -9,6 +9,7 @@
 #include "geom/spacing.hpp"
 #include "geom/width.hpp"
 #include "netlist/unionfind.hpp"
+#include "obs/trace.hpp"
 
 namespace dic::baseline {
 
@@ -90,6 +91,9 @@ report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
 
   std::vector<Region> mask(tech.layerCount());
   {
+    // The mask-union boolean sweep over every flat shape — one of the
+    // named kernel sections a request trace resolves down to.
+    obs::ScopedSpan sweepSpan("boolean.sweep");
     // Per-layer staging rects live in the thread's scratch arena: the
     // whole batch is reclaimed in one release when this block exits.
     engine::Arena& arena = engine::scratchArena();
@@ -126,6 +130,9 @@ report::Report check(engine::HierarchyView& view, const tech::Technology& tech,
   }
 
   if (opts.checkSpacing) {
+    // The whole component spacing walk (same-layer + inter-layer) as one
+    // span — chunky enough to matter, far above the per-pair hot loop.
+    obs::ScopedSpan walkSpan("spacing.walk");
     // Same-layer: expand-check-overlap between distinct mask components.
     // With no net information every close pair is flagged -- including
     // electrically equivalent ones (Fig. 5a false errors).

@@ -4,6 +4,7 @@
 
 #include "drc/stages.hpp"
 #include "geom/spacing.hpp"
+#include "obs/trace.hpp"
 
 namespace dic::drc {
 
@@ -289,6 +290,9 @@ report::Report checkInteractionsFlat(InteractionContext& ctx,
   std::vector<report::Report> chunkReps(nChunks);
   std::vector<InteractionStats> chunkStats(nChunks);
   const geom::Transform id = geom::identityTransform();
+  // The whole candidate-pair sweep as one kernel-section span (per-pair
+  // spans would swamp the hot loop; the chunked fan-out stays unmarked).
+  obs::ScopedSpan walkSpan("spacing.walk");
   exec.parallelFor(nChunks, [&](std::size_t c) {
     const std::size_t lo = shapes.size() * c / nChunks;
     const std::size_t hi = shapes.size() * (c + 1) / nChunks;

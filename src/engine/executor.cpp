@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/arena.hpp"
+#include "obs/trace.hpp"
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -46,10 +47,13 @@ Executor::ScopeId Executor::newScope() {
 }
 
 struct Executor::Pool {
-  /// A queued task plus its help-scope tag.
+  /// A queued task plus its help-scope tag and the submitter's trace
+  /// context — whoever runs the task (worker or scoped helper) adopts
+  /// the context so spans it emits parent under the submitter's span.
   struct Task {
     std::function<void()> fn;
     Executor::ScopeId scope{Executor::kAnyScope};
+    obs::TraceContext trace;
     explicit operator bool() const { return static_cast<bool>(fn); }
   };
 
@@ -179,6 +183,7 @@ struct Executor::Pool {
   /// tag.
   static void runTask(Task& task) {
     ScopeFrame frame(task.scope);
+    obs::ContextGuard trace(task.trace);
     task.fn();
     task.fn = nullptr;
   }
@@ -226,7 +231,7 @@ void Executor::submit(std::function<void()> task, ScopeId scope) {
     task();
     return;
   }
-  pool_->push({std::move(task), scope});
+  pool_->push({std::move(task), scope, obs::currentContext()});
 }
 
 void Executor::wake() {
@@ -333,7 +338,8 @@ void Executor::parallelFor(std::size_t n,
   // Chunks inherit the calling task's scope: a stage's inner fan-out
   // belongs to the stage's pipeline run, so that run's scoped helper may
   // pick the chunks up while a sibling run's helper may not.
-  for (std::size_t h = 0; h < helpers; ++h) pool_->push({body, tlScope});
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool_->push({body, tlScope, obs::currentContext()});
   body();  // the caller claims indices too — the loop never needs the pool
   {
     // Deliberate policy: during the loop tail (indices all claimed, a

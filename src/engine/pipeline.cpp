@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/arena.hpp"
+#include "obs/trace.hpp"
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -80,6 +81,10 @@ report::Report Pipeline::run(Executor& exec, FailurePolicy policy) {
       // running the stage's inner parallelFor chunks get the same
       // treatment per index inside the executor.
       ArenaScope scratch(scratchArena());
+      // The stage's span carries the stage name verbatim (the trace↔
+      // stage-graph consistency contract); Stage::traceId reroutes a
+      // per-request stage of a shared batch graph into its own trace.
+      obs::ScopedSpan span(stages_[i].name, stages_[i].traceId);
       reports[i] = stages_[i].run(exec);
     }
     const auto t1 = std::chrono::steady_clock::now();

@@ -39,6 +39,12 @@ struct Stage {
   /// stages — are not stuck behind cheap ones. A hint only: it never
   /// affects results, which are schedule-independent by construction.
   double cost{1.0};
+
+  /// Trace attribution (docs/observability.md): 0 inherits whatever
+  /// trace the dispatching thread is in; non-zero opens this stage's
+  /// span in that trace instead. Batch graphs set it per request so a
+  /// shared pipeline run splits cleanly into per-request span trees.
+  std::uint64_t traceId{0};
 };
 
 /// Timing and outcome of one stage. Each stage writes only its own

@@ -25,6 +25,16 @@ struct Client::StatsReply {
   std::promise<Data> promise;
 };
 
+struct Client::RawReply {
+  struct Data {
+    bool ok{false};
+    std::string error;
+    std::vector<std::uint8_t> payload;
+  };
+  FrameType expect{FrameType::kError};  ///< response type this wait matches
+  std::promise<Data> promise;
+};
+
 namespace {
 
 CheckResult makeErrorResult(CheckKind kind, layout::CellId root,
@@ -125,7 +135,9 @@ bool Client::sendFrame(const std::vector<std::uint8_t>& frame) {
 }
 
 std::future<CheckResult> Client::submit(std::string_view library,
-                                        CheckRequest req) {
+                                        CheckRequest req,
+                                        std::uint64_t* idOut) {
+  if (idOut) *idOut = 0;
   auto pc = std::make_unique<PendingCheck>();
   pc->kind = req.kind;
   pc->root = req.root;
@@ -148,6 +160,7 @@ std::future<CheckResult> Client::submit(std::string_view library,
       return fut;
     }
     const std::uint64_t id = nextId_++;
+    if (idOut) *idOut = id;
     if (opts_.requestTimeoutSeconds > 0) {
       pc->deadline = std::chrono::steady_clock::now() +
                      std::chrono::duration_cast<
@@ -214,6 +227,96 @@ bool Client::stats(server::ServerStats& out, std::string* err) {
   return true;
 }
 
+bool Client::rawRoundTrip(FrameType expect, std::vector<std::uint8_t> frame,
+                          std::uint64_t id,
+                          std::vector<std::uint8_t>& payloadOut,
+                          std::string* err) {
+  auto rr = std::make_unique<RawReply>();
+  rr->expect = expect;
+  std::future<RawReply::Data> fut = rr->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sock_.valid() || sockDead_) {
+      if (err) *err = kErrConnectionLost;
+      return false;
+    }
+    pendingRaw_.emplace(id, std::move(rr));
+  }
+  if (!sendFrame(frame)) {
+    if (err) *err = kErrConnectionLost;
+    return false;
+  }
+  if (opts_.requestTimeoutSeconds > 0) {
+    const auto status = fut.wait_for(
+        std::chrono::duration<double>(opts_.requestTimeoutSeconds));
+    if (status != std::future_status::ready) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pendingRaw_.erase(id);  // a late response frame is discarded
+        ++telemetry_.timeouts;
+      }
+      if (err) *err = kErrNetTimeout;
+      return false;
+    }
+  }
+  RawReply::Data d = fut.get();
+  if (!d.ok) {
+    if (err) *err = d.error;
+    return false;
+  }
+  payloadOut = std::move(d.payload);
+  return true;
+}
+
+bool Client::metrics(obs::MetricsSnapshot& out, std::string* err) {
+  std::string cerr;
+  if (!ensureConnected(&cerr)) {
+    if (err) *err = cerr;
+    return false;
+  }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = nextId_++;
+  }
+  std::vector<std::uint8_t> payload;
+  if (!rawRoundTrip(FrameType::kMetrics, encodeMetricsRequestFrame(id), id,
+                    payload, err))
+    return false;
+  std::string derr;
+  if (!decodeMetricsPayload(payload.data(), payload.size(), out, &derr)) {
+    if (err) *err = std::string(kErrNetProtocol) + ": " + derr;
+    return false;
+  }
+  return true;
+}
+
+bool Client::trace(std::uint64_t traceId, std::vector<obs::SpanRecord>& out,
+                   std::string* err) {
+  std::string cerr;
+  if (!ensureConnected(&cerr)) {
+    if (err) *err = cerr;
+    return false;
+  }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = nextId_++;
+  }
+  std::vector<std::uint8_t> payload;
+  if (!rawRoundTrip(FrameType::kTrace, encodeTraceRequestFrame(id, traceId),
+                    id, payload, err))
+    return false;
+  std::uint64_t echoed = 0;
+  std::string derr;
+  if (!decodeTracePayload(payload.data(), payload.size(), echoed, out,
+                          &derr)) {
+    if (err) *err = std::string(kErrNetProtocol) + ": " + derr;
+    return false;
+  }
+  return true;
+}
+
 ClientTelemetry Client::telemetry() const {
   std::lock_guard<std::mutex> lock(mu_);
   return telemetry_;
@@ -242,6 +345,7 @@ void Client::expireDeadlines() {
 void Client::failAllPending() {
   std::unordered_map<std::uint64_t, std::unique_ptr<PendingCheck>> checks;
   std::unordered_map<std::uint64_t, std::unique_ptr<StatsReply>> statsWaits;
+  std::unordered_map<std::uint64_t, std::unique_ptr<RawReply>> rawWaits;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (sock_.valid() && !sockDead_) {
@@ -255,6 +359,7 @@ void Client::failAllPending() {
     }
     checks.swap(pending_);
     statsWaits.swap(pendingStats_);
+    rawWaits.swap(pendingRaw_);
   }
   for (auto& [id, pc] : checks)
     pc->promise.set_value(
@@ -263,6 +368,10 @@ void Client::failAllPending() {
   lost.ok = false;
   lost.error = kErrConnectionLost;
   for (auto& [id, sr] : statsWaits) sr->promise.set_value(lost);
+  RawReply::Data rawLost;
+  rawLost.ok = false;
+  rawLost.error = kErrConnectionLost;
+  for (auto& [id, rr] : rawWaits) rr->promise.set_value(rawLost);
 }
 
 void Client::readerLoop() {
@@ -364,6 +473,28 @@ void Client::readerLoop() {
         if (sr) sr->promise.set_value(std::move(d));
         break;
       }
+      case FrameType::kTrace:
+      case FrameType::kMetrics: {
+        std::unique_ptr<RawReply> rr;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = pendingRaw_.find(h.requestId);
+          if (it != pendingRaw_.end() && it->second->expect == h.type) {
+            rr = std::move(it->second);
+            pendingRaw_.erase(it);
+          }
+        }
+        // No matching wait (expired, unknown, or a type mismatch): the
+        // frame is discarded like any other late response.
+        if (rr) {
+          RawReply::Data d;
+          d.ok = true;
+          d.payload = std::move(payload);
+          rr->promise.set_value(std::move(d));
+          payload.clear();
+        }
+        break;
+      }
       case FrameType::kError: {
         // The server is about to close the session; fail the offending
         // request now (the rest fail with kErrConnectionLost on EOF).
@@ -374,6 +505,7 @@ void Client::readerLoop() {
                         : std::string(kErrNetProtocol) + ": " + msg;
         std::unique_ptr<PendingCheck> pc;
         std::unique_ptr<StatsReply> sr;
+        std::unique_ptr<RawReply> rr;
         {
           std::lock_guard<std::mutex> lock(mu_);
           auto it = pending_.find(h.requestId);
@@ -386,6 +518,11 @@ void Client::readerLoop() {
             sr = std::move(st->second);
             pendingStats_.erase(st);
           }
+          auto rw = pendingRaw_.find(h.requestId);
+          if (rw != pendingRaw_.end()) {
+            rr = std::move(rw->second);
+            pendingRaw_.erase(rw);
+          }
         }
         if (pc)
           pc->promise.set_value(
@@ -394,6 +531,11 @@ void Client::readerLoop() {
           StatsReply::Data d;
           d.error = what;
           sr->promise.set_value(std::move(d));
+        }
+        if (rr) {
+          RawReply::Data d;
+          d.error = what;
+          rr->promise.set_value(std::move(d));
         }
         break;
       }

@@ -88,9 +88,12 @@ class Client {
   /// Send one check; the future completes when the response (or a
   /// failure) arrives. Never throws — connection failures surface as
   /// error-carrying CheckResults, exactly like server-level failures do
-  /// through server::Server::submit.
-  std::future<CheckResult> submit(std::string_view library,
-                                  CheckRequest req);
+  /// through server::Server::submit. When `idOut` is non-null it
+  /// receives the request id this submission went out under (0 on an
+  /// immediate connection failure) — the handle a later trace() call
+  /// uses to fetch the request's span tree.
+  std::future<CheckResult> submit(std::string_view library, CheckRequest req,
+                                  std::uint64_t* idOut = nullptr);
 
   /// Synchronous convenience: submit(...).get().
   CheckResult check(std::string_view library, CheckRequest req);
@@ -99,12 +102,25 @@ class Client {
   /// kStats). Blocks up to requestTimeoutSeconds (forever when 0).
   bool stats(server::ServerStats& out, std::string* err = nullptr);
 
+  /// Fetch a MetricsSnapshot over the wire (kMetricsRequest / kMetrics).
+  /// Same blocking contract as stats().
+  bool metrics(obs::MetricsSnapshot& out, std::string* err = nullptr);
+
+  /// Fetch one trace's spans over the wire (kTraceRequest / kTrace).
+  /// `traceId` is the request id a prior submit() reported through
+  /// `idOut` (the session roots the trace with it). An unknown or
+  /// already-evicted trace succeeds with an empty span list. Same
+  /// blocking contract as stats().
+  bool trace(std::uint64_t traceId, std::vector<obs::SpanRecord>& out,
+             std::string* err = nullptr);
+
   /// Counter snapshot.
   ClientTelemetry telemetry() const;
 
  private:
   struct PendingCheck;
   struct StatsReply;
+  struct RawReply;
 
   /// Lazily (re)connect; joins a dead reader thread first. False when
   /// closed, connection fails, or reconnect is disabled after a drop.
@@ -118,6 +134,11 @@ class Client {
   /// Complete pending checks whose deadline has passed (reader thread,
   /// on receive-timeout ticks).
   void expireDeadlines();
+  /// Send `frame` and block for the matching `expect`-typed response
+  /// payload (the shared machinery behind metrics() and trace()).
+  bool rawRoundTrip(FrameType expect, std::vector<std::uint8_t> frame,
+                    std::uint64_t id, std::vector<std::uint8_t>& payloadOut,
+                    std::string* err);
 
   ClientOptions opts_;
 
@@ -140,6 +161,7 @@ class Client {
   std::unordered_map<std::uint64_t, std::unique_ptr<PendingCheck>> pending_;
   std::unordered_map<std::uint64_t, std::unique_ptr<StatsReply>>
       pendingStats_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<RawReply>> pendingRaw_;
   ClientTelemetry telemetry_;
 };
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace dic::net {
 
 /// One TCP connection: a reader thread feeding the server, a writer
@@ -14,9 +16,11 @@ namespace dic::net {
 /// Listener's registry plus every in-flight completion callback — so a
 /// late-completing request can never dangle it.
 struct Listener::Session : std::enable_shared_from_this<Listener::Session> {
-  Session(server::Server& s, Socket so, std::size_t chunkViolations)
-      : srv(s), sock(std::move(so)), chunk(chunkViolations) {}
+  Session(Listener& l, server::Server& s, Socket so,
+          std::size_t chunkViolations)
+      : owner(l), srv(s), sock(std::move(so)), chunk(chunkViolations) {}
 
+  Listener& owner;  ///< outlives every session (shutdown joins them)
   server::Server& srv;
   Socket sock;
   std::size_t chunk;
@@ -102,11 +106,20 @@ struct Listener::Session : std::enable_shared_from_this<Listener::Session> {
       if (h.type == FrameType::kCheck) {
         std::string lib;
         CheckRequest req;
-        if (!decodeCheckPayload(payload.data(), payload.size(), lib, req,
-                                &err)) {
+        bool decoded;
+        {
+          // The trace's first span: decode cost, rooted directly in the
+          // request's trace (the wire request id IS the trace id).
+          obs::ScopedSpan decodeSpan("session.decode", h.requestId);
+          decoded =
+              decodeCheckPayload(payload.data(), payload.size(), lib, req,
+                                 &err);
+        }
+        if (!decoded) {
           protocolError(h.requestId, err);
           break;
         }
+        req.traceId = h.requestId;
         {
           std::lock_guard<std::mutex> lock(mu);
           ++inflight;
@@ -123,6 +136,31 @@ struct Listener::Session : std::enable_shared_from_this<Listener::Session> {
                         });
       } else if (h.type == FrameType::kStatsRequest) {
         enqueueRaw(encodeStatsFrame(h.requestId, srv.stats()));
+      } else if (h.type == FrameType::kTraceRequest) {
+        std::uint64_t traceId = 0;
+        if (!decodeTraceRequestPayload(payload.data(), payload.size(),
+                                       traceId, &err)) {
+          protocolError(h.requestId, err);
+          break;
+        }
+        enqueueRaw(encodeTraceFrame(h.requestId, traceId,
+                                    obs::Tracer::instance().collect(traceId)));
+      } else if (h.type == FrameType::kMetricsRequest) {
+        // Publish the network tier's own counters into the server's
+        // registry so one kMetrics frame carries the whole picture.
+        const ListenerStats ls = owner.stats();
+        obs::Registry& reg = srv.metrics();
+        reg.gauge("net.sessions_accepted")
+            .set(static_cast<std::int64_t>(ls.sessionsAccepted));
+        reg.gauge("net.sessions_open")
+            .set(static_cast<std::int64_t>(ls.sessionsOpen));
+        reg.gauge("net.frames_in")
+            .set(static_cast<std::int64_t>(ls.framesIn));
+        reg.gauge("net.frames_out")
+            .set(static_cast<std::int64_t>(ls.framesOut));
+        reg.gauge("net.malformed_sessions")
+            .set(static_cast<std::int64_t>(ls.malformedSessions));
+        enqueueRaw(encodeMetricsFrame(h.requestId, srv.metricsSnapshot()));
       } else {
         protocolError(h.requestId, "request frame type expected");
         break;
@@ -155,6 +193,9 @@ struct Listener::Session : std::enable_shared_from_this<Listener::Session> {
       if (dead.load(std::memory_order_relaxed)) continue;  // peer gone
       bool ok = true;
       if (o.isResult) {
+        // Close the request's trace with its write-back cost (the id of
+        // a TCP-served result doubles as its trace id).
+        obs::ScopedSpan writeSpan("reply.write", o.id);
         ResultFrameStream stream(o.id, o.result, chunk);
         std::vector<std::uint8_t> frame;
         while (ok && stream.next(frame)) {
@@ -198,7 +239,7 @@ void Listener::acceptLoop() {
     Socket s = acceptor_.accept();
     if (!s.valid()) break;  // shutdownListen or fatal error
     auto session = std::make_shared<Session>(
-        srv_, std::move(s), opts_.reportChunkViolations);
+        *this, srv_, std::move(s), opts_.reportChunkViolations);
     {
       std::lock_guard<std::mutex> lock(mu_);
       sessions_.push_back(session);

@@ -213,10 +213,10 @@ bool parseHeader(const std::uint8_t* buf, FrameHeader& out, std::string* err) {
   if (out.magic != kMagic) return fail(err, "bad magic");
   if (out.version != kVersion) return fail(err, "unsupported version");
   const bool known =
-      type == static_cast<std::uint8_t>(FrameType::kCheck) ||
-      type == static_cast<std::uint8_t>(FrameType::kStatsRequest) ||
+      (type >= static_cast<std::uint8_t>(FrameType::kCheck) &&
+       type <= static_cast<std::uint8_t>(FrameType::kMetricsRequest)) ||
       (type >= static_cast<std::uint8_t>(FrameType::kResult) &&
-       type <= static_cast<std::uint8_t>(FrameType::kError));
+       type <= static_cast<std::uint8_t>(FrameType::kMetrics));
   if (!known) return fail(err, "unknown frame type");
   out.type = static_cast<FrameType>(type);
   if (out.flags != 0) return fail(err, "nonzero reserved flags");
@@ -331,6 +331,29 @@ bool decodeCheckPayload(const std::uint8_t* p, std::size_t n,
 std::vector<std::uint8_t> encodeStatsRequestFrame(std::uint64_t requestId) {
   std::vector<std::uint8_t> frame;
   appendHeader(frame, FrameType::kStatsRequest, requestId, 0);
+  return frame;
+}
+
+std::vector<std::uint8_t> encodeTraceRequestFrame(std::uint64_t requestId,
+                                                  std::uint64_t traceId) {
+  std::vector<std::uint8_t> frame;
+  appendHeader(frame, FrameType::kTraceRequest, requestId, 8);
+  putU64(frame, traceId);
+  return frame;
+}
+
+bool decodeTraceRequestPayload(const std::uint8_t* p, std::size_t n,
+                               std::uint64_t& traceId, std::string* err) {
+  Reader rd{p, n};
+  traceId = rd.u64();
+  if (!rd.ok) return fail(err, "truncated trace request payload");
+  if (rd.n != 0) return fail(err, "trailing bytes in trace request payload");
+  return true;
+}
+
+std::vector<std::uint8_t> encodeMetricsRequestFrame(std::uint64_t requestId) {
+  std::vector<std::uint8_t> frame;
+  appendHeader(frame, FrameType::kMetricsRequest, requestId, 0);
   return frame;
 }
 
@@ -556,6 +579,14 @@ std::vector<std::uint8_t> encodeStatsFrame(std::uint64_t requestId,
     putF64(payload, s.meanQueueWaitSeconds);
     putF64(payload, s.meanServiceSeconds);
     putU64(payload, s.cacheBytes);
+    putU32(payload, static_cast<std::uint32_t>(s.heat.size()));
+    for (const server::LibraryHeat& h : s.heat) {
+      putStr(payload, h.id);
+      putU64(payload, h.served);
+      putU64(payload, h.rejected);
+      putU64(payload, h.bytes);
+      putF64(payload, h.p95Seconds);
+    }
   }
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderSize + payload.size());
@@ -569,7 +600,9 @@ bool decodeStatsPayload(const std::uint8_t* p, std::size_t n,
                         server::ServerStats& out, std::string* err) {
   Reader rd{p, n};
   const std::uint32_t count = rd.u32();
-  constexpr std::size_t kShardBytes = 7 * 8 + 4 * 8;
+  constexpr std::size_t kShardBytes = 7 * 8 + 4 * 8 + 4;
+  // One encoded LibraryHeat: empty-id string (4) + three u64 + one f64.
+  constexpr std::size_t kMinHeatBytes = 4 + 3 * 8 + 8;
   if (!rd.ok || rd.n / kShardBytes < count)
     return fail(err, "bad shard count");
   out.shards.clear();
@@ -587,10 +620,157 @@ bool decodeStatsPayload(const std::uint8_t* p, std::size_t n,
     s.meanQueueWaitSeconds = rd.f64();
     s.meanServiceSeconds = rd.f64();
     s.cacheBytes = rd.u64();
-    out.shards.push_back(s);
+    const std::uint32_t nHeat = rd.u32();
+    if (!rd.ok || rd.n / kMinHeatBytes < nHeat)
+      return fail(err, "bad heat count");
+    s.heat.reserve(nHeat);
+    for (std::uint32_t j = 0; j < nHeat; ++j) {
+      server::LibraryHeat h;
+      h.id = rd.str();
+      h.served = rd.u64();
+      h.rejected = rd.u64();
+      h.bytes = rd.u64();
+      h.p95Seconds = rd.f64();
+      s.heat.push_back(std::move(h));
+    }
+    out.shards.push_back(std::move(s));
   }
   if (!rd.ok) return fail(err, "truncated stats payload");
   if (rd.n != 0) return fail(err, "trailing bytes in stats payload");
+  return true;
+}
+
+// --- trace -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encodeTraceFrame(
+    std::uint64_t requestId, std::uint64_t traceId,
+    const std::vector<obs::SpanRecord>& spans) {
+  std::vector<std::uint8_t> payload;
+  putU64(payload, traceId);
+  putU32(payload, static_cast<std::uint32_t>(spans.size()));
+  for (const obs::SpanRecord& s : spans) {
+    putU64(payload, s.spanId);
+    putU64(payload, s.parentId);
+    putU64(payload, s.startNs);
+    putU64(payload, s.durNs);
+    putU32(payload, s.tid);
+    putStr(payload, s.label());
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  appendHeader(frame, FrameType::kTrace, requestId,
+               static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool decodeTracePayload(const std::uint8_t* p, std::size_t n,
+                        std::uint64_t& traceId,
+                        std::vector<obs::SpanRecord>& spans,
+                        std::string* err) {
+  Reader rd{p, n};
+  traceId = rd.u64();
+  const std::uint32_t count = rd.u32();
+  // One encoded span: four u64, one u32, one empty-name string.
+  constexpr std::size_t kMinSpanBytes = 4 * 8 + 4 + 4;
+  if (!rd.ok || rd.n / kMinSpanBytes < count)
+    return fail(err, "bad span count");
+  spans.clear();
+  spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::SpanRecord s;
+    s.traceId = traceId;
+    s.spanId = rd.u64();
+    s.parentId = rd.u64();
+    s.startNs = rd.u64();
+    s.durNs = rd.u64();
+    s.tid = rd.u32();
+    const std::string name = rd.str();
+    if (!rd.ok) return fail(err, "truncated span");
+    // Truncate into the fixed in-memory buffer exactly like emission does.
+    std::strncpy(s.name, name.c_str(), sizeof(s.name) - 1);
+    spans.push_back(s);
+  }
+  if (rd.n != 0) return fail(err, "trailing bytes in trace payload");
+  return true;
+}
+
+// --- metrics ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encodeMetricsFrame(std::uint64_t requestId,
+                                             const obs::MetricsSnapshot& snap) {
+  std::vector<std::uint8_t> payload;
+  putU32(payload, static_cast<std::uint32_t>(snap.metrics.size()));
+  for (const obs::MetricValue& m : snap.metrics) {
+    putStr(payload, m.name);
+    putU8(payload, static_cast<std::uint8_t>(m.kind));
+    switch (m.kind) {
+      case obs::MetricValue::Kind::kCounter:
+        putU64(payload, m.counter);
+        break;
+      case obs::MetricValue::Kind::kGauge:
+        putI64(payload, m.gauge);
+        break;
+      case obs::MetricValue::Kind::kHistogram:
+        putU32(payload, static_cast<std::uint32_t>(m.bounds.size()));
+        for (double b : m.bounds) putF64(payload, b);
+        // buckets has bounds.size() + 1 entries (overflow last); the
+        // count is implied by the bounds count.
+        for (std::uint64_t c : m.buckets) putU64(payload, c);
+        break;
+    }
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  appendHeader(frame, FrameType::kMetrics, requestId,
+               static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool decodeMetricsPayload(const std::uint8_t* p, std::size_t n,
+                          obs::MetricsSnapshot& out, std::string* err) {
+  Reader rd{p, n};
+  const std::uint32_t count = rd.u32();
+  // Smallest metric: empty name (4) + kind tag (1) + one u32 (a
+  // zero-bound histogram's bounds count) — counters/gauges are larger.
+  constexpr std::size_t kMinMetricBytes = 4 + 1 + 4;
+  if (!rd.ok || rd.n / kMinMetricBytes < count)
+    return fail(err, "bad metric count");
+  out.metrics.clear();
+  out.metrics.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::MetricValue m;
+    m.name = rd.str();
+    m.kind = static_cast<obs::MetricValue::Kind>(rd.u8Max(
+        static_cast<std::uint8_t>(obs::MetricValue::Kind::kHistogram)));
+    if (!rd.ok) return fail(err, "truncated metric");
+    switch (m.kind) {
+      case obs::MetricValue::Kind::kCounter:
+        m.counter = rd.u64();
+        break;
+      case obs::MetricValue::Kind::kGauge:
+        m.gauge = rd.i64();
+        break;
+      case obs::MetricValue::Kind::kHistogram: {
+        const std::uint32_t nBounds = rd.u32();
+        // Each bound costs 8 bytes and implies an 8-byte bucket, plus
+        // the 8-byte overflow bucket.
+        if (!rd.ok || rd.n / 16 < nBounds)
+          return fail(err, "bad histogram bound count");
+        m.bounds.reserve(nBounds);
+        for (std::uint32_t j = 0; j < nBounds; ++j)
+          m.bounds.push_back(rd.f64());
+        m.buckets.reserve(nBounds + 1);
+        for (std::uint32_t j = 0; j < nBounds + 1; ++j)
+          m.buckets.push_back(rd.u64());
+        break;
+      }
+    }
+    if (!rd.ok) return fail(err, "truncated metric value");
+    out.metrics.push_back(std::move(m));
+  }
+  if (rd.n != 0) return fail(err, "trailing bytes in metrics payload");
   return true;
 }
 

@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 #include "service/workspace.hpp"
 
@@ -46,8 +48,10 @@ namespace dic::net {
 inline constexpr std::uint32_t kMagic = 0x4E434944u;
 /// Protocol version. The rule is strict equality: a session speaking a
 /// different version is closed at the first frame (no negotiation —
-/// clients and servers deploy together in this tier).
-inline constexpr std::uint8_t kVersion = 1;
+/// clients and servers deploy together in this tier). Version 2 added
+/// the kTraceRequest/kTrace and kMetricsRequest/kMetrics frame pairs and
+/// per-library heat in the kStats payload.
+inline constexpr std::uint8_t kVersion = 2;
 /// Bytes in the fixed frame header.
 inline constexpr std::size_t kHeaderSize = 20;
 /// Hard cap on a frame's declared payload length. A header declaring
@@ -61,14 +65,18 @@ inline constexpr std::size_t kDefaultReportChunk = 1024;
 /// Frame types. Requests (client to server) are low values, responses
 /// (server to client) start at 16.
 enum class FrameType : std::uint8_t {
-  kCheck = 1,         ///< payload: library id + CheckRequest
-  kStatsRequest = 2,  ///< payload: empty; asks for a ServerStats snapshot
-  kResult = 16,       ///< payload: result envelope + full violation list
-  kReportPart = 17,   ///< payload: a slice of a streamed violation list
-  kReportEnd = 18,    ///< payload: result envelope closing a stream
-  kRejected = 19,     ///< payload: result envelope; backpressure turndown
-  kStats = 20,        ///< payload: ServerStats snapshot
-  kError = 21,        ///< payload: message; protocol-level failure
+  kCheck = 1,           ///< payload: library id + CheckRequest
+  kStatsRequest = 2,    ///< payload: empty; asks for a ServerStats snapshot
+  kTraceRequest = 3,    ///< payload: u64 trace id; asks for that trace's spans
+  kMetricsRequest = 4,  ///< payload: empty; asks for a MetricsSnapshot
+  kResult = 16,         ///< payload: result envelope + full violation list
+  kReportPart = 17,     ///< payload: a slice of a streamed violation list
+  kReportEnd = 18,      ///< payload: result envelope closing a stream
+  kRejected = 19,       ///< payload: result envelope; backpressure turndown
+  kStats = 20,          ///< payload: ServerStats snapshot
+  kError = 21,          ///< payload: message; protocol-level failure
+  kTrace = 22,          ///< payload: one trace's SpanRecord list
+  kMetrics = 23,        ///< payload: MetricsSnapshot
 };
 
 /// A parsed frame header.
@@ -111,6 +119,20 @@ bool decodeCheckPayload(const std::uint8_t* p, std::size_t n,
 /// One complete kStatsRequest frame (empty payload).
 std::vector<std::uint8_t> encodeStatsRequestFrame(std::uint64_t requestId);
 
+/// One complete kTraceRequest frame. `traceId` names the trace to fetch —
+/// for TCP-served checks that is the request id the client chose for the
+/// kCheck frame (the session roots the request's trace with it).
+std::vector<std::uint8_t> encodeTraceRequestFrame(std::uint64_t requestId,
+                                                  std::uint64_t traceId);
+
+/// Decode a kTraceRequest payload (one u64 trace id).
+bool decodeTraceRequestPayload(const std::uint8_t* p, std::size_t n,
+                               std::uint64_t& traceId,
+                               std::string* err = nullptr);
+
+/// One complete kMetricsRequest frame (empty payload).
+std::vector<std::uint8_t> encodeMetricsRequestFrame(std::uint64_t requestId);
+
 // --- response side ---------------------------------------------------------
 
 /// One complete kStats frame.
@@ -120,6 +142,33 @@ std::vector<std::uint8_t> encodeStatsFrame(std::uint64_t requestId,
 /// Decode a kStats payload.
 bool decodeStatsPayload(const std::uint8_t* p, std::size_t n,
                         server::ServerStats& out, std::string* err = nullptr);
+
+/// One complete kTrace frame: the trace id followed by its spans (the
+/// server's Tracer::collect output, arrival order preserved). Span names
+/// cross the wire as length-prefixed strings, not the fixed in-memory
+/// buffer, so the payload carries no padding bytes.
+std::vector<std::uint8_t> encodeTraceFrame(std::uint64_t requestId,
+                                           std::uint64_t traceId,
+                                           const std::vector<obs::SpanRecord>& spans);
+
+/// Decode a kTrace payload. False on any malformed byte.
+bool decodeTracePayload(const std::uint8_t* p, std::size_t n,
+                        std::uint64_t& traceId,
+                        std::vector<obs::SpanRecord>& spans,
+                        std::string* err = nullptr);
+
+/// One complete kMetrics frame: every metric of the snapshot in its
+/// (name-sorted) order, each as name + kind tag + kind-specific value.
+/// Encoding a snapshot twice after identical deterministic work yields
+/// byte-identical frames for the counter/gauge subset.
+std::vector<std::uint8_t> encodeMetricsFrame(std::uint64_t requestId,
+                                             const obs::MetricsSnapshot& snap);
+
+/// Decode a kMetrics payload. False on any malformed byte (unknown kind
+/// tag, count bomb, truncation, trailing bytes).
+bool decodeMetricsPayload(const std::uint8_t* p, std::size_t n,
+                          obs::MetricsSnapshot& out,
+                          std::string* err = nullptr);
 
 /// One complete kError frame (protocol-level failure description).
 std::vector<std::uint8_t> encodeErrorFrame(std::uint64_t requestId,

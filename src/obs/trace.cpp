@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dic {
+namespace obs {
+
+namespace {
+
+/// Process-local monotonic epoch: the first call pins it, every
+/// timestamp is an offset from it (keeps the numbers small and the
+/// Chrome export starting near 0).
+std::chrono::steady_clock::time_point processEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<std::uint64_t> gNextSpanId{1};
+std::atomic<std::uint64_t> gNextTraceId{1};
+std::atomic<std::uint32_t> gNextTid{1};
+
+}  // namespace
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - processEpoch())
+          .count());
+}
+
+std::uint64_t newTraceId() {
+  return (std::uint64_t{1} << 63) |
+         gNextTraceId.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::setEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::setCapacity(std::size_t spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = spans == 0 ? 1 : spans;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  retained_.clear();
+  retainOrder_.clear();
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::sink(const SpanRecord* first, std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(first[i]);
+    } else {
+      ring_[head_] = first[i];
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::collect(std::uint64_t traceId) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retained_.find(traceId);
+  if (it != retained_.end()) return it->second;
+  std::vector<SpanRecord> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const SpanRecord& r = ring_[(head_ + i) % ring_.size()];
+    if (r.traceId == traceId) out.push_back(r);
+  }
+  return out;
+}
+
+void Tracer::retain(std::uint64_t traceId) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> spans;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const SpanRecord& r = ring_[(head_ + i) % ring_.size()];
+    if (r.traceId == traceId) spans.push_back(r);
+  }
+  if (spans.empty()) return;
+  if (retained_.find(traceId) == retained_.end()) {
+    while (retainOrder_.size() >= kMaxRetained) {
+      retained_.erase(retainOrder_.front());
+      retainOrder_.erase(retainOrder_.begin());
+    }
+    retainOrder_.push_back(traceId);
+  }
+  retained_[traceId] = std::move(spans);
+}
+
+std::string toChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[320];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    // Span names are internal identifiers ([A-Za-z0-9:._]) — no JSON
+    // escaping needed; ids go in args as decimal strings because JSON
+    // numbers are doubles.
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"name\":\"%s\",\"cat\":\"dic\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%" PRIu32 ",\"ts\":%.3f,\"dur\":%.3f,\"args\":{"
+        "\"trace\":\"%" PRIu64 "\",\"span\":\"%" PRIu64
+        "\",\"parent\":\"%" PRIu64 "\"}}",
+        i == 0 ? "" : ",", s.name, s.tid, static_cast<double>(s.startNs) / 1e3,
+        static_cast<double>(s.durNs) / 1e3, s.traceId, s.spanId, s.parentId);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+#if DIC_TRACING_ENABLED
+
+namespace {
+
+/// Per-thread span machinery: the ambient context, the staging buffer,
+/// and the open-span depth that decides when to flush. Purely
+/// thread-local — no other thread ever reads it, which is what keeps
+/// emission TSan-clean without atomics on the hot path.
+struct ThreadLog {
+  TraceContext ctx;
+  std::vector<SpanRecord> staging;
+  int depth{0};
+  std::uint32_t tid{gNextTid.fetch_add(1, std::memory_order_relaxed)};
+
+  /// Staging flushes when it grows past this even mid-request, bounding
+  /// per-thread memory under pathological nesting.
+  static constexpr std::size_t kFlushAt = 256;
+
+  void flush() {
+    if (staging.empty()) return;
+    Tracer::instance().sink(staging.data(), staging.size());
+    staging.clear();
+  }
+
+  void emit(const SpanRecord& rec) {
+    staging.push_back(rec);
+    if (depth == 0 || staging.size() >= kFlushAt) flush();
+  }
+};
+
+ThreadLog& threadLog() {
+  thread_local ThreadLog log;
+  return log;
+}
+
+void fillName(SpanRecord& rec, std::string_view name) {
+  const std::size_t n = std::min(name.size(), sizeof rec.name - 1);
+  std::memcpy(rec.name, name.data(), n);
+  rec.name[n] = '\0';
+}
+
+}  // namespace
+
+TraceContext currentContext() { return threadLog().ctx; }
+
+void setCurrentContext(const TraceContext& ctx) { threadLog().ctx = ctx; }
+
+ContextGuard::ContextGuard(const TraceContext& ctx) {
+  ThreadLog& log = threadLog();
+  prev_ = log.ctx;
+  log.ctx = ctx;
+}
+
+ContextGuard::~ContextGuard() { threadLog().ctx = prev_; }
+
+ScopedSpan::ScopedSpan(std::string_view name) { open(name, 0); }
+
+ScopedSpan::ScopedSpan(std::string_view name, std::uint64_t traceId) {
+  open(name, traceId);
+}
+
+void ScopedSpan::open(std::string_view name, std::uint64_t traceId) {
+  if (!Tracer::instance().enabled()) return;
+  ThreadLog& log = threadLog();
+  const std::uint64_t trace = traceId != 0 ? traceId : log.ctx.traceId;
+  if (trace == 0) return;  // outside any trace: nothing to attribute to
+  active_ = true;
+  prev_ = log.ctx;
+  rec_.traceId = trace;
+  rec_.spanId = gNextSpanId.fetch_add(1, std::memory_order_relaxed);
+  // A span that switches trace (per-request pipeline stage running under
+  // a batch coordinator) roots itself; one continuing the ambient trace
+  // nests under the ambient span.
+  rec_.parentId = prev_.traceId == trace ? prev_.spanId : 0;
+  rec_.tid = log.tid;
+  fillName(rec_, name);
+  log.ctx = {trace, rec_.spanId};
+  ++log.depth;
+  rec_.startNs = nowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  rec_.durNs = nowNs() - rec_.startNs;
+  ThreadLog& log = threadLog();
+  log.ctx = prev_;
+  --log.depth;
+  log.emit(rec_);
+}
+
+void emitSpan(std::string_view name, std::uint64_t startNs,
+              std::uint64_t durNs) {
+  if (!Tracer::instance().enabled()) return;
+  ThreadLog& log = threadLog();
+  if (log.ctx.traceId == 0) return;
+  SpanRecord rec;
+  rec.traceId = log.ctx.traceId;
+  rec.spanId = gNextSpanId.fetch_add(1, std::memory_order_relaxed);
+  rec.parentId = log.ctx.spanId;
+  rec.startNs = startNs;
+  rec.durNs = durNs;
+  rec.tid = log.tid;
+  fillName(rec, name);
+  log.emit(rec);
+}
+
+#endif  // DIC_TRACING_ENABLED
+
+}  // namespace obs
+}  // namespace dic

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <map>
 #include <thread>
 
+#include "engine/arena.hpp"
+#include "obs/trace.hpp"
 #include "server/queue.hpp"
 
 namespace dic {
@@ -40,6 +44,30 @@ std::vector<CheckResult> errorResults(const std::vector<CheckRequest>& reqs,
 /// of the most recent jobs, so long-running servers report current — not
 /// lifetime-averaged — tails without unbounded storage.
 constexpr std::size_t kLatencyWindow = 1024;
+
+/// Per-library latency ring depth (LibraryHeat::p95Seconds). Smaller
+/// than the shard ring: many libraries share one shard.
+constexpr std::size_t kHeatLatencyWindow = 256;
+
+/// Approximate serialized size of one result — what LibraryHeat::bytes
+/// accumulates. Mirrors the wire envelope's shape (fixed fields plus the
+/// variable strings) without paying for an actual encode; deterministic
+/// for deterministic results, which is what makes the heat counters
+/// byte-stable over the kMetrics frame.
+std::uint64_t approxResultBytes(const CheckResult& r) {
+  std::uint64_t b = 64 + r.error.size() + r.tag.size();
+  for (const report::Violation& v : r.report.violations())
+    b += 44 + v.rule.size() + v.cell.size() + v.message.size();
+  return b;
+}
+
+double p95Of(std::vector<double> lat) {
+  if (lat.empty()) return 0;
+  std::sort(lat.begin(), lat.end());
+  return lat[std::min(lat.size() - 1,
+                      static_cast<std::size_t>(
+                          static_cast<double>(lat.size()) * 0.95))];
+}
 
 }  // namespace
 
@@ -93,8 +121,21 @@ struct Server::Shard {
   BoundedQueue<Job> queue;
   std::thread thread;  ///< the serving thread (drives Workspaces serially)
 
+  /// Per-library heat bookkeeping. The monotonic counters live in the
+  /// server's metrics registry (named "library.<id>.*") and are cached
+  /// here as pointers so the hot path is a relaxed add, not a map
+  /// lookup; the latency ring is shard-local under mu.
+  struct Heat {
+    obs::Counter* served{nullptr};
+    obs::Counter* rejected{nullptr};
+    obs::Counter* bytes{nullptr};
+    std::vector<double> latency;  ///< end-to-end ring, kHeatLatencyWindow
+    std::size_t latencyNext{0};
+  };
+
   mutable std::mutex mu;  ///< guards workspaces + the counters below
   std::map<LibraryId, std::shared_ptr<Workspace>> workspaces;
+  std::map<LibraryId, Heat> heat;  ///< survives dropLibrary (history)
   std::size_t submitted{0};
   std::size_t served{0};
   std::size_t rejected{0};
@@ -104,6 +145,20 @@ struct Server::Shard {
   std::size_t jobCount{0};
   std::vector<double> latency;  ///< end-to-end ring, kLatencyWindow deep
   std::size_t latencyNext{0};
+
+  /// Find-or-create a library's heat slot (call with mu held); the
+  /// registry counters are resolved once and cached.
+  Heat& heatFor(obs::Registry& reg, const LibraryId& id) {
+    auto it = heat.find(id);
+    if (it == heat.end()) {
+      Heat h;
+      h.served = &reg.counter("library." + id + ".served");
+      h.rejected = &reg.counter("library." + id + ".rejected");
+      h.bytes = &reg.counter("library." + id + ".bytes");
+      it = heat.emplace(id, std::move(h)).first;
+    }
+    return it->second;
+  }
 };
 
 Server::Server(ServerOptions options) : opts_(options) {
@@ -186,6 +241,8 @@ std::future<CheckResult> Server::submit(const LibraryId& id,
       break;
     case PushResult::kFull:
       ++s.rejected;
+      s.heatFor(metrics_, id).rejected->add(1);
+      metrics_.counter("server.rejected").add(1);
       job.fail(kErrQueueFull);
       break;
     case PushResult::kClosed:
@@ -223,6 +280,8 @@ void Server::submitAsync(const LibraryId& id, CheckRequest req,
       {
         std::lock_guard<std::mutex> lock(s.mu);
         ++s.rejected;
+        s.heatFor(metrics_, id).rejected->add(1);
+        metrics_.counter("server.rejected").add(1);
       }
       job.fail(kErrQueueFull);
       break;
@@ -261,6 +320,8 @@ std::future<std::vector<CheckResult>> Server::submitBatch(
       break;
     case PushResult::kFull:
       s.rejected += n;
+      s.heatFor(metrics_, id).rejected->add(n);
+      metrics_.counter("server.rejected").add(n);
       job.fail(kErrQueueFull);
       break;
     case PushResult::kClosed:
@@ -271,6 +332,10 @@ std::future<std::vector<CheckResult>> Server::submitBatch(
 }
 
 void Server::serveLoop(Shard& shard) {
+  obs::Counter& cServed = metrics_.counter("server.served");
+  obs::Counter& cFailed = metrics_.counter("server.failed");
+  obs::Histogram& hService = metrics_.histogram("server.service_seconds");
+  obs::Histogram& hWait = metrics_.histogram("server.queue_wait_seconds");
   Job job;
   while (shard.queue.pop(job)) {
     const Clock::time_point t0 = Clock::now();
@@ -286,32 +351,88 @@ void Server::serveLoop(Shard& shard) {
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.failed += n;
       }
+      cFailed.add(n);
       job.fail(kErrLibraryNotFound);
       continue;
     }
+    const double wait = secondsBetween(job.enqueued, t0);
+    // The queue-wait span: measured by timestamps (the wait already
+    // happened), emitted under the request's trace so the exported
+    // timeline shows intake → queue → service as one chain. Batches
+    // attribute it to their first request's trace.
+    const std::uint64_t traceId = job.reqs.front().traceId;
+    if (traceId != 0 && obs::Tracer::instance().enabled()) {
+      obs::ContextGuard guard(obs::TraceContext{traceId, 0});
+      const auto waitNs = static_cast<std::uint64_t>(wait * 1e9);
+      obs::emitSpan("queue.wait", obs::nowNs() - waitNs, waitNs);
+    }
     std::vector<CheckResult> batchOut;
     CheckResult singleOut;
-    if (job.isBatch)
+    std::uint64_t bytes = 0;
+    if (job.isBatch) {
       batchOut = ws->runBatch(job.reqs);
-    else
+      for (const CheckResult& r : batchOut) bytes += approxResultBytes(r);
+    } else {
       singleOut = ws->run(job.reqs.front());
+      bytes = approxResultBytes(singleOut);
+    }
     const Clock::time_point t1 = Clock::now();
+    const double service = secondsBetween(t0, t1);
+    const double total = secondsBetween(job.enqueued, t1);
     {
       // Stats are recorded *before* the promise resolves, so a client
       // that just observed its result never reads a served count that
       // hasn't caught up with it yet.
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.served += n;
-      shard.sumQueueWait += secondsBetween(job.enqueued, t0);
-      shard.sumService += secondsBetween(t0, t1);
+      shard.sumQueueWait += wait;
+      shard.sumService += service;
       ++shard.jobCount;
-      const double total = secondsBetween(job.enqueued, t1);
       if (shard.latency.size() < kLatencyWindow) {
         shard.latency.push_back(total);
       } else {
         shard.latency[shard.latencyNext] = total;
         shard.latencyNext = (shard.latencyNext + 1) % kLatencyWindow;
       }
+      Shard::Heat& heat = shard.heatFor(metrics_, job.lib);
+      heat.served->add(n);
+      heat.bytes->add(bytes);
+      if (heat.latency.size() < kHeatLatencyWindow) {
+        heat.latency.push_back(total);
+      } else {
+        heat.latency[heat.latencyNext] = total;
+        heat.latencyNext = (heat.latencyNext + 1) % kHeatLatencyWindow;
+      }
+    }
+    cServed.add(n);
+    hService.observe(service);
+    hWait.observe(wait);
+    // The slow-request hook: one stderr line plus span retention (the
+    // trace survives ring churn for a later --trace fetch). Off unless
+    // ServerOptions::slowRequestSeconds is set.
+    if (opts_.slowRequestSeconds > 0 && total >= opts_.slowRequestSeconds) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      std::string top;
+      if (traceId != 0 && tracer.enabled()) {
+        tracer.retain(traceId);
+        std::vector<obs::SpanRecord> spans = tracer.collect(traceId);
+        std::sort(spans.begin(), spans.end(),
+                  [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+                    return a.durNs > b.durNs;
+                  });
+        char buf[96];
+        for (std::size_t i = 0; i < spans.size() && i < 3; ++i) {
+          std::snprintf(buf, sizeof buf, " %s=%.3fms", spans[i].name,
+                        static_cast<double>(spans[i].durNs) / 1e6);
+          top += buf;
+        }
+      }
+      std::fprintf(stderr,
+                   "dic-server: slow request id=%" PRIu64
+                   " lib=%s kind=%s wait=%.3fms service=%.3fms top:%s\n",
+                   traceId, job.lib.c_str(),
+                   toString(job.reqs.front().kind).c_str(), wait * 1e3,
+                   service * 1e3, top.empty() ? " (no spans)" : top.c_str());
     }
     if (job.isBatch)
       job.batch.set_value(std::move(batchOut));
@@ -362,6 +483,18 @@ ServerStats Server::stats() const {
         (void)id;
         st.cacheBytes += ws->cacheStats().cacheBytes;
       }
+      // Per-library heat: counters straight from the registry-backed
+      // slots, p95 from each library's own recent-latency ring. The map
+      // iterates in id order, so the vector is already sorted.
+      for (const auto& [id, h] : s.heat) {
+        LibraryHeat lh;
+        lh.id = id;
+        lh.served = h.served->value();
+        lh.rejected = h.rejected->value();
+        lh.bytes = h.bytes->value();
+        lh.p95Seconds = p95Of(h.latency);
+        st.heat.push_back(std::move(lh));
+      }
     }
     if (!lat.empty()) {
       std::sort(lat.begin(), lat.end());
@@ -374,6 +507,45 @@ ServerStats Server::stats() const {
     out.shards.push_back(std::move(st));
   }
   return out;
+}
+
+obs::MetricsSnapshot Server::metricsSnapshot() const {
+  // Live counters ("server.served", "library.<id>.*", the latency
+  // histograms) are already current; snapshot-style state is republished
+  // as gauges here so one frame carries both.
+  std::size_t queueDepth = 0;
+  std::size_t libraries = 0;
+  Workspace::CacheStats agg;
+  for (const auto& sp : shards_) {
+    queueDepth += sp->queue.size();
+    std::lock_guard<std::mutex> lock(sp->mu);
+    libraries += sp->workspaces.size();
+    for (const auto& [id, ws] : sp->workspaces) {
+      (void)id;
+      const Workspace::CacheStats cs = ws->cacheStats();
+      agg.viewHits += cs.viewHits;
+      agg.viewMisses += cs.viewMisses;
+      agg.viewEvictions += cs.viewEvictions;
+      agg.lruEvictions += cs.lruEvictions;
+      agg.netlistHits += cs.netlistHits;
+      agg.cachedViews += cs.cachedViews;
+      agg.cacheBytes += cs.cacheBytes;
+    }
+  }
+  const auto setGauge = [this](const char* name, std::size_t v) {
+    metrics_.gauge(name).set(static_cast<std::int64_t>(v));
+  };
+  setGauge("server.queue_depth", queueDepth);
+  setGauge("server.libraries", libraries);
+  setGauge("cache.view_hits", agg.viewHits);
+  setGauge("cache.view_misses", agg.viewMisses);
+  setGauge("cache.view_evictions", agg.viewEvictions);
+  setGauge("cache.lru_evictions", agg.lruEvictions);
+  setGauge("cache.netlist_hits", agg.netlistHits);
+  setGauge("cache.views", agg.cachedViews);
+  setGauge("cache.bytes", agg.cacheBytes);
+  setGauge("cache.scratch_bytes", engine::Arena::totalReservedBytes());
+  return metrics_.snapshot();
 }
 
 }  // namespace server

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/workspace.hpp"
 
 namespace dic {
@@ -77,6 +78,25 @@ struct ServerOptions {
   /// (WorkspaceOptions::maxCacheBytes; 0 = unbounded). The knob that
   /// keeps long-running shards' memory flat.
   std::size_t maxCacheBytesPerLibrary{0};
+  /// Slow-request hook threshold, seconds of end-to-end latency (queue
+  /// wait + service). A job at or above it gets one stderr log line
+  /// (request/trace id, library, wait/service split, top-3 spans) and
+  /// its trace retained past ring churn (obs::Tracer::retain). 0 (the
+  /// default) disables the hook entirely.
+  double slowRequestSeconds{0};
+};
+
+/// Per-library serving heat — the direct input to hot-shard replication
+/// decisions (ROADMAP): who is hot, how hot, and what their tail looks
+/// like. served/rejected/bytes are monotonic counters mirrored in the
+/// server's metrics registry ("library.<id>.*"); p95 comes from a
+/// per-library ring of recent end-to-end latencies.
+struct LibraryHeat {
+  LibraryId id;               ///< the library
+  std::size_t served{0};      ///< requests completed for this library
+  std::size_t rejected{0};    ///< requests refused with kErrQueueFull
+  std::uint64_t bytes{0};     ///< approx. serialized result bytes served
+  double p95Seconds{0};       ///< tail end-to-end latency (recent window)
 };
 
 /// One shard's observability snapshot.
@@ -96,6 +116,8 @@ struct ShardStats {
   double meanQueueWaitSeconds{0};  ///< mean time jobs sat queued
   double meanServiceSeconds{0};    ///< mean time jobs spent being served
   std::size_t cacheBytes{0};    ///< accounted view-cache bytes, all libraries
+  /// Per-library heat on this shard, sorted by library id.
+  std::vector<LibraryHeat> heat;
 };
 
 /// Whole-server snapshot (per shard plus totals).
@@ -221,10 +243,23 @@ class Server {
   void shutdown();
 
   /// Observability snapshot: queue depths, served/rejected counts,
-  /// p50/p95 end-to-end latency, queue-wait vs service split, and
-  /// accounted cache bytes, per shard. Callable any time, including
-  /// after shutdown (counters freeze at their final values).
+  /// p50/p95 end-to-end latency, queue-wait vs service split, accounted
+  /// cache bytes, and per-library heat, per shard. Callable any time,
+  /// including after shutdown (counters freeze at their final values).
   ServerStats stats() const;
+
+  /// The server's metrics registry. Hot-path counters ("server.*",
+  /// "library.<id>.*") and latency histograms update live; the listener
+  /// publishes its own stats here too. Exposed so embedders can add
+  /// their own metrics alongside.
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Registry capture for the kMetrics wire frame: refreshes the
+  /// snapshot-style gauges (queue depth, cache bytes, cache hit
+  /// counters) from live state, then returns metrics().snapshot() —
+  /// name-sorted, so counter-only subsets (the per-library heat) are
+  /// byte-stable across identical runs.
+  obs::MetricsSnapshot metricsSnapshot() const;
 
  private:
   struct Shard;
@@ -237,6 +272,7 @@ class Server {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> accepting_{true};
   std::once_flag shutdownOnce_;
+  mutable obs::Registry metrics_;  ///< live counters + snapshot gauges
 };
 
 }  // namespace server

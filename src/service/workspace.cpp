@@ -7,6 +7,7 @@
 
 #include "engine/arena.hpp"
 #include "engine/pipeline.hpp"
+#include "obs/trace.hpp"
 
 namespace dic {
 
@@ -155,6 +156,9 @@ void Workspace::applyEdits(const std::vector<EditOp>& edits) {
 }
 
 bool Workspace::tryPatch(Entry& e, const std::vector<layout::CellEdit>& edits) {
+  // Kernel section span: the in-place patch path is one of the hot
+  // incremental-serving kernels the trace view attributes time to.
+  obs::ScopedSpan patchSpan("view.patch");
   // Fast-path admission: element-content edits on composite cells with
   // the layer unchanged. (Structural edits never reach here — they clear
   // the library's edit log, so editsSince already returned nullopt.)
@@ -179,6 +183,7 @@ bool Workspace::tryPatch(Entry& e, const std::vector<layout::CellEdit>& edits) {
   std::vector<std::size_t> flatIdx;
   std::vector<std::vector<std::size_t>> oldEdges;
   if (probed) {
+    obs::ScopedSpan probeSpan("netlist.probe");
     for (const auto& [cell, idx] : slots) {
       const std::vector<std::size_t> ks = e.view->flatSlotsOf(false, cell, idx);
       flatIdx.insert(flatIdx.end(), ks.begin(), ks.end());
@@ -197,6 +202,7 @@ bool Workspace::tryPatch(Entry& e, const std::vector<layout::CellEdit>& edits) {
   for (const layout::CellEdit& ed : edits)
     if (ed.oldElement.net != ed.newElement.net) netKept = false;
   if (netKept) {
+    obs::ScopedSpan probeSpan("netlist.probe");
     for (std::size_t k = 0; k < flatIdx.size() && netKept; ++k)
       if (netlist::probeElementEdges(*e.view, tech_, flatIdx[k]) !=
           oldEdges[k])
@@ -310,6 +316,7 @@ std::shared_ptr<const netlist::Netlist> Workspace::netlistFor(
     if (e.netlist && e.nlOpts == opts) {
       hit = true;
     } else {
+      obs::ScopedSpan extractSpan("netlist.extract");
       e.netlist = std::make_shared<const netlist::Netlist>(
           netlist::extract(*e.view, tech_, exec, opts));
       e.nlOpts = opts;
@@ -333,13 +340,20 @@ CheckResult Workspace::serve(const CheckRequest& req, engine::Executor& exec) {
   r.tag = req.tag;
   std::shared_ptr<Entry> entry;
   const auto t0 = std::chrono::steady_clock::now();
+  // The request's service-side root span: everything below (view
+  // acquisition, the check's pipeline stages, kernel sections) nests
+  // under it, attributed to req.traceId (or the ambient trace).
+  obs::ScopedSpan span("serve:" + toString(req.kind), req.traceId);
   try {
     // Edits are applied first, inside the request's serial window; the
     // acquire below then sees the bumped revision and either patches the
     // cached view in place (tracked element edits) or rebuilds.
     if (!req.edits.empty()) applyEdits(req.edits);
     bool viewHit = false;
-    entry = acquire(req.root, viewHit);
+    {
+      obs::ScopedSpan acquireSpan("view.acquire");
+      entry = acquire(req.root, viewHit);
+    }
     r.viewCacheHit = viewHit;
     r.revision = entry->revision;
 
@@ -638,6 +652,7 @@ std::vector<CheckResult> Workspace::runBatchImpl(
         if (st.prefetch) prefetchDep.push_back(st.prefetch->name);
         for (engine::Stage& s :
              st.checker->stages(pfx, viewDep, std::move(prefetchDep))) {
+          s.traceId = req.traceId;  // this request's span tree, not ambient
           st.ownStages.push_back(s.name);
           pipe.add(std::move(s));
         }
@@ -650,9 +665,11 @@ std::vector<CheckResult> Workspace::runBatchImpl(
         o.checkSpacing = req.baselineSpacing;
         o.checkContacts = req.baselineContacts;
         st.ownStages.push_back(pfx + "baseline");
-        pipe.add(baseline::stage(pfx + "baseline", viewDep, entry->view,
-                                 tech_, o, &st.baselineRep,
-                                 &st.baselineStats));
+        engine::Stage bs = baseline::stage(pfx + "baseline", viewDep,
+                                           entry->view, tech_, o,
+                                           &st.baselineRep, &st.baselineStats);
+        bs.traceId = req.traceId;
+        pipe.add(std::move(bs));
         break;
       }
       case CheckKind::kErc:
@@ -663,11 +680,14 @@ std::vector<CheckResult> Workspace::runBatchImpl(
                     st.netlist = netlistFor(*entry, opts, e, st.netlistHit);
                     return report::Report{};
                   },
-                  costHint(CheckKind::kNetlistOnly)});
+                  costHint(CheckKind::kNetlistOnly), req.traceId});
         if (req.kind == CheckKind::kErc) {
           st.ownStages.push_back(pfx + "erc");
-          pipe.add(erc::stage(pfx + "erc", {pfx + "netlist"}, &st.netlist,
-                              tech_, req.erc, &st.ercRep));
+          engine::Stage es = erc::stage(pfx + "erc", {pfx + "netlist"},
+                                        &st.netlist, tech_, req.erc,
+                                        &st.ercRep);
+          es.traceId = req.traceId;
+          pipe.add(std::move(es));
         }
         break;
       }
@@ -705,7 +725,7 @@ std::vector<CheckResult> Workspace::runBatchImpl(
                 }
                 return report::Report{};
               },
-              /*cost=*/0.1});
+              /*cost=*/0.1, req.traceId});
     st.ownStages.push_back(pfx + "merge");
   }
 

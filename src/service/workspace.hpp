@@ -138,6 +138,14 @@ struct CheckRequest {
   /// Caller correlation tag, echoed untouched in CheckResult::tag.
   std::string tag;
 
+  /// Span-trace attribution (docs/observability.md): 0 = untraced (or
+  /// inherit the caller's ambient trace); non-zero makes every span this
+  /// request produces — pipeline stages, kernel sections — collectable
+  /// under this id. The TCP session sets it to the wire request id;
+  /// in-process callers may use obs::newTraceId(). Never serialized in
+  /// the kCheck payload.
+  std::uint64_t traceId{0};
+
   /// A hierarchical-DRC request on `root` with reference settings.
   static CheckRequest drc(layout::CellId root);
   /// A mask-level baseline request on `root` (orthogonal metric, the

@@ -188,6 +188,15 @@ TEST(NetWire, StatsRoundTrip) {
     sh.meanQueueWaitSeconds = 0.0002;
     sh.meanServiceSeconds = 0.0042;
     sh.cacheBytes = 1u << (10 + s);
+    for (int l = 0; l < s; ++l) {  // shard 0: none; shard 2: two
+      server::LibraryHeat heat;
+      heat.id = "lib" + std::to_string(l);
+      heat.served = 10u * static_cast<std::size_t>(l + 1);
+      heat.rejected = static_cast<std::size_t>(l);
+      heat.bytes = 1000u + static_cast<std::uint64_t>(l);
+      heat.p95Seconds = 0.003 * (l + 1);
+      sh.heat.push_back(heat);
+    }
     st.shards.push_back(sh);
   }
   const std::vector<std::uint8_t> frame = encodeStatsFrame(5, st);
@@ -209,6 +218,15 @@ TEST(NetWire, StatsRoundTrip) {
     EXPECT_DOUBLE_EQ(got.shards[s].p50Seconds, st.shards[s].p50Seconds);
     EXPECT_DOUBLE_EQ(got.shards[s].p95Seconds, st.shards[s].p95Seconds);
     EXPECT_EQ(got.shards[s].cacheBytes, st.shards[s].cacheBytes);
+    ASSERT_EQ(got.shards[s].heat.size(), st.shards[s].heat.size());
+    for (std::size_t l = 0; l < got.shards[s].heat.size(); ++l) {
+      EXPECT_EQ(got.shards[s].heat[l].id, st.shards[s].heat[l].id);
+      EXPECT_EQ(got.shards[s].heat[l].served, st.shards[s].heat[l].served);
+      EXPECT_EQ(got.shards[s].heat[l].rejected, st.shards[s].heat[l].rejected);
+      EXPECT_EQ(got.shards[s].heat[l].bytes, st.shards[s].heat[l].bytes);
+      EXPECT_DOUBLE_EQ(got.shards[s].heat[l].p95Seconds,
+                       st.shards[s].heat[l].p95Seconds);
+    }
   }
 }
 
@@ -311,9 +329,20 @@ TEST(NetWire, HeaderRejectsBadMagicVersionFlagsType) {
   corrupt(0, 'X');               // magic
   corrupt(4, kVersion + 1);      // version
   corrupt(5, 0);                 // type 0 unknown
-  corrupt(5, 3);                 // gap between requests and responses
-  corrupt(5, 22);                // past kError
+  corrupt(5, 5);                 // gap between requests and responses
+  corrupt(5, 15);                // still in the gap
+  corrupt(5, 24);                // past kMetrics
   corrupt(6, 1);                 // reserved flags must be zero
+
+  // The version-2 frame types are all known to the parser.
+  for (const FrameType t : {FrameType::kTraceRequest, FrameType::kMetricsRequest,
+                            FrameType::kTrace, FrameType::kMetrics}) {
+    std::vector<std::uint8_t> buf;
+    appendHeader(buf, t, 1, 0);
+    std::string err;
+    EXPECT_TRUE(parseHeader(buf.data(), h, &err)) << err;
+    EXPECT_EQ(h.type, t);
+  }
 }
 
 TEST(NetWire, HeaderRejectsOversizedPayloadLength) {
@@ -443,6 +472,162 @@ TEST(NetWire, InterleavedStreamsRejected) {
     EXPECT_EQ(as.feed(h, p, n, got, nullptr),
               ResultAssembler::Feed::kError);
   }
+}
+
+obs::SpanRecord makeSpan(std::uint64_t traceId, int i) {
+  obs::SpanRecord s;
+  s.traceId = traceId;
+  s.spanId = 100u + static_cast<std::uint64_t>(i);
+  s.parentId = i == 0 ? 0 : 100u;
+  s.startNs = 1000u * static_cast<std::uint64_t>(i + 1);
+  s.durNs = 500u + static_cast<std::uint64_t>(i);
+  s.tid = static_cast<std::uint32_t>(i % 3);
+  const std::string name = "section" + std::to_string(i);
+  std::strncpy(s.name, name.c_str(), sizeof(s.name) - 1);
+  return s;
+}
+
+TEST(NetWire, TraceRequestRoundTrip) {
+  const std::vector<std::uint8_t> frame =
+      encodeTraceRequestFrame(11, 0xAB54A98CEB1F0AD2ull);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kTraceRequest);
+  EXPECT_EQ(h.requestId, 11u);
+  std::uint64_t traceId = 0;
+  std::string err;
+  ASSERT_TRUE(decodeTraceRequestPayload(p, n, traceId, &err)) << err;
+  EXPECT_EQ(traceId, 0xAB54A98CEB1F0AD2ull);
+  EXPECT_FALSE(decodeTraceRequestPayload(p, n - 1, traceId));  // truncated
+  std::vector<std::uint8_t> padded(p, p + n);
+  padded.push_back(0);  // trailing byte
+  EXPECT_FALSE(decodeTraceRequestPayload(padded.data(), padded.size(), traceId));
+}
+
+TEST(NetWire, MetricsRequestHasEmptyPayload) {
+  const std::vector<std::uint8_t> frame = encodeMetricsRequestFrame(12);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kMetricsRequest);
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(NetWire, TraceFrameRoundTrip) {
+  const std::uint64_t traceId = 77;
+  std::vector<obs::SpanRecord> spans;
+  for (int i = 0; i < 5; ++i) spans.push_back(makeSpan(traceId, i));
+
+  const std::vector<std::uint8_t> frame = encodeTraceFrame(13, traceId, spans);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kTrace);
+  EXPECT_EQ(h.requestId, 13u);
+
+  std::uint64_t gotId = 0;
+  std::vector<obs::SpanRecord> got;
+  std::string err;
+  ASSERT_TRUE(decodeTracePayload(p, n, gotId, got, &err)) << err;
+  EXPECT_EQ(gotId, traceId);
+  ASSERT_EQ(got.size(), spans.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].traceId, traceId);  // re-stamped from the payload head
+    EXPECT_EQ(got[i].spanId, spans[i].spanId);
+    EXPECT_EQ(got[i].parentId, spans[i].parentId);
+    EXPECT_EQ(got[i].startNs, spans[i].startNs);
+    EXPECT_EQ(got[i].durNs, spans[i].durNs);
+    EXPECT_EQ(got[i].tid, spans[i].tid);
+    EXPECT_EQ(got[i].label(), spans[i].label());
+  }
+
+  for (std::size_t cut = 0; cut < n; ++cut)
+    EXPECT_FALSE(decodeTracePayload(p, cut, gotId, got))
+        << "prefix of " << cut << " bytes decoded";
+}
+
+TEST(NetWire, TraceSpanCountBombRejected) {
+  const std::vector<std::uint8_t> frame = encodeTraceFrame(1, 7, {});
+  std::vector<std::uint8_t> payload(frame.begin() + kHeaderSize, frame.end());
+  // Layout: u64 traceId, then u32 span count — make the count hostile.
+  ASSERT_EQ(payload.size(), 12u);
+  for (std::size_t i = 8; i < 12; ++i) payload[i] = 0xFF;
+  std::uint64_t traceId = 0;
+  std::vector<obs::SpanRecord> spans;
+  std::string err;
+  EXPECT_FALSE(
+      decodeTracePayload(payload.data(), payload.size(), traceId, spans, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+obs::MetricsSnapshot makeSnapshot() {
+  obs::Registry reg;
+  reg.counter("alpha.count").add(41);
+  reg.gauge("beta.depth").set(-17);
+  reg.histogram("gamma.latency", {0.001, 0.01, 0.1}).observe(0.005);
+  reg.histogram("gamma.latency").observe(5.0);  // overflow bucket
+  return reg.snapshot();
+}
+
+TEST(NetWire, MetricsFrameRoundTrip) {
+  const obs::MetricsSnapshot snap = makeSnapshot();
+  const std::vector<std::uint8_t> frame = encodeMetricsFrame(14, snap);
+  const std::uint8_t* p = nullptr;
+  std::size_t n = 0;
+  const FrameHeader h = splitFrame(frame, &p, &n);
+  EXPECT_EQ(h.type, FrameType::kMetrics);
+
+  obs::MetricsSnapshot got;
+  std::string err;
+  ASSERT_TRUE(decodeMetricsPayload(p, n, got, &err)) << err;
+  ASSERT_EQ(got.metrics.size(), 3u);
+  EXPECT_EQ(got.metrics[0].name, "alpha.count");
+  EXPECT_EQ(got.metrics[0].kind, obs::MetricValue::Kind::kCounter);
+  EXPECT_EQ(got.metrics[0].counter, 41u);
+  EXPECT_EQ(got.metrics[1].name, "beta.depth");
+  EXPECT_EQ(got.metrics[1].kind, obs::MetricValue::Kind::kGauge);
+  EXPECT_EQ(got.metrics[1].gauge, -17);
+  EXPECT_EQ(got.metrics[2].name, "gamma.latency");
+  EXPECT_EQ(got.metrics[2].kind, obs::MetricValue::Kind::kHistogram);
+  ASSERT_EQ(got.metrics[2].bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(got.metrics[2].bounds[1], 0.01);
+  ASSERT_EQ(got.metrics[2].buckets.size(), 4u);
+  EXPECT_EQ(got.metrics[2].buckets[1], 1u);  // the 0.005 observation
+  EXPECT_EQ(got.metrics[2].buckets[3], 1u);  // the 5.0 overflow
+
+  // Deterministic: encoding the same snapshot twice is byte-identical.
+  EXPECT_EQ(frame, encodeMetricsFrame(14, snap));
+
+  for (std::size_t cut = 0; cut < n; ++cut)
+    EXPECT_FALSE(decodeMetricsPayload(p, cut, got))
+        << "prefix of " << cut << " bytes decoded";
+}
+
+TEST(NetWire, MetricsRejectsUnknownKindAndCountBombs) {
+  const obs::MetricsSnapshot snap = makeSnapshot();
+  const std::vector<std::uint8_t> frame = encodeMetricsFrame(1, snap);
+  const std::vector<std::uint8_t> payload(frame.begin() + kHeaderSize,
+                                          frame.end());
+  obs::MetricsSnapshot got;
+  std::string err;
+
+  // Metric count bomb (leading u32).
+  std::vector<std::uint8_t> bomb = payload;
+  for (std::size_t i = 0; i < 4; ++i) bomb[i] = 0xFF;
+  EXPECT_FALSE(decodeMetricsPayload(bomb.data(), bomb.size(), got, &err));
+
+  // Unknown kind tag: the first metric's kind byte follows the u32
+  // count, the u32 name length, and the name bytes.
+  std::vector<std::uint8_t> badKind = payload;
+  const std::size_t kindOff = 4 + 4 + std::strlen("alpha.count");
+  badKind[kindOff] = 9;
+  EXPECT_FALSE(decodeMetricsPayload(badKind.data(), badKind.size(), got, &err));
+
+  // Trailing garbage after a well-formed snapshot.
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(decodeMetricsPayload(padded.data(), padded.size(), got, &err));
 }
 
 TEST(NetWire, ReportEndWithoutStreamRejected) {
