@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
     tops.push_back(chip.top);
     const std::string id = workload::libraryName(l);
     srv.addLibrary(id, std::move(chip.lib), t);
-    std::printf("registered %-5s -> shard %d\n", id.c_str(), srv.shardOf(id));
+    const server::Placement p = srv.placementOf(id);
+    std::printf("registered %-5s -> shard %d (policy %s)\n", id.c_str(),
+                p.owner, toString(p.policy).c_str());
   }
 
   // A deterministic mixed trace, four closed-loop clients.

@@ -1,0 +1,89 @@
+#include "server/placement.hpp"
+
+#include <algorithm>
+
+namespace dic {
+namespace server {
+
+std::string toString(RoutingPolicy p) {
+  switch (p) {
+    case RoutingPolicy::kHash:
+      return "hash";
+    case RoutingPolicy::kLeastLoadedReplica:
+      return "least-loaded-replica";
+  }
+  return "unknown";
+}
+
+bool replicaEligible(const std::vector<CheckRequest>& reqs) {
+  for (const CheckRequest& r : reqs)
+    if (!r.edits.empty()) return false;
+  return true;
+}
+
+int pickLeastLoaded(const Placement& p,
+                    const std::vector<std::size_t>& loadByShard,
+                    std::uint64_t rrTick) {
+  const int n = static_cast<int>(loadByShard.size());
+  // Candidates in deterministic order: owner first, then replicas as
+  // listed. The order matters only for tie-breaking.
+  std::vector<int> cand;
+  cand.reserve(p.replicas.size() + 1);
+  if (p.owner >= 0 && p.owner < n) cand.push_back(p.owner);
+  for (int r : p.replicas)
+    if (r >= 0 && r < n && r != p.owner) cand.push_back(r);
+  if (cand.empty()) return p.owner;
+
+  std::size_t best = loadByShard[static_cast<std::size_t>(cand.front())];
+  for (int c : cand)
+    best = std::min(best, loadByShard[static_cast<std::size_t>(c)]);
+
+  std::vector<int> tied;
+  for (int c : cand)
+    if (loadByShard[static_cast<std::size_t>(c)] == best) tied.push_back(c);
+  return tied[static_cast<std::size_t>(rrTick % tied.size())];
+}
+
+std::vector<HeatTracker::Decision> HeatTracker::recordServed(
+    const LibraryId& id, std::size_t n) {
+  std::vector<Decision> out;
+  if (opts_.heatWindow == 0) return out;
+  window_[id] += n;
+  windowServed_ += n;
+  if (windowServed_ < opts_.heatWindow) return out;
+
+  // Window closed: evaluate every library seen this window plus every
+  // hot library (a hot library absent from the window served 0 — the
+  // strongest demote signal there is). Both containers iterate in id
+  // order, and the merge below preserves it, so decisions are
+  // deterministic.
+  auto countOf = [this](const LibraryId& lib) {
+    auto it = window_.find(lib);
+    return it == window_.end() ? std::size_t{0} : it->second;
+  };
+  std::set<LibraryId> seen;
+  for (const auto& [lib, served] : window_) seen.insert(lib), (void)served;
+  for (const LibraryId& lib : hot_) seen.insert(lib);
+  for (const LibraryId& lib : seen) {
+    const std::size_t served = countOf(lib);
+    const bool isHot = hot_.count(lib) > 0;
+    if (!isHot && served >= opts_.promoteServed) {
+      hot_.insert(lib);
+      out.push_back({lib, true});
+    } else if (isHot && served <= opts_.demoteServed) {
+      hot_.erase(lib);
+      out.push_back({lib, false});
+    }
+  }
+  window_.clear();
+  windowServed_ = 0;
+  return out;
+}
+
+void HeatTracker::forget(const LibraryId& id) {
+  window_.erase(id);
+  hot_.erase(id);
+}
+
+}  // namespace server
+}  // namespace dic

@@ -1,0 +1,155 @@
+#pragma once
+/// \file placement.hpp
+/// First-class placement for the sharded serving tier.
+///
+/// Routing used to be an implementation detail — `stableHash(id) %
+/// shards` buried inside Server. This header promotes it to an API:
+/// every library resolves to a `Placement` (owner shard + current
+/// read-replica shards + the active policy), and the pure helpers here
+/// are the *only* place the routing rules live:
+///
+///   - `replicaEligible`: read-only requests (no EditOps anywhere in
+///     the submission) may be served by a replica; anything carrying an
+///     edit — and addLibrary/dropLibrary by construction — pins to the
+///     owner shard.
+///   - `pickLeastLoaded`: among the owner and its fresh replicas, pick
+///     the shard with the smallest load (queue depth + in-flight); ties
+///     break by a deterministic per-library round-robin tick so equal
+///     load still spreads instead of always landing on the owner.
+///   - `HeatTracker`: count-based promote/demote hysteresis. Every
+///     `heatWindow` served requests on a shard, each library's window
+///     count is compared against two thresholds — promote at or above
+///     `promoteServed`, demote at or below `demoteServed`. The gap
+///     between the thresholds is the hysteresis band: a library sitting
+///     inside it keeps its current state, so heat hovering near one
+///     threshold never flaps.
+///
+/// Everything here is synchronous, allocation-light, and free of
+/// Server state, so the policy is testable without threads or queues
+/// (tests/placement_test.cpp). The mechanism — snapshot handoff,
+/// invalidation, demotion — lives in Server (docs/server.md,
+/// "Placement and replication").
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/workspace.hpp"
+
+namespace dic {
+namespace server {
+
+/// Stable identity of a registered library (shared with server.hpp).
+using LibraryId = std::string;
+
+/// How submissions choose a shard.
+enum class RoutingPolicy : std::uint8_t {
+  /// Every submission lands on stableHash(id) % shards — the classic
+  /// single-owner scheme. No replication ever happens.
+  kHash,
+  /// Read-only submissions on a replicated library go to the
+  /// least-loaded shard among {owner, fresh replicas}; edits and
+  /// everything else still pin to the owner. Libraries promote to
+  /// replicas when hot and demote when they cool (HeatTracker).
+  kLeastLoadedReplica,
+};
+
+/// Human-readable policy name ("hash", "least-loaded-replica").
+std::string toString(RoutingPolicy p);
+
+/// Replication + routing knobs (nested in ServerOptions::routing).
+struct RoutingOptions {
+  /// The active policy. The default keeps the server byte-for-byte on
+  /// the pre-replication behavior.
+  RoutingPolicy policy{RoutingPolicy::kHash};
+  /// Read-replica count a hot library is promoted to (beyond the
+  /// owner), clamped to shards - 1. With one shard promotion is a
+  /// no-op.
+  int replicas{1};
+  /// Served-request window between promote/demote evaluations on a
+  /// shard. Count-based — not time-based — so tests and replays are
+  /// deterministic. 0 disables evaluation entirely.
+  std::size_t heatWindow{32};
+  /// Promote a library when it served >= this many requests within one
+  /// window. Must exceed demoteServed (the ctor-normalized ServerOptions
+  /// enforces it); the gap is the no-flap hysteresis band.
+  std::size_t promoteServed{16};
+  /// Demote a replicated library when it served <= this many requests
+  /// within one window (cache bytes on the replica shards are
+  /// reclaimed when the last reference drains).
+  std::size_t demoteServed{4};
+};
+
+/// Where a library lives right now: its owner shard, the shards holding
+/// a *fresh* (serving) read replica, and the policy that produced the
+/// answer. Stale replicas — invalidated by an owner edit, not yet
+/// re-snapshotted — are not listed: they exist but receive no traffic.
+struct Placement {
+  int owner{-1};
+  std::vector<int> replicas;  ///< fresh replica shards, ascending
+  RoutingPolicy policy{RoutingPolicy::kHash};
+};
+
+/// The replica-eligibility rule, in exactly one place: a submission may
+/// be served by a read replica iff no request in it carries EditOps.
+/// (A batch is one queue job on one shard, so one edit anywhere pins
+/// the whole batch to the owner.)
+bool replicaEligible(const std::vector<CheckRequest>& reqs);
+
+/// Deterministic least-loaded choice among the owner and its fresh
+/// replicas. Candidates are considered in order (owner first, then
+/// `p.replicas` as given); the minimum of `loadByShard` wins, and ties
+/// break round-robin by `rrTick % tied.size()` over the tied candidates
+/// in that same order. Shards outside loadByShard's range are skipped
+/// defensively; with no valid candidate the owner is returned.
+int pickLeastLoaded(const Placement& p,
+                    const std::vector<std::size_t>& loadByShard,
+                    std::uint64_t rrTick);
+
+/// Count-based promote/demote hysteresis over one shard's served
+/// stream. Not thread-safe — the Server drives it from the shard's
+/// single serving thread (under the shard mutex), and tests drive it
+/// directly.
+class HeatTracker {
+ public:
+  HeatTracker() = default;
+  explicit HeatTracker(const RoutingOptions& opts) : opts_(opts) {}
+
+  /// One evaluation outcome: promote (true) or demote (false) `id`.
+  struct Decision {
+    LibraryId id;
+    bool promote{false};
+  };
+
+  /// Record `n` served requests for `id`. When the window fills
+  /// (>= heatWindow served in total), evaluates every library seen this
+  /// window plus every currently-hot library, resets the window, and
+  /// returns the state *changes* in library-id order: promote decisions
+  /// for cold libraries at/above promoteServed, demote decisions for
+  /// hot libraries at/below demoteServed (including hot libraries the
+  /// window never saw). Libraries between the thresholds keep their
+  /// state — that silence is the hysteresis.
+  std::vector<Decision> recordServed(const LibraryId& id, std::size_t n = 1);
+
+  /// True while `id` is in the promoted (replicated) state.
+  bool isHot(const LibraryId& id) const { return hot_.count(id) > 0; }
+
+  /// Served requests accumulated toward the current window (0 right
+  /// after a window closes — the caller's "evaluation just ran" signal).
+  std::size_t windowFill() const { return windowServed_; }
+
+  /// Forget `id` entirely (dropLibrary): no further decisions mention it.
+  void forget(const LibraryId& id);
+
+ private:
+  RoutingOptions opts_;
+  std::size_t windowServed_{0};
+  std::map<LibraryId, std::size_t> window_;  ///< served this window
+  std::set<LibraryId> hot_;                  ///< currently promoted
+};
+
+}  // namespace server
+}  // namespace dic

@@ -178,6 +178,7 @@ TEST(NetWire, StatsRoundTrip) {
   for (int s = 0; s < 3; ++s) {
     server::ShardStats sh;
     sh.libraries = static_cast<std::size_t>(s + 1);
+    sh.replicas = static_cast<std::size_t>(2 - s);
     sh.queueDepth = static_cast<std::size_t>(s * 7);
     sh.submitted = 100u + static_cast<std::size_t>(s);
     sh.served = 90u + static_cast<std::size_t>(s);
@@ -195,6 +196,8 @@ TEST(NetWire, StatsRoundTrip) {
       heat.rejected = static_cast<std::size_t>(l);
       heat.bytes = 1000u + static_cast<std::uint64_t>(l);
       heat.p95Seconds = 0.003 * (l + 1);
+      heat.ownerShard = s;
+      if (l == 1) heat.replicaShards = {0, 2};  // one replicated library
       sh.heat.push_back(heat);
     }
     st.shards.push_back(sh);
@@ -210,6 +213,7 @@ TEST(NetWire, StatsRoundTrip) {
   ASSERT_EQ(got.shards.size(), 3u);
   for (std::size_t s = 0; s < 3; ++s) {
     EXPECT_EQ(got.shards[s].libraries, st.shards[s].libraries);
+    EXPECT_EQ(got.shards[s].replicas, st.shards[s].replicas);
     EXPECT_EQ(got.shards[s].queueDepth, st.shards[s].queueDepth);
     EXPECT_EQ(got.shards[s].submitted, st.shards[s].submitted);
     EXPECT_EQ(got.shards[s].served, st.shards[s].served);
@@ -226,6 +230,10 @@ TEST(NetWire, StatsRoundTrip) {
       EXPECT_EQ(got.shards[s].heat[l].bytes, st.shards[s].heat[l].bytes);
       EXPECT_DOUBLE_EQ(got.shards[s].heat[l].p95Seconds,
                        st.shards[s].heat[l].p95Seconds);
+      EXPECT_EQ(got.shards[s].heat[l].ownerShard,
+                st.shards[s].heat[l].ownerShard);
+      EXPECT_EQ(got.shards[s].heat[l].replicaShards,
+                st.shards[s].heat[l].replicaShards);
     }
   }
 }

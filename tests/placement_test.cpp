@@ -1,0 +1,207 @@
+// Unit tests for the pure routing-policy layer (server/placement.hpp):
+// replica eligibility, deterministic least-loaded choice with round-robin
+// tie-breaking, and the HeatTracker's count-based promote/demote
+// hysteresis. Everything here runs without a Server, threads, or queues —
+// the policy is plain synchronous code by design.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/placement.hpp"
+#include "service/workspace.hpp"
+
+namespace dic {
+namespace {
+
+using server::HeatTracker;
+using server::Placement;
+using server::RoutingOptions;
+using server::RoutingPolicy;
+
+TEST(Placement, PolicyNames) {
+  EXPECT_EQ(toString(RoutingPolicy::kHash), "hash");
+  EXPECT_EQ(toString(RoutingPolicy::kLeastLoadedReplica),
+            "least-loaded-replica");
+}
+
+TEST(Placement, ReplicaEligibilityIsNoEditsAnywhere) {
+  // Read-only submissions qualify; one edit anywhere pins the whole
+  // submission (a batch is one queue job on one shard) to the owner.
+  EXPECT_TRUE(server::replicaEligible({}));  // vacuously: nothing edits
+  EXPECT_TRUE(server::replicaEligible({CheckRequest::drc(1)}));
+  EXPECT_TRUE(server::replicaEligible(
+      {CheckRequest::drc(1), CheckRequest::ercCheck(1),
+       CheckRequest::netlistOnly(1)}));
+
+  CheckRequest edit = CheckRequest::drc(1);
+  edit.edits.push_back(EditOp::setElement(1, 0, layout::Element{}));
+  EXPECT_FALSE(server::replicaEligible({edit}));
+  EXPECT_FALSE(server::replicaEligible(
+      {CheckRequest::drc(1), edit, CheckRequest::ercCheck(1)}));
+}
+
+TEST(Placement, PickLeastLoadedMinimumWins) {
+  Placement p;
+  p.owner = 0;
+  p.replicas = {1, 2};
+  // Distinct loads: the unique minimum wins regardless of the tick.
+  const std::vector<std::size_t> load = {5, 1, 3};
+  for (std::uint64_t tick = 0; tick < 7; ++tick)
+    EXPECT_EQ(server::pickLeastLoaded(p, load, tick), 1);
+}
+
+TEST(Placement, PickLeastLoadedOwnerPreferredAtTickZero) {
+  Placement p;
+  p.owner = 2;
+  p.replicas = {0, 3};
+  // All tied: candidate order is owner first, then replicas as given.
+  const std::vector<std::size_t> load = {4, 4, 4, 4};
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 0), 2);
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 1), 0);
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 2), 3);
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 3), 2);  // wraps — deterministic
+}
+
+TEST(Placement, PickLeastLoadedTieBreakIsDeterministic) {
+  Placement p;
+  p.owner = 0;
+  p.replicas = {1, 2, 3};
+  const std::vector<std::size_t> load = {2, 9, 2, 2};  // {0, 2, 3} tied
+  // Same tick, same answer; successive ticks cycle the tied candidates.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(server::pickLeastLoaded(p, load, 0), 0);
+    EXPECT_EQ(server::pickLeastLoaded(p, load, 1), 2);
+    EXPECT_EQ(server::pickLeastLoaded(p, load, 2), 3);
+  }
+}
+
+TEST(Placement, PickLeastLoadedSkipsOutOfRangeAndFallsBackToOwner) {
+  Placement p;
+  p.owner = 0;
+  p.replicas = {7};  // stale bookkeeping beyond the load vector
+  const std::vector<std::size_t> load = {3};
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 0), 0);
+  EXPECT_EQ(server::pickLeastLoaded(p, load, 1), 0);
+
+  // No valid candidate at all: the owner comes back untouched.
+  Placement bare;
+  bare.owner = 4;
+  EXPECT_EQ(server::pickLeastLoaded(bare, {}, 0), 4);
+}
+
+RoutingOptions smallWindow() {
+  RoutingOptions r;
+  r.heatWindow = 8;
+  r.promoteServed = 5;
+  r.demoteServed = 2;
+  return r;
+}
+
+TEST(HeatTracker, PromotesAtThresholdWhenWindowCloses) {
+  HeatTracker t(smallWindow());
+  // 7 served: window (8) not full yet — no decisions, no state change.
+  for (int k = 0; k < 7; ++k)
+    EXPECT_TRUE(t.recordServed("hot").empty());
+  EXPECT_FALSE(t.isHot("hot"));
+  EXPECT_EQ(t.windowFill(), 7u);
+
+  // The 8th close the window: "hot" served 8 >= promoteServed.
+  const std::vector<HeatTracker::Decision> d = t.recordServed("hot");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].id, "hot");
+  EXPECT_TRUE(d[0].promote);
+  EXPECT_TRUE(t.isHot("hot"));
+  EXPECT_EQ(t.windowFill(), 0u);  // the "evaluation just ran" signal
+}
+
+TEST(HeatTracker, ColdLibraryBelowThresholdNeverPromotes) {
+  HeatTracker t(smallWindow());
+  // Two libraries split the window 4/4 — both below promoteServed (5).
+  std::vector<HeatTracker::Decision> last;
+  for (int k = 0; k < 8; ++k)
+    last = t.recordServed((k & 1) != 0 ? "a" : "b");
+  EXPECT_TRUE(last.empty());
+  EXPECT_FALSE(t.isHot("a"));
+  EXPECT_FALSE(t.isHot("b"));
+}
+
+TEST(HeatTracker, HysteresisBandDoesNotFlap) {
+  HeatTracker t(smallWindow());
+  // Promote "x" with a full window of its own traffic.
+  std::vector<HeatTracker::Decision> d;
+  for (int k = 0; k < 8; ++k) d = t.recordServed("x");
+  ASSERT_EQ(d.size(), 1u);
+  ASSERT_TRUE(d[0].promote);
+
+  // Heat drops into the band (4: demote at <= 2, promote at >= 5).
+  // Window after window, no decision is emitted — that silence is the
+  // hysteresis; a library hovering near one threshold never flaps. The
+  // filler traffic is split so neither filler crosses promoteServed.
+  for (int window = 0; window < 4; ++window) {
+    for (int k = 0; k < 4; ++k) d = t.recordServed("x");
+    for (int k = 0; k < 2; ++k) d = t.recordServed("f1");
+    for (int k = 0; k < 2; ++k) d = t.recordServed("f2");
+    EXPECT_TRUE(d.empty()) << "window " << window;
+    EXPECT_TRUE(t.isHot("x"));
+  }
+}
+
+TEST(HeatTracker, DemotesAtThresholdIncludingAbsentLibraries) {
+  HeatTracker t(smallWindow());
+  std::vector<HeatTracker::Decision> d;
+  for (int k = 0; k < 8; ++k) d = t.recordServed("x");
+  ASSERT_EQ(d.size(), 1u);
+  ASSERT_TRUE(d[0].promote);
+
+  // A window "x" never appears in still evaluates it: 0 <= demoteServed.
+  for (int k = 0; k < 8; ++k) d = t.recordServed("other");
+  ASSERT_EQ(d.size(), 2u);  // "other" promotes, "x" demotes — id order
+  EXPECT_EQ(d[0].id, "other");
+  EXPECT_TRUE(d[0].promote);
+  EXPECT_EQ(d[1].id, "x");
+  EXPECT_FALSE(d[1].promote);
+  EXPECT_FALSE(t.isHot("x"));
+  EXPECT_TRUE(t.isHot("other"));
+}
+
+TEST(HeatTracker, RePromotionAfterDemotionWorks) {
+  HeatTracker t(smallWindow());
+  std::vector<HeatTracker::Decision> d;
+  for (int k = 0; k < 8; ++k) d = t.recordServed("x");
+  ASSERT_TRUE(d.size() == 1 && d[0].promote);
+  for (int k = 0; k < 8; ++k) d = t.recordServed("y");  // demotes x
+  ASSERT_TRUE(t.isHot("y"));
+  ASSERT_FALSE(t.isHot("x"));
+  for (int k = 0; k < 8; ++k) d = t.recordServed("x");  // re-promote
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].id, "x");
+  EXPECT_TRUE(d[0].promote);
+  EXPECT_EQ(d[1].id, "y");
+  EXPECT_FALSE(d[1].promote);
+}
+
+TEST(HeatTracker, ForgetDropsAllState) {
+  HeatTracker t(smallWindow());
+  std::vector<HeatTracker::Decision> d;
+  for (int k = 0; k < 8; ++k) d = t.recordServed("x");
+  ASSERT_TRUE(t.isHot("x"));
+  t.forget("x");
+  EXPECT_FALSE(t.isHot("x"));
+  // The next window never mentions the forgotten library.
+  for (int k = 0; k < 8; ++k) d = t.recordServed("other");
+  for (const HeatTracker::Decision& dec : d) EXPECT_NE(dec.id, "x");
+}
+
+TEST(HeatTracker, ZeroWindowDisablesEvaluation) {
+  RoutingOptions r = smallWindow();
+  r.heatWindow = 0;
+  HeatTracker t(r);
+  for (int k = 0; k < 64; ++k)
+    EXPECT_TRUE(t.recordServed("x").empty());
+  EXPECT_FALSE(t.isHot("x"));
+}
+
+}  // namespace
+}  // namespace dic
